@@ -1,0 +1,119 @@
+// Extension bench: the SSN story in the frequency domain.
+//
+// The paper's damping ratio zeta = (N*K*lambda/2)*sqrt(L/C) is exactly the
+// damping of the ground-path resonator formed by the package L, the pad C
+// and the conducting drivers (whose transconductance is the only damping
+// element). This bench linearizes the driver bank mid-switching, injects a
+// 1 A AC probe into the internal ground node, and shows how the impedance
+// peak at f0 = 1/(2*pi*sqrt(L*C)) flattens as N (and with it the damping)
+// grows — the frequency-domain face of Fig. 4's over/under-damped split.
+#include "bench_util.hpp"
+
+#include "analysis/calibrate.hpp"
+#include "core/lc_model.hpp"
+#include "io/ascii_chart.hpp"
+#include "io/table.hpp"
+#include "sim/ac.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ssnkit;
+using namespace ssnkit::circuit;
+
+namespace {
+
+sim::AcResult probe_ground_impedance(const analysis::Calibration& cal,
+                                     int n_drivers, double l, double c,
+                                     double vg_bias) {
+  Circuit ckt;
+  const auto& tech = cal.tech;
+  const NodeId n_vdd = ckt.node("vdd");
+  const NodeId n_vssi = ckt.node("vssi");
+  ckt.add_vsource("Vdd", n_vdd, kGround, waveform::Dc{tech.vdd});
+  ckt.add_inductor("Lgnd", n_vssi, kGround, l);
+  ckt.add_capacitor("Cpad", n_vssi, kGround, c);
+
+  std::shared_ptr<const devices::MosfetModel> nmos(tech.make_golden());
+  for (int i = 0; i < n_drivers; ++i) {
+    const std::string idx = std::to_string(i);
+    const NodeId in = ckt.node("in" + idx);
+    const NodeId out = ckt.node("out" + idx);
+    // Bias mid-switching: the pull-down conducts, its gm damps the tank.
+    ckt.add_vsource("Vin" + idx, in, kGround, waveform::Dc{vg_bias});
+    ckt.add_mosfet("Mn" + idx, out, in, n_vssi, kGround, nmos);
+    ckt.add_resistor("Rload" + idx, n_vdd, out, 200.0);  // keeps M saturated
+    ckt.add_capacitor("Cl" + idx, out, kGround, tech.load_cap);
+  }
+
+  auto& probe = ckt.add_isource("Iprobe", kGround, n_vssi, waveform::Dc{0.0});
+  probe.set_ac(1.0);
+
+  sim::AcOptions opts;
+  opts.f_start = 2e8;
+  opts.f_stop = 2e11;
+  opts.points_per_decade = 60;
+  return sim::run_ac(ckt, opts);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Extension: ground-path impedance |Z(f)| and the damping ratio");
+
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  const double l = 5e-9, c = 1e-12;
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+  std::printf("package: L = 5 nH, C = 1 pF -> f0 = %s Hz\n",
+              io::si_format(f0).c_str());
+
+  core::SsnScenario base;
+  base.inductance = l;
+  base.capacitance = c;
+  base.vdd = cal.tech.vdd;
+  base.slope = cal.tech.vdd / 0.1e-9;
+  base.device = cal.asdm.params;
+
+  io::TextTable table({"N conducting", "zeta (paper)", "region",
+                       "|Z| peak [Ohm]", "f_peak [GHz]",
+                       "peak / |Z(f0/10)|"});
+  std::vector<double> log_f;
+  std::vector<std::vector<double>> curves;
+  std::vector<std::string> names;
+  for (int n : {1, 2, 8, 16}) {
+    const core::LcModel model(base.with_drivers(n));
+    const auto res = probe_ground_impedance(cal, n, l, c, 0.5 * cal.tech.vdd +
+                                                              0.35);
+    const auto peak = res.peak("vssi");
+    const auto mags = res.magnitude("vssi");
+    // Reference inductive impedance a decade below the peak.
+    std::size_t i_low = 0;
+    while (res.frequencies()[i_low] < f0 / 10.0) ++i_low;
+    table.add_row({io::si_format(double(n), 2),
+                   io::si_format(model.zeta(), 3),
+                   core::to_string(model.region()),
+                   io::si_format(peak.magnitude, 4),
+                   io::si_format(peak.frequency * 1e-9, 3),
+                   io::si_format(peak.magnitude / mags[i_low], 3)});
+    if (log_f.empty())
+      for (double f : res.frequencies()) log_f.push_back(std::log10(f));
+    std::vector<double> db = res.magnitude_db("vssi");
+    curves.push_back(std::move(db));
+    names.push_back("N=" + std::to_string(n));
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  io::ChartOptions copts;
+  copts.title = "|Z(vssi)| [dBOhm] vs log10(f): damping grows with N";
+  copts.x_label = "log10 f";
+  copts.y_label = "dB";
+  std::printf("%s", io::ascii_xy_chart(log_f, curves, names, copts).c_str());
+
+  std::printf(
+      "\nreading: with one conducting driver the tank is under-damped and the\n"
+      "impedance peaks sharply near f0; by N = 16 the driver transconductance\n"
+      "(N*K*lambda, the paper's damping term) has flattened the resonance —\n"
+      "the same over/under-damped boundary Table 1 switches formulas on.\n");
+  return 0;
+}

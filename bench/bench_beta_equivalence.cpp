@@ -1,0 +1,48 @@
+// Reproduces the paper's Section 3 design observation (Eqns 9-10): the
+// maximum SSN depends on the circuit only through beta = N*L*S, so trading
+// driver count, inductance and input slope against each other at constant
+// beta leaves V_max unchanged. Verified exactly on the closed form and
+// approximately on the simulator.
+#include "bench_util.hpp"
+
+#include "analysis/measure.hpp"
+#include "analysis/sweeps.hpp"
+#include "io/table.hpp"
+
+#include <cstdio>
+
+using namespace ssnkit;
+
+int main() {
+  benchutil::banner("Beta-equivalence (Eqn 9/10): V_max depends only on N*L*S");
+
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  const double beta = 8.0 * 5e-9 * (cal.tech.vdd / 0.1e-9);
+
+  const auto pts = analysis::beta_equivalence_points(cal, beta,
+                                                     {1, 2, 4, 8, 16}, 0.1e-9);
+
+  io::TextTable table({"N", "L [nH]", "S [V/ns]", "beta", "model V_max [V]",
+                       "sim V_max [V]"});
+  for (const auto& p : pts) {
+    // Cross-check with the simulator (golden device, so a few % device-fit
+    // spread on top of the exact model equality).
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.n_drivers = p.n;
+    spec.input_rise_time = cal.tech.vdd / p.slope;
+    spec.package.inductance = p.l;
+    spec.include_package_c = false;
+    const double v_sim = analysis::measure_ssn(spec).v_max;
+    table.add_row({double(p.n), p.l * 1e9, p.slope * 1e-9, p.beta, p.v_max,
+                   v_sim},
+                  5);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nmodel column is constant by construction (exact in the "
+              "formula); simulator column shows the same value within the\n"
+              "device-fit error, confirming the design rule: halving the "
+              "switching drivers buys exactly a doubling of allowed slope.\n");
+  return 0;
+}

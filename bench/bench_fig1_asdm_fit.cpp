@@ -1,0 +1,105 @@
+// Reproduces Fig. 1 of the paper: the golden (BSIM3 stand-in) NMOS I-V
+// characteristic in the SSN operating region — I_D vs V_G at several source
+// voltages, drain at V_DD — overlaid with the fitted linear ASDM.
+//
+// Paper reference points (TSMC 0.18 um): the linear model tracks the BSIM3
+// curves except very near threshold; lambda > 1; V_x = 0.61 V while
+// V_T ~ 0.5 V.
+#include "bench_util.hpp"
+
+#include "devices/fit.hpp"
+#include "io/ascii_chart.hpp"
+#include "io/table.hpp"
+#include "process/technology.hpp"
+#include "waveform/waveform.hpp"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ssnkit;
+
+namespace {
+
+void run_for(const process::Technology& tech, process::GoldenKind kind,
+             const char* kind_name) {
+  benchutil::section(tech.name + std::string(" / golden = ") + kind_name);
+  const auto golden = tech.make_golden(kind);
+
+  devices::AsdmFitRegion region;
+  region.vd = tech.vdd;
+  region.vg_lo = 0.45 * tech.vdd;
+  region.vg_hi = tech.vdd;
+  region.vs_lo = 0.0;
+  region.vs_hi = 0.45 * tech.vdd;
+  const auto fit = devices::fit_asdm(*golden, region);
+  const devices::AsdmModel asdm(fit.params);
+
+  std::printf("fitted ASDM:  K = %.4g A/V   lambda = %.4f   V_x = %.4f V\n",
+              fit.params.k, fit.params.lambda, fit.params.vx);
+  std::printf("fit quality:  rms = %s A   max = %s A   max/Imax = %.2f %%   "
+              "(%zu samples)\n",
+              io::si_format(fit.rms_error).c_str(),
+              io::si_format(fit.max_abs_error).c_str(),
+              benchutil::pct(fit.max_rel_error), fit.samples);
+
+  // The paper's observations, checked numerically.
+  std::printf("paper checks: lambda > 1: %s;  V_x (%.3f V) > V_T0 (%.3f V): %s\n",
+              fit.params.lambda > 1.0 ? "yes" : "NO",
+              fit.params.vx, tech.alpha_power.vt0,
+              fit.params.vx > tech.alpha_power.vt0 ? "yes" : "NO");
+
+  // I_D vs V_G table at the paper's source voltages.
+  const std::vector<double> vs_points = {0.0, 0.1 * tech.vdd / 0.9,
+                                         0.2 * tech.vdd / 0.9,
+                                         0.3 * tech.vdd / 0.9,
+                                         0.4 * tech.vdd / 0.9};
+  io::TextTable table({"V_G [V]", "V_S [V]", "golden I_D [mA]", "ASDM I_D [mA]",
+                       "err [%]"});
+  for (double vs : {0.0, 0.2, 0.4}) {
+    for (double vg = 0.8; vg <= tech.vdd + 1e-9; vg += 0.25) {
+      const double i_golden = golden->ids(vg - vs, tech.vdd - vs, -vs);
+      const double i_asdm = asdm.ids_gate_source(vg, vs);
+      table.add_row({vg, vs, i_golden * 1e3, i_asdm * 1e3,
+                     i_golden > 1e-5 ? benchutil::pct((i_asdm - i_golden) /
+                                                      i_golden)
+                                     : 0.0});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Fig. 1 as an ASCII chart: golden (dashed in the paper) vs linear model.
+  std::vector<waveform::Waveform> curves;
+  std::vector<const waveform::Waveform*> ptrs;
+  std::vector<std::string> names;
+  for (double vs : {0.0, 0.4}) {
+    curves.push_back(waveform::Waveform::from_function(
+        [&, vs](double vg) { return golden->ids(vg - vs, tech.vdd - vs, -vs) * 1e3; },
+        0.0, tech.vdd, 120));
+    names.push_back("golden vs=" + io::si_format(vs));
+    curves.push_back(waveform::Waveform::from_function(
+        [&, vs](double vg) { return asdm.ids_gate_source(vg, vs) * 1e3; }, 0.0,
+        tech.vdd, 120));
+    names.push_back("asdm vs=" + io::si_format(vs));
+  }
+  for (const auto& c : curves) ptrs.push_back(&c);
+  io::ChartOptions copts;
+  copts.title = "Fig.1  I_D [mA] vs V_G [V]  (" + tech.name + ")";
+  copts.x_label = "V_G [V]";
+  copts.y_label = "I_D [mA]";
+  std::printf("%s", io::ascii_chart(ptrs, names, copts).c_str());
+  (void)vs_points;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Fig. 1 reproduction: ASDM fit of the golden MOSFET in the SSN region");
+  for (const auto& tech :
+       {process::tech_180nm(), process::tech_250nm(), process::tech_350nm()}) {
+    run_for(tech, process::GoldenKind::kAlphaPower, "alpha-power");
+  }
+  // A structurally different golden surface (velocity-saturation model).
+  run_for(process::tech_180nm(), process::GoldenKind::kBsimLite, "bsim-lite");
+  return 0;
+}

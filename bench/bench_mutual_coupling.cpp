@@ -1,0 +1,114 @@
+// Extension bench: mutual inductance between parallel ground pins.
+//
+// The paper treats the ground return as one isolated inductor. Real
+// packages route multiple ground pins side by side, and their magnetic
+// coupling k makes two parallel pins behave as L_eff = L(1+k)/2 instead of
+// L/2 — eroding the benefit of adding pins. This bench simulates an
+// 8-driver bank on two coupled pins and shows the paper's closed form
+// (Eqn 7) still predicts the bounce once L_eff is used.
+#include "bench_util.hpp"
+
+#include "analysis/calibrate.hpp"
+#include "core/l_only_model.hpp"
+#include "io/table.hpp"
+#include "numeric/stats.hpp"
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+using namespace ssnkit;
+using namespace ssnkit::circuit;
+
+namespace {
+
+double simulate_with_coupling(const analysis::Calibration& cal, double l_pin,
+                              double k, int n_drivers, double t_rise) {
+  Circuit ckt;
+  const auto& tech = cal.tech;
+  const NodeId n_vdd = ckt.node("vdd");
+  const NodeId n_vssi = ckt.node("vssi");
+  ckt.add_vsource("Vdd", n_vdd, kGround, waveform::Dc{tech.vdd});
+
+  // Two ground pins from vssi to the board ground; tiny per-pin series
+  // resistances keep the DC point well-posed.
+  const NodeId pa = ckt.node("pin_a");
+  const NodeId pb = ckt.node("pin_b");
+  ckt.add_resistor("Rpa", n_vssi, pa, 5e-3);
+  ckt.add_resistor("Rpb", n_vssi, pb, 5e-3);
+  if (k > 0.0) {
+    ckt.add_coupled_inductors("Kpins", pa, kGround, pb, kGround, l_pin, l_pin, k);
+  } else {
+    ckt.add_inductor("Lpa", pa, kGround, l_pin);
+    ckt.add_inductor("Lpb", pb, kGround, l_pin);
+  }
+
+  std::shared_ptr<const devices::MosfetModel> nmos(cal.tech.make_golden());
+  std::shared_ptr<const devices::MosfetModel> pmos(cal.tech.make_golden());
+  for (int i = 0; i < n_drivers; ++i) {
+    const std::string idx = std::to_string(i);
+    const NodeId in = ckt.node("in" + idx);
+    const NodeId out = ckt.node("out" + idx);
+    ckt.add_vsource("Vin" + idx, in, kGround,
+                    waveform::Ramp{0.0, tech.vdd, 0.0, t_rise});
+    ckt.add_mosfet("Mn" + idx, out, in, n_vssi, kGround, nmos);
+    ckt.add_mosfet("Mp" + idx, out, in, n_vdd, n_vdd, pmos,
+                   MosfetPolarity::kPmos);
+    ckt.add_capacitor("Cl" + idx, out, kGround, tech.load_cap);
+  }
+
+  sim::TransientOptions opts;
+  opts.t_stop = t_rise;
+  opts.dt_max = t_rise / 200.0;
+  const auto result = sim::run_transient(ckt, opts);
+  return result.waveform("vssi").maximum().value;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Extension: mutual coupling between parallel ground pins");
+
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  const double l_pin = 5e-9;
+  const int n_drivers = 8;
+  const double t_rise = 0.1e-9;
+
+  core::SsnScenario base;
+  base.n_drivers = n_drivers;
+  base.capacitance = 0.0;
+  base.vdd = cal.tech.vdd;
+  base.slope = cal.tech.vdd / t_rise;
+  base.device = cal.asdm.params;
+
+  io::TextTable table({"coupling k", "L_eff = L(1+k)/2 [nH]", "sim V_max [V]",
+                       "Eqn 7 with L_eff [V]", "err %",
+                       "vs uncoupled pins"});
+  double v_uncoupled = 0.0;
+  for (double k : {0.0, 0.3, 0.6, 0.9}) {
+    const double l_eff = l_pin * (1.0 + k) / 2.0;
+    const double v_sim = simulate_with_coupling(cal, l_pin, k, n_drivers, t_rise);
+    if (k == 0.0) v_uncoupled = v_sim;
+    base.inductance = l_eff;
+    const double v_model = core::LOnlyModel(base).v_max();
+    table.add_row(
+        {io::si_format(k, 3), io::si_format(l_eff * 1e9, 4),
+         io::si_format(v_sim, 4), io::si_format(v_model, 4),
+         io::si_format(benchutil::pct(numeric::relative_error(v_model, v_sim)),
+                       3),
+         "+" + io::si_format(benchutil::pct(v_sim / v_uncoupled - 1.0), 3) + "%"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\ntakeaway: tightly coupled pins (k = 0.9) give back almost all of the\n"
+      "second pin's benefit — the bounce rises ~%s%% over ideal parallel pins —\n"
+      "and the paper's Eqn 7 keeps tracking the simulator once L_eff is used.\n",
+      io::si_format(benchutil::pct(
+                        simulate_with_coupling(cal, l_pin, 0.9, n_drivers, t_rise) /
+                            v_uncoupled -
+                        1.0),
+                    3)
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Performance microbenchmarks (google-benchmark): the cost profile that
+// makes the paper's closed forms attractive — a Table 1 evaluation is
+// nanoseconds while a single transient simulation is milliseconds.
+#include "analysis/calibrate.hpp"
+#include "analysis/measure.hpp"
+#include "core/baselines.hpp"
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+#include "devices/fit.hpp"
+#include "numeric/lu.hpp"
+#include "sim/engine.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace ssnkit;
+
+namespace {
+
+core::SsnScenario scenario_for(int n, double c_mult) {
+  core::SsnScenario s;
+  s.n_drivers = n;
+  s.inductance = 5e-9;
+  s.vdd = 1.8;
+  s.slope = 1.8e10;
+  s.device = {.k = 5.3e-3, .lambda = 1.17, .vx = 0.56};
+  s.capacitance = s.critical_capacitance() * c_mult;
+  return s;
+}
+
+void BM_LOnlyVmax(benchmark::State& state) {
+  const auto s = scenario_for(8, 0.0).with_capacitance(0.0);
+  for (auto _ : state) {
+    core::LOnlyModel m(s);
+    benchmark::DoNotOptimize(m.v_max());
+  }
+}
+BENCHMARK(BM_LOnlyVmax);
+
+void BM_LcVmax(benchmark::State& state) {
+  const auto s = scenario_for(8, double(state.range(0)) / 10.0);
+  for (auto _ : state) {
+    core::LcModel m(s);
+    benchmark::DoNotOptimize(m.v_max());
+  }
+}
+BENCHMARK(BM_LcVmax)->Arg(3)->Arg(10)->Arg(40);  // over/critical/under damped
+
+void BM_BaselineVemuru(benchmark::State& state) {
+  core::BaselineInputs in;
+  in.n_drivers = 8;
+  in.inductance = 5e-9;
+  in.slope = 1.8e10;
+  in.vdd = 1.8;
+  in.b = 4.4e-3;
+  in.vt = 0.45;
+  in.alpha = 1.3;
+  for (auto _ : state) benchmark::DoNotOptimize(core::vemuru_vmax(in));
+}
+BENCHMARK(BM_BaselineVemuru);
+
+void BM_AsdmFit(benchmark::State& state) {
+  const auto tech = process::tech_180nm();
+  const auto golden = tech.make_golden();
+  devices::AsdmFitRegion region;
+  region.vd = tech.vdd;
+  region.vg_lo = 0.45 * tech.vdd;
+  region.vg_hi = tech.vdd;
+  region.vs_hi = 0.45 * tech.vdd;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(devices::fit_asdm(*golden, region));
+}
+BENCHMARK(BM_AsdmFit);
+
+void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  numeric::Matrix a(n, n);
+  numeric::Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+    a(r, r) += 4.0;
+    b[r] = dist(rng);
+  }
+  for (auto _ : state) {
+    numeric::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetComplexityN(int64_t(n));
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(32)->Arg(128)->Complexity(benchmark::oNCubed);
+
+void BM_SsnTransient(benchmark::State& state) {
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  for (auto _ : state) {
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.n_drivers = int(state.range(0));
+    spec.input_rise_time = 0.1e-9;
+    benchmark::DoNotOptimize(analysis::measure_ssn(spec).v_max);
+  }
+}
+BENCHMARK(BM_SsnTransient)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  circuit::SsnBenchSpec spec;
+  spec.tech = cal.tech;
+  spec.n_drivers = 8;
+  auto bench = circuit::make_ssn_testbench(spec);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::dc_operating_point(bench.circuit));
+}
+BENCHMARK(BM_DcOperatingPoint)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

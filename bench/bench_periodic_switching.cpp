@@ -1,0 +1,102 @@
+// Extension bench: resonant SSN amplification under periodic switching.
+//
+// The paper analyzes one switching event. Real buses toggle periodically,
+// and each event leaves the under-damped ground tank ringing (see
+// bench_post_ramp); when the data period approaches the ring period
+// 2*pi/omega_d the residues add coherently and the steady-state bounce
+// exceeds the single-shot value. This bench drives a small bank with a
+// PULSE train and sweeps the period around the resonance.
+#include "bench_util.hpp"
+
+#include "analysis/calibrate.hpp"
+#include "core/lc_model.hpp"
+#include "io/table.hpp"
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ssnkit;
+using namespace ssnkit::circuit;
+
+namespace {
+
+double steady_state_bounce(const analysis::Calibration& cal, double period,
+                           int cycles) {
+  Circuit ckt;
+  const auto& tech = cal.tech;
+  const int n_drivers = 2;  // lightly damped
+  const double t_edge = 50e-12;
+
+  const NodeId n_vdd = ckt.node("vdd");
+  const NodeId n_vssi = ckt.node("vssi");
+  ckt.add_vsource("Vdd", n_vdd, kGround, waveform::Dc{tech.vdd});
+  ckt.add_inductor("Lgnd", n_vssi, kGround, 5e-9);
+  ckt.add_capacitor("Cpad", n_vssi, kGround, 1e-12);
+
+  std::shared_ptr<const devices::MosfetModel> nmos(tech.make_golden());
+  std::shared_ptr<const devices::MosfetModel> pmos(tech.make_golden());
+  for (int i = 0; i < n_drivers; ++i) {
+    const std::string idx = std::to_string(i);
+    const NodeId in = ckt.node("in" + idx);
+    const NodeId out = ckt.node("out" + idx);
+    ckt.add_vsource("Vin" + idx, in, kGround,
+                    waveform::Pulse{0.0, tech.vdd, 0.0, t_edge, t_edge,
+                                    period / 2.0 - t_edge, period});
+    ckt.add_mosfet("Mn" + idx, out, in, n_vssi, kGround, nmos);
+    ckt.add_mosfet("Mp" + idx, out, in, n_vdd, n_vdd, pmos,
+                   MosfetPolarity::kPmos);
+    ckt.add_capacitor("Cl" + idx, out, kGround, 2e-12);
+  }
+
+  sim::TransientOptions opts;
+  opts.t_stop = period * cycles;
+  opts.dt_max = t_edge / 10.0;
+  const auto result = sim::run_transient(ckt, opts);
+  // Steady state: maximum over the last third of the run.
+  const auto vssi = result.waveform("vssi");
+  return vssi.maximum_in(opts.t_stop * 2.0 / 3.0, opts.t_stop).value;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Extension: resonant SSN amplification under periodic switching");
+
+  const auto cal = analysis::calibrate(process::tech_180nm());
+
+  core::SsnScenario s;
+  s.n_drivers = 2;
+  s.inductance = 5e-9;
+  s.capacitance = 1e-12;
+  s.vdd = cal.tech.vdd;
+  s.slope = cal.tech.vdd / 50e-12;
+  s.device = cal.asdm.params;
+  const core::LcModel model(s);
+  const double ring_period = 2.0 * M_PI / model.omega_d();
+  std::printf("tank: zeta = %.3f, ring period 2*pi/omega_d = %s s\n",
+              model.zeta(), io::si_format(ring_period).c_str());
+  std::printf("single event (paper's scope): V_max = %s V\n\n",
+              io::si_format(model.v_max_extended().v, 4).c_str());
+
+  io::TextTable table({"switching period [ps]", "period / ring period",
+                       "steady-state bounce [V]", "vs single event"});
+  const double single = steady_state_bounce(cal, ring_period * 8.0, 4);
+  for (double ratio : {0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
+    const double period = ring_period * ratio;
+    const double v = steady_state_bounce(cal, period, 12);
+    table.add_row({io::si_format(period * 1e12, 4), io::si_format(ratio, 3),
+                   io::si_format(v, 4),
+                   io::si_format(v / single, 3) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\nreading: switching every ring period (ratio = 1) pumps the tank —\n"
+      "the steady-state bounce exceeds the isolated-event value the paper\n"
+      "models, while asynchronous-looking periods (ratio >> 1) relax back to\n"
+      "it. SSN budgeting against periodic buses needs either margin or a\n"
+      "period kept away from 2*pi*sqrt(L*C).\n");
+  return 0;
+}

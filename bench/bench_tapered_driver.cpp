@@ -1,0 +1,71 @@
+// Extension bench: the taper/SSN trade-off in multi-stage pad drivers
+// (the territory of the paper's reference [11], Vemuru TVLSI 1997).
+//
+// At a fixed stage count, the taper factor sets how strong each pre-driver
+// is relative to its load and therefore how fast an edge reaches the final
+// stage's gate. By Eqn 7 (V_max grows with the slope S) a fast internal
+// edge buys pad speed at the price of ground bounce. This bench sweeps the
+// taper of 4-driver banks of 4-stage chains and reports the simulated
+// internal edge rate, the bounce, and the pad delay.
+#include "bench_util.hpp"
+
+#include "analysis/calibrate.hpp"
+#include "circuit/driver_chain.hpp"
+#include "io/table.hpp"
+#include "sim/engine.hpp"
+#include "waveform/metrics.hpp"
+
+#include <cstdio>
+
+using namespace ssnkit;
+
+int main() {
+  benchutil::banner("Extension: taper factor vs SSN in multi-stage pad drivers");
+
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  const double vdd = cal.tech.vdd;
+
+  io::TextTable table({"taper a", "final-gate edge [ps]", "eff. slope [V/ns]",
+                       "sim V_n peak [V]", "pad 50% delay [ps]"});
+  std::printf("setup: 4 drivers x 4-stage chains, final stage W = nominal, "
+              "core edge 0.3 ns, PGA ground pin\n\n");
+  for (double taper : {2.0, 3.0, 4.5, 7.0}) {
+    circuit::TaperedDriverSpec spec;
+    spec.tech = cal.tech;
+    spec.n_drivers = 4;
+    spec.stages = 4;
+    spec.taper = taper;
+    spec.input_rise_time = 0.3e-9;
+    auto bench = circuit::make_tapered_driver_bench(spec);
+
+    sim::TransientOptions topts;
+    topts.t_stop = 4e-9;
+    topts.dt_max = 5e-12;
+    const auto result = sim::run_transient(bench.circuit, topts);
+
+    // Internal edge at the final gate: 10%..90% rise time.
+    const auto gate = result.waveform(bench.final_gate_node);
+    const auto t10 = waveform::first_rising_crossing(gate, 0.1 * vdd);
+    const auto t90 = waveform::first_rising_crossing(gate, 0.9 * vdd);
+    const double edge =
+        (t10 && t90 && *t90 > *t10) ? (*t90 - *t10) : 0.0;
+    const double slope = edge > 0.0 ? 0.8 * vdd / edge : 0.0;
+
+    const double v_n = result.waveform("vssi").maximum().value;
+    const auto cross = waveform::first_falling_crossing(
+        result.waveform(bench.output_nodes.front()), 0.5 * vdd);
+
+    table.add_row({io::si_format(taper, 3), io::si_format(edge * 1e12, 4),
+                   io::si_format(slope * 1e-9, 4), io::si_format(v_n, 4),
+                   io::si_format(cross.value_or(0.0) * 1e12, 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "\nreading: at a fixed stage count, a small taper (a = 2) leaves each\n"
+      "pre-driver strong relative to its load, so the final gate sees a fast\n"
+      "edge -> high slope S -> more bounce (Eqn 7) but a quick pad. Widening\n"
+      "the taper slows the internal edge, trading pad delay for a large SSN\n"
+      "reduction — the delay/noise knob reference [11] optimizes.\n");
+  return 0;
+}

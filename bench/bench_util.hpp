@@ -1,0 +1,21 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace benchutil {
+
+inline void banner(const std::string& title) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline double pct(double x) { return 100.0 * x; }
+
+}  // namespace benchutil

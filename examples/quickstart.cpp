@@ -1,0 +1,62 @@
+// Quickstart: estimate the ground bounce of an output-driver bank in three
+// steps — calibrate the device model once per process, describe the
+// switching event, evaluate the closed forms.
+//
+//   $ ./quickstart
+#include "analysis/calibrate.hpp"
+#include "analysis/design.hpp"
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+#include "io/table.hpp"
+#include "process/package.hpp"
+#include "process/technology.hpp"
+
+#include <cstdio>
+
+using namespace ssnkit;
+
+int main() {
+  // 1. Calibrate: fit the paper's linear ASDM (K, lambda, V_x) to the
+  //    process golden device over the SSN operating region. In a real flow
+  //    the golden device would be your foundry BSIM model.
+  const auto tech = process::tech_180nm();
+  const auto cal = analysis::calibrate(tech);
+  std::printf("process %s: K = %.3g A/V, lambda = %.3f, V_x = %.3f V "
+              "(fit max error %.1f %% of peak current)\n\n",
+              tech.name.c_str(), cal.asdm.params.k, cal.asdm.params.lambda,
+              cal.asdm.params.vx, 100.0 * cal.asdm.max_rel_error);
+
+  // 2. Describe the event: 8 drivers switching together through one PGA
+  //    ground pin, 0.1 ns input edges.
+  const auto pkg = process::package_pga();
+  const auto scenario = analysis::make_scenario(cal, pkg, /*n_drivers=*/8,
+                                                /*input_rise_time=*/0.1e-9,
+                                                /*include_c=*/true);
+
+  // 3. Evaluate. The LC model picks the right Table 1 formula by itself.
+  const core::LcModel lc(scenario);
+  const core::LOnlyModel l_only(scenario.with_capacitance(0.0));
+
+  io::TextTable t({"quantity", "value"});
+  t.add_row({std::string("damping region"), core::to_string(lc.region())});
+  t.add_row({std::string("zeta"), io::si_format(lc.zeta(), 4)});
+  t.add_row({std::string("critical capacitance"),
+             io::si_format(scenario.critical_capacitance()) + "F"});
+  t.add_row({std::string("Table 1 case"), core::to_string(lc.max_case())});
+  t.add_row({std::string("max SSN, LC model"), io::si_format(lc.v_max(), 4) + "V"});
+  t.add_row({std::string("max SSN, L-only model"),
+             io::si_format(l_only.v_max(), 4) + "V"});
+  t.add_row({std::string("beta = N*L*S"), io::si_format(scenario.beta(), 4)});
+  std::printf("%s", t.to_string().c_str());
+
+  // Bonus: design queries built on the same closed forms.
+  const double budget = 0.15 * tech.vdd;  // 15% of the rail
+  std::printf("\nfor a %.0f mV noise budget:\n", budget * 1e3);
+  std::printf("  ground pads needed (L, C scale with pads): %d\n",
+              analysis::required_ground_pads(scenario, pkg, budget));
+  std::printf("  max simultaneous drivers on one pad:       %d\n",
+              analysis::max_simultaneous_drivers(scenario, budget));
+  std::printf("  max input slope with 8 drivers:            %s V/s\n",
+              io::si_format(analysis::max_input_slope(scenario, budget)).c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every paper figure
+# and table, and run the examples. The one-command reproduction entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== benches (paper figures/tables + extensions) ==="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "--- $(basename "$b") ---"
+  "$b"
+done
+
+echo "=== examples ==="
+for e in quickstart io_ring_design power_rail_droop netlist_sim corner_analysis; do
+  echo "--- $e ---"
+  "build/examples/$e"
+done
+
+echo "=== CLI smoke ==="
+build/tools/ssnkit estimate --n 8 --tr 0.1n --verify

@@ -1,0 +1,70 @@
+#include "analysis/design.hpp"
+
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+#include "numeric/roots.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::analysis {
+
+double predict_vmax(const core::SsnScenario& scenario) {
+  if (scenario.capacitance > 0.0) return core::LcModel(scenario).v_max();
+  return core::LOnlyModel(scenario).v_max();
+}
+
+int required_ground_pads(const core::SsnScenario& base_scenario,
+                         const process::Package& package, double budget,
+                         int max_pads) {
+  if (!(budget > 0.0))
+    throw std::invalid_argument("required_ground_pads: budget must be > 0");
+  if (max_pads < 1)
+    throw std::invalid_argument("required_ground_pads: max_pads must be >= 1");
+  for (int k = 1; k <= max_pads; ++k) {
+    const process::Package pk = package.with_ground_pads(k);
+    core::SsnScenario s = base_scenario;
+    s.inductance = pk.inductance;
+    if (s.capacitance > 0.0) s.capacitance = pk.capacitance;
+    if (predict_vmax(s) <= budget) return k;
+  }
+  throw std::runtime_error("required_ground_pads: budget unreachable with " +
+                           std::to_string(max_pads) + " pads");
+}
+
+int max_simultaneous_drivers(const core::SsnScenario& base_scenario,
+                             double budget, int max_drivers) {
+  if (!(budget > 0.0))
+    throw std::invalid_argument("max_simultaneous_drivers: budget must be > 0");
+  if (predict_vmax(base_scenario.with_drivers(1)) > budget) return 0;
+  // V_max grows monotonically with N: binary search the largest ok count.
+  int lo = 1, hi = max_drivers;
+  if (predict_vmax(base_scenario.with_drivers(hi)) <= budget) return hi;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (predict_vmax(base_scenario.with_drivers(mid)) <= budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double max_input_slope(const core::SsnScenario& base_scenario, double budget,
+                       double slope_lo, double slope_hi) {
+  if (!(budget > 0.0))
+    throw std::invalid_argument("max_input_slope: budget must be > 0");
+  if (!(slope_hi > slope_lo && slope_lo > 0.0))
+    throw std::invalid_argument("max_input_slope: bad slope bracket");
+  const core::SsnScenario l_only = base_scenario.with_capacitance(0.0);
+  const auto violation = [&](double s) {
+    return predict_vmax(l_only.with_slope(s)) - budget;
+  };
+  if (violation(slope_lo) > 0.0)
+    throw std::runtime_error("max_input_slope: budget violated even at slope_lo");
+  if (violation(slope_hi) <= 0.0) return slope_hi;
+  numeric::RootOptions opts;
+  opts.x_tol = slope_lo * 1e-6;
+  return numeric::brent(violation, slope_lo, slope_hi, opts);
+}
+
+}  // namespace ssnkit::analysis

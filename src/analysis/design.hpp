@@ -1,0 +1,40 @@
+// SSN-aware design helpers built on the closed-form models — the "design
+// implications" of Section 3/4: given a noise budget, how many ground pads
+// are needed, how many drivers may switch together, or how slow the inputs
+// must be.
+#pragma once
+
+#include "analysis/calibrate.hpp"
+#include "core/scenario.hpp"
+#include "process/package.hpp"
+
+namespace ssnkit::analysis {
+
+/// Predicted max SSN for a scenario, automatically choosing LcModel when
+/// the scenario carries a capacitance and LOnlyModel otherwise.
+double predict_vmax(const core::SsnScenario& scenario);
+
+/// Smallest number of parallel ground pads (package.with_ground_pads(k))
+/// keeping the predicted max SSN at or below `budget`. Searches k in
+/// [1, max_pads]; throws std::runtime_error when even max_pads is not
+/// enough.
+int required_ground_pads(const core::SsnScenario& base_scenario,
+                         const process::Package& package, double budget,
+                         int max_pads = 64);
+
+/// Largest driver count whose predicted max SSN stays at or below `budget`
+/// (0 when even one driver violates it).
+int max_simultaneous_drivers(const core::SsnScenario& base_scenario,
+                             double budget, int max_drivers = 4096);
+
+/// Largest input slope S (fastest edge) keeping the predicted max SSN at
+/// or below `budget`. Evaluated on the L-only model (Section 3), where
+/// V_max is provably monotone in S — this is the paper's "slower switching
+/// inputs reduce SSN" design rule. (The LC model's within-ramp maximum is
+/// NOT monotone in S: a very fast ramp ends before the resonant peak,
+/// which the paper's Table 1 deliberately truncates at t_r.) Any
+/// capacitance on the scenario is ignored. Returns the slope in V/s.
+double max_input_slope(const core::SsnScenario& base_scenario, double budget,
+                       double slope_lo = 1e8, double slope_hi = 1e12);
+
+}  // namespace ssnkit::analysis

@@ -1,0 +1,38 @@
+// Run the MNA simulator on an SSN testbench and extract the quantities the
+// paper reports: the ground-bounce waveform, the inductor current and the
+// maximum noise during the input ramp.
+#pragma once
+
+#include "circuit/testbench.hpp"
+#include "sim/engine.hpp"
+#include "waveform/waveform.hpp"
+
+namespace ssnkit::analysis {
+
+struct SsnMeasurement {
+  double v_max = 0.0;        ///< max ground bounce during the ramp [V]
+  double t_at_max = 0.0;     ///< where it occurred [s]
+  waveform::Waveform vssi;   ///< internal-ground voltage
+  waveform::Waveform i_l;    ///< ground-inductor current
+  waveform::Waveform vin;    ///< first driver's input
+  waveform::Waveform vout;   ///< first driver's output
+  sim::SolverStats stats;
+};
+
+struct MeasureOptions {
+  /// Simulate this factor past the ramp end (the bounce tail is useful for
+  /// plots; the reported max is still taken inside the ramp).
+  double overshoot_factor = 1.0;
+  sim::TransientOptions transient;  ///< t_start/t_stop are filled in
+};
+
+/// Build the bench circuit, simulate it, and measure. The maximum is taken
+/// over [0, t_ramp_end], matching the validity window of the paper's
+/// formulas.
+SsnMeasurement measure_ssn(const circuit::SsnBenchSpec& spec,
+                           const MeasureOptions& opts = {});
+
+/// Same, for a bench the caller already customized.
+SsnMeasurement measure_ssn(circuit::SsnBench& bench, const MeasureOptions& opts = {});
+
+}  // namespace ssnkit::analysis

@@ -1,0 +1,66 @@
+#include "analysis/montecarlo.hpp"
+
+#include "analysis/design.hpp"
+#include "core/lc_model.hpp"
+#include "numeric/stats.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace ssnkit::analysis {
+
+void MonteCarloOptions::validate() const {
+  if (samples < 2)
+    throw std::invalid_argument("MonteCarloOptions: samples must be >= 2");
+  for (double s : {sigma_k, sigma_lambda, sigma_vx, sigma_l, sigma_c, sigma_slope})
+    if (s < 0.0 || s > 0.5)
+      throw std::invalid_argument(
+          "MonteCarloOptions: sigmas must be in [0, 0.5] (relative)");
+}
+
+MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
+                                  const MonteCarloOptions& opts) {
+  opts.validate();
+  nominal.validate();
+
+  std::mt19937 rng(opts.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  // Multiplicative factor clamped so no parameter collapses or flips sign
+  // in the far tails.
+  const auto vary = [&](double value, double sigma) {
+    const double factor = std::clamp(1.0 + sigma * gauss(rng), 0.2, 1.8);
+    return value * factor;
+  };
+
+  const bool with_c = nominal.capacitance > 0.0;
+  const core::DampingRegion nominal_region =
+      with_c ? core::LcModel(nominal).region()
+             : core::DampingRegion::kOverDamped;
+
+  MonteCarloResult out;
+  out.samples.reserve(std::size_t(opts.samples));
+  int flips = 0;
+  for (int i = 0; i < opts.samples; ++i) {
+    core::SsnScenario s = nominal;
+    s.device.k = vary(s.device.k, opts.sigma_k);
+    s.device.lambda = std::max(1.0, vary(s.device.lambda, opts.sigma_lambda));
+    s.device.vx = vary(s.device.vx, opts.sigma_vx);
+    s.inductance = vary(s.inductance, opts.sigma_l);
+    if (with_c) s.capacitance = vary(s.capacitance, opts.sigma_c);
+    s.slope = vary(s.slope, opts.sigma_slope);
+    out.samples.push_back(predict_vmax(s));
+    if (with_c && core::LcModel(s).region() != nominal_region) ++flips;
+  }
+
+  out.mean = numeric::mean(out.samples);
+  out.stddev = numeric::stddev(out.samples);
+  out.min = numeric::min_value(out.samples);
+  out.max = numeric::max_value(out.samples);
+  out.p95 = numeric::quantile(out.samples, 0.95);
+  out.p99 = numeric::quantile(out.samples, 0.99);
+  out.region_flip_fraction = double(flips) / double(opts.samples);
+  return out;
+}
+
+}  // namespace ssnkit::analysis

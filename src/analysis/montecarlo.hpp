@@ -1,0 +1,47 @@
+// Monte Carlo SSN analysis: propagate process variation (on the fitted
+// ASDM constants) and package variation (on L and C) through the closed
+// forms to a noise distribution. Because one Table 1 evaluation costs tens
+// of nanoseconds, thousands of corners are effectively free — the practical
+// payoff of the paper's closed-form approach.
+#pragma once
+
+#include "core/scenario.hpp"
+
+#include <vector>
+
+namespace ssnkit::analysis {
+
+/// Relative (1-sigma, Gaussian) variations applied multiplicatively; the
+/// defaults are representative process/assembly spreads.
+struct MonteCarloOptions {
+  int samples = 1000;
+  unsigned seed = 12345;
+  double sigma_k = 0.05;       ///< transconductance K
+  double sigma_lambda = 0.02;  ///< source-coupling factor
+  double sigma_vx = 0.03;      ///< voltage displacement V_x
+  double sigma_l = 0.10;       ///< bond/package inductance
+  double sigma_c = 0.10;       ///< pad capacitance
+  double sigma_slope = 0.05;   ///< input edge rate
+
+  void validate() const;
+};
+
+struct MonteCarloResult {
+  std::vector<double> samples;  ///< every sampled V_max [V]
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p95 = 0.0;  ///< 95th percentile — the design sign-off number
+  double p99 = 0.0;
+  /// Fraction of samples whose damping region differs from the nominal
+  /// scenario's (region flips matter: they change which formula applies).
+  double region_flip_fraction = 0.0;
+};
+
+/// Sample V_max over the variation space. Uses LcModel when the nominal
+/// scenario has capacitance, LOnlyModel otherwise.
+MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
+                                  const MonteCarloOptions& opts = {});
+
+}  // namespace ssnkit::analysis

@@ -1,0 +1,190 @@
+#include "analysis/sweeps.hpp"
+
+#include "numeric/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::analysis {
+
+namespace {
+
+sim::TransientOptions tuned_transient(const sim::TransientOptions& base,
+                                      double rise_time) {
+  sim::TransientOptions t = base;
+  // Resolve the ramp well regardless of the adaptive controller's mood.
+  if (t.dt_max <= 0.0) t.dt_max = rise_time / 200.0;
+  return t;
+}
+
+circuit::SsnBenchSpec bench_spec_for(const process::Technology& tech,
+                                     const process::Package& package,
+                                     process::GoldenKind golden, int n,
+                                     double rise_time, bool include_c,
+                                     bool include_pullup) {
+  circuit::SsnBenchSpec spec;
+  spec.tech = tech;
+  spec.package = package;
+  spec.golden = golden;
+  spec.n_drivers = n;
+  spec.input_rise_time = rise_time;
+  spec.include_package_c = include_c;
+  spec.include_pullup = include_pullup;
+  return spec;
+}
+
+}  // namespace
+
+DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
+  if (config.driver_counts.empty())
+    throw std::invalid_argument("run_driver_sweep: no driver counts");
+
+  DriverSweepResult out;
+  out.calibration = calibrate(config.tech, config.golden);
+
+  MeasureOptions mopts;
+  mopts.transient = tuned_transient(config.transient, config.input_rise_time);
+
+  for (int n : config.driver_counts) {
+    DriverSweepRow row;
+    row.n = n;
+
+    const auto spec =
+        bench_spec_for(config.tech, config.package, config.golden, n,
+                       config.input_rise_time, config.include_package_c,
+                       config.include_pullup);
+    row.sim = measure_ssn(spec, mopts).v_max;
+
+    const core::SsnScenario scenario = make_scenario(
+        out.calibration, config.package, n, config.input_rise_time,
+        config.include_package_c);
+    row.this_work = config.include_package_c
+                        ? core::LcModel(scenario).v_max()
+                        : core::LOnlyModel(scenario).v_max();
+
+    const core::BaselineInputs base = make_baseline_inputs(
+        out.calibration, config.package, n, config.input_rise_time);
+    row.vemuru = core::vemuru_vmax(base);
+    row.song = core::song_vmax(base);
+    row.senthinathan = core::senthinathan_prince_vmax(base);
+
+    row.err_this = numeric::relative_error(row.this_work, row.sim);
+    row.err_vemuru = numeric::relative_error(row.vemuru, row.sim);
+    row.err_song = numeric::relative_error(row.song, row.sim);
+    row.err_senthinathan = numeric::relative_error(row.senthinathan, row.sim);
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& config) {
+  CapacitanceSweepResult out;
+  out.calibration = calibrate(config.tech, config.golden);
+
+  std::vector<double> cs = config.capacitances;
+  if (cs.empty()) {
+    // Log sweep 0.1 pF .. 20 pF, 17 points.
+    const double lo = std::log10(0.1e-12), hi = std::log10(20e-12);
+    for (int i = 0; i < 17; ++i)
+      cs.push_back(std::pow(10.0, lo + (hi - lo) * double(i) / 16.0));
+  }
+
+  MeasureOptions mopts;
+  mopts.transient = tuned_transient(config.transient, config.input_rise_time);
+
+  const core::SsnScenario base_scenario =
+      make_scenario(out.calibration, config.package, config.n_drivers,
+                    config.input_rise_time, /*include_c=*/false);
+  out.critical_capacitance = base_scenario.critical_capacitance();
+  const double l_only_vmax = core::LOnlyModel(base_scenario).v_max();
+
+  for (double c : cs) {
+    CapacitanceSweepRow row;
+    row.c = c;
+
+    process::Package pkg = config.package;
+    pkg.capacitance = c;
+    auto spec =
+        bench_spec_for(config.tech, pkg, config.golden, config.n_drivers,
+                       config.input_rise_time, /*include_c=*/true,
+                       config.include_pullup);
+    row.sim = measure_ssn(spec, mopts).v_max;
+
+    const core::LcModel lc(base_scenario.with_capacitance(c));
+    row.lc_model = lc.v_max();
+    row.zeta = lc.zeta();
+    row.lc_case = lc.max_case();
+    row.l_only = l_only_vmax;
+
+    row.err_lc = numeric::relative_error(row.lc_model, row.sim);
+    row.err_l_only = numeric::relative_error(row.l_only, row.sim);
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
+                                           const process::Package& package,
+                                           int n_drivers,
+                                           const std::vector<double>& rise_times,
+                                           bool include_c,
+                                           const sim::TransientOptions& topts) {
+  if (rise_times.empty())
+    throw std::invalid_argument("run_slope_sweep: no rise times");
+  std::vector<SlopeSweepRow> rows;
+  for (double tr : rise_times) {
+    SlopeSweepRow row;
+    row.rise_time = tr;
+    row.slope = cal.tech.vdd / tr;
+
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.package = package;
+    spec.golden = cal.golden;
+    spec.n_drivers = n_drivers;
+    spec.input_rise_time = tr;
+    spec.include_package_c = include_c;
+    MeasureOptions mopts;
+    mopts.transient = tuned_transient(topts, tr);
+    row.sim = measure_ssn(spec, mopts).v_max;
+
+    const core::SsnScenario scenario =
+        make_scenario(cal, package, n_drivers, tr, include_c);
+    row.model = include_c ? core::LcModel(scenario).v_max()
+                          : core::LOnlyModel(scenario).v_max();
+    row.err = numeric::relative_error(row.model, row.sim);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<BetaPoint> beta_equivalence_points(const Calibration& cal,
+                                               double beta_target,
+                                               const std::vector<int>& ns,
+                                               double rise_time) {
+  if (!(beta_target > 0.0))
+    throw std::invalid_argument("beta_equivalence_points: beta_target must be > 0");
+  if (!(rise_time > 0.0))
+    throw std::invalid_argument("beta_equivalence_points: rise_time must be > 0");
+  std::vector<BetaPoint> pts;
+  const double slope = cal.tech.vdd / rise_time;
+  for (int n : ns) {
+    BetaPoint p;
+    p.n = n;
+    p.slope = slope;
+    p.l = beta_target / (double(n) * slope);
+    core::SsnScenario s;
+    s.n_drivers = n;
+    s.inductance = p.l;
+    s.capacitance = 0.0;
+    s.slope = slope;
+    s.vdd = cal.tech.vdd;
+    s.device = cal.asdm.params;
+    p.beta = s.beta();
+    p.v_max = core::LOnlyModel(s).v_max();
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+}  // namespace ssnkit::analysis

@@ -1,0 +1,113 @@
+// Parameter sweeps that regenerate the paper's evaluation figures: driver
+// count (Fig. 3), pad capacitance (Fig. 4), plus slope/inductance sweeps
+// and the beta-equivalence check used by the extension benches.
+#pragma once
+
+#include "analysis/calibrate.hpp"
+#include "analysis/measure.hpp"
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+
+#include <vector>
+
+namespace ssnkit::analysis {
+
+// --- Fig. 3: max SSN vs number of simultaneously switching drivers --------
+
+struct DriverSweepConfig {
+  process::Technology tech = process::tech_180nm();
+  process::Package package = process::package_pga();
+  process::GoldenKind golden = process::GoldenKind::kAlphaPower;
+  double input_rise_time = 0.1e-9;
+  std::vector<int> driver_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  bool include_package_c = false;  ///< Fig. 3 compares L-only models
+  bool include_pullup = true;
+  sim::TransientOptions transient;
+};
+
+struct DriverSweepRow {
+  int n = 0;
+  double sim = 0.0;           ///< simulator reference (the HSPICE stand-in)
+  double this_work = 0.0;     ///< paper's model (L-only or LC per config)
+  double vemuru = 0.0;
+  double song = 0.0;
+  double senthinathan = 0.0;
+  double err_this = 0.0;      ///< |model-sim|/sim
+  double err_vemuru = 0.0;
+  double err_song = 0.0;
+  double err_senthinathan = 0.0;
+};
+
+struct DriverSweepResult {
+  Calibration calibration;
+  std::vector<DriverSweepRow> rows;
+};
+
+DriverSweepResult run_driver_sweep(const DriverSweepConfig& config);
+
+// --- Fig. 4: max SSN vs pad capacitance ------------------------------------
+
+struct CapacitanceSweepConfig {
+  process::Technology tech = process::tech_180nm();
+  process::Package package = process::package_pga();  ///< supplies L
+  process::GoldenKind golden = process::GoldenKind::kAlphaPower;
+  int n_drivers = 8;
+  double input_rise_time = 0.1e-9;
+  std::vector<double> capacitances;  ///< [F]; empty = log sweep 0.1..20 pF
+  bool include_pullup = true;
+  sim::TransientOptions transient;
+};
+
+struct CapacitanceSweepRow {
+  double c = 0.0;
+  double sim = 0.0;
+  double lc_model = 0.0;       ///< Table 1 formulas (this work, full)
+  double l_only = 0.0;         ///< Section 3 formula (capacitance ignored)
+  double err_lc = 0.0;
+  double err_l_only = 0.0;
+  double zeta = 0.0;           ///< damping ratio at this C
+  core::MaxSsnCase lc_case = core::MaxSsnCase::kOverDamped;
+};
+
+struct CapacitanceSweepResult {
+  Calibration calibration;
+  double critical_capacitance = 0.0;
+  std::vector<CapacitanceSweepRow> rows;
+};
+
+CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& config);
+
+// --- extensions --------------------------------------------------------------
+
+/// Max SSN vs input slope at fixed N, L (model + simulator).
+struct SlopeSweepRow {
+  double rise_time = 0.0;
+  double slope = 0.0;
+  double sim = 0.0;
+  double model = 0.0;
+  double err = 0.0;
+};
+std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
+                                           const process::Package& package,
+                                           int n_drivers,
+                                           const std::vector<double>& rise_times,
+                                           bool include_c,
+                                           const sim::TransientOptions& topts = {});
+
+/// The paper's beta-equivalence claim (Eqn 9/10): configurations with equal
+/// beta = N*L*S have equal predicted V_max. For each driver count in `ns`
+/// the slope is held at vdd/rise_time and L is chosen so the product stays
+/// at beta_target. A test/bench asserts the resulting V_max coincide.
+struct BetaPoint {
+  int n = 0;
+  double l = 0.0;
+  double slope = 0.0;
+  double v_max = 0.0;
+  double beta = 0.0;
+};
+std::vector<BetaPoint> beta_equivalence_points(const Calibration& cal,
+                                               double beta_target,
+                                               const std::vector<int>& ns,
+                                               double rise_time);
+
+}  // namespace ssnkit::analysis

@@ -1,0 +1,99 @@
+#include "circuit/driver_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::circuit {
+
+void TaperedDriverSpec::validate() const {
+  tech.validate();
+  package.validate();
+  if (n_drivers < 1)
+    throw std::invalid_argument("TaperedDriverSpec: n_drivers must be >= 1");
+  if (stages < 1) throw std::invalid_argument("TaperedDriverSpec: stages must be >= 1");
+  if (!(taper > 1.0)) throw std::invalid_argument("TaperedDriverSpec: taper must be > 1");
+  if (!(final_width > 0.0))
+    throw std::invalid_argument("TaperedDriverSpec: final_width must be > 0");
+  if (!(input_rise_time > 0.0))
+    throw std::invalid_argument("TaperedDriverSpec: input_rise_time must be > 0");
+  if (load_cap < 0.0)
+    throw std::invalid_argument("TaperedDriverSpec: load_cap must be >= 0");
+}
+
+TaperedDriverBench make_tapered_driver_bench(const TaperedDriverSpec& spec) {
+  spec.validate();
+  TaperedDriverBench bench;
+  Circuit& ckt = bench.circuit;
+
+  const double vdd = spec.tech.vdd;
+  const double cl = spec.load_cap > 0.0 ? spec.load_cap : spec.tech.load_cap;
+
+  const NodeId gnd = kGround;
+  const NodeId n_vdd = ckt.node("vdd");
+  const NodeId n_vssi = ckt.node(bench.vssi_node);
+  ckt.add_vsource("Vdd", n_vdd, gnd, waveform::Dc{vdd});
+  ckt.add_inductor(bench.inductor_name, n_vssi, gnd, spec.package.inductance);
+  if (spec.include_package_c && spec.package.capacitance > 0.0)
+    ckt.add_capacitor("Cpad", n_vssi, gnd, spec.package.capacitance);
+
+  // Stage widths: final_width, final_width/a, final_width/a^2, ...
+  std::vector<double> widths(std::size_t(spec.stages));
+  for (int s = 0; s < spec.stages; ++s)
+    widths[std::size_t(s)] =
+        spec.final_width / std::pow(spec.taper, double(spec.stages - 1 - s));
+
+  // The final stage's gate must RISE: with (stages-1) inversions before it,
+  // the chain input rises when stages is odd and falls when stages is even.
+  const bool input_rises = (spec.stages % 2) == 1;
+  const waveform::Ramp input_ramp{input_rises ? 0.0 : vdd,
+                                  input_rises ? vdd : 0.0, 0.0,
+                                  spec.input_rise_time};
+  bench.t_ramp_end = spec.input_rise_time;
+
+  for (int d = 0; d < spec.n_drivers; ++d) {
+    const std::string dn = std::to_string(d);
+    const NodeId n_in = ckt.node("in" + dn);
+    bench.input_nodes.push_back("in" + dn);
+    ckt.add_vsource("Vin" + dn, n_in, gnd, input_ramp);
+
+    NodeId prev = n_in;
+    for (int s = 0; s < spec.stages; ++s) {
+      const std::string sn = dn + "_" + std::to_string(s);
+      const bool is_final = s == spec.stages - 1;
+      const NodeId out =
+          ckt.node(is_final ? "out" + dn : "n" + sn);
+      const double w = widths[std::size_t(s)];
+
+      std::shared_ptr<const devices::MosfetModel> nmos(
+          spec.tech.make_golden(spec.golden, w));
+      std::shared_ptr<const devices::MosfetModel> pmos(
+          spec.tech.make_golden(spec.golden, 0.8 * w));
+
+      // Final stage (and optionally the pre-drivers) return through the
+      // noisy I/O ground; otherwise the quiet core ground.
+      const NodeId stage_gnd =
+          (is_final || spec.predrivers_on_noisy_ground) ? n_vssi : gnd;
+      ckt.add_mosfet("Mn" + sn, out, prev, stage_gnd, gnd, nmos);
+      ckt.add_mosfet("Mp" + sn, out, prev, n_vdd, n_vdd, pmos,
+                     MosfetPolarity::kPmos);
+
+      if (is_final) {
+        ckt.add_capacitor("Cl" + dn, out, gnd, cl);
+        bench.output_nodes.push_back("out" + dn);
+        if (d == 0)
+          bench.final_gate_node = ckt.node_name(prev);
+      } else {
+        // The next stage's gate load.
+        const double c_gate =
+            spec.tech.gate_cap * widths[std::size_t(s + 1)] * 1.8;  // n+p gates
+        ckt.add_capacitor("Cg" + sn, out, gnd, c_gate);
+      }
+      // DC anchor for robustness (matches the flat SSN bench convention).
+      ckt.add_resistor("Ra" + sn, out, n_vdd, 1e7);
+      prev = out;
+    }
+  }
+  return bench;
+}
+
+}  // namespace ssnkit::circuit

@@ -1,0 +1,55 @@
+// Tapered output-driver chains. A pad driver is never one inverter: a
+// chain of geometrically growing stages (taper factor a) brings the core
+// signal up to the final device's width. The taper sets how sharp the
+// final gate's edge is — and the SSN literature the paper builds on
+// (Vemuru, TVLSI 1997 [11]) shows that taper therefore trades output delay
+// against ground bounce. This builder creates N parallel tapered drivers
+// sharing a ground parasitic network so that trade-off can be measured.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "process/package.hpp"
+#include "process/technology.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ssnkit::circuit {
+
+struct TaperedDriverSpec {
+  process::Technology tech = process::tech_180nm();
+  process::Package package = process::package_pga();
+  int n_drivers = 4;
+  int stages = 4;         ///< inverters per chain, >= 1
+  double taper = 3.0;     ///< width ratio between consecutive stages, > 1
+  /// Width multiplier of the FINAL stage (the pad device); earlier stages
+  /// shrink by the taper factor each.
+  double final_width = 1.0;
+  double input_rise_time = 0.3e-9;  ///< edge arriving from the core
+  double load_cap = 0.0;            ///< pad load; 0 = tech default
+  process::GoldenKind golden = process::GoldenKind::kAlphaPower;
+  /// Pre-driver stages usually return through the same noisy I/O ground;
+  /// set false to give them an ideal (quiet) core ground.
+  bool predrivers_on_noisy_ground = true;
+  bool include_package_c = true;
+
+  void validate() const;
+};
+
+struct TaperedDriverBench {
+  Circuit circuit;
+  std::string vssi_node = "vssi";
+  std::string inductor_name = "Lgnd";
+  std::vector<std::string> input_nodes;   ///< chain inputs (core side)
+  std::vector<std::string> output_nodes;  ///< pad nodes
+  /// Gate node of the final stage of driver 0 (to observe the internal
+  /// edge sharpening).
+  std::string final_gate_node;
+  double t_ramp_end = 0.0;
+};
+
+/// The input edge polarity is chosen automatically so that the final
+/// stage's NMOS turns ON (pad discharges) — the SSN-generating direction.
+TaperedDriverBench make_tapered_driver_bench(const TaperedDriverSpec& spec);
+
+}  // namespace ssnkit::circuit

@@ -1,0 +1,467 @@
+#include "circuit/netlist.hpp"
+
+#include "devices/alpha_power.hpp"
+#include "devices/asdm.hpp"
+#include "devices/bsim_lite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ssnkit::circuit {
+
+namespace {
+
+std::string to_upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return char(std::toupper(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::invalid_argument("netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Strip comments, expand '(' / ')' / ',' / '=' into token separators and
+/// split on whitespace.
+std::vector<std::string> tokenize(const std::string& raw) {
+  std::string line = raw;
+  for (const char* marker : {";", "//"}) {
+    const auto pos = line.find(marker);
+    if (pos != std::string::npos) line.erase(pos);
+  }
+  std::string spaced;
+  spaced.reserve(line.size());
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == ',' || c == '=') {
+      spaced.push_back(' ');
+      if (c == '=') spaced.push_back('=');  // keep '=' as its own token
+      spaced.push_back(' ');
+    } else {
+      spaced.push_back(c);
+    }
+  }
+  std::istringstream iss(spaced);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+struct ModelCard {
+  enum class Kind { kAsdm, kAlpha, kBsim } kind = Kind::kAsdm;
+  MosfetPolarity polarity = MosfetPolarity::kNmos;
+  std::map<std::string, double> params;
+};
+
+/// key=value pairs starting at tokens[start] (tokens look like
+/// "KEY" "=" "value" after tokenize()).
+std::map<std::string, double> parse_kv(const std::vector<std::string>& tokens,
+                                       std::size_t start, int line_no) {
+  std::map<std::string, double> kv;
+  std::size_t i = start;
+  while (i < tokens.size()) {
+    if (i + 2 >= tokens.size() || tokens[i + 1] != "=")
+      fail(line_no, "expected KEY=VALUE, got '" + tokens[i] + "'");
+    kv[to_upper(tokens[i])] = parse_spice_number(tokens[i + 2]);
+    i += 3;
+  }
+  return kv;
+}
+
+waveform::SourceSpec parse_source_spec(const std::vector<std::string>& tokens,
+                                       std::size_t start, int line_no) {
+  if (start >= tokens.size()) fail(line_no, "missing source specification");
+  const std::string kind = to_upper(tokens[start]);
+  const auto num = [&](std::size_t i) -> double {
+    if (start + i >= tokens.size()) fail(line_no, "missing source argument");
+    return parse_spice_number(tokens[start + i]);
+  };
+  const std::size_t argc = tokens.size() - start - 1;
+  if (kind == "DC") {
+    if (argc < 1) fail(line_no, "DC needs a value");
+    return waveform::Dc{num(1)};
+  }
+  if (kind == "RAMP") {
+    if (argc < 4) fail(line_no, "RAMP needs (v0 v1 tstart trise)");
+    return waveform::Ramp{num(1), num(2), num(3), num(4)};
+  }
+  if (kind == "PULSE") {
+    if (argc < 7) fail(line_no, "PULSE needs (v0 v1 delay rise fall width period)");
+    return waveform::Pulse{num(1), num(2), num(3), num(4), num(5), num(6), num(7)};
+  }
+  if (kind == "PWL") {
+    if (argc < 2 || argc % 2 != 0) fail(line_no, "PWL needs t/v pairs");
+    waveform::Pwl pwl;
+    for (std::size_t i = 1; i + 1 <= argc; i += 2)
+      pwl.points.emplace_back(num(i), num(i + 1));
+    return pwl;
+  }
+  if (kind == "SIN") {
+    if (argc < 3) fail(line_no, "SIN needs (offset amplitude freq [delay])");
+    waveform::Sine s{num(1), num(2), num(3), 0.0};
+    if (argc >= 4) s.delay = num(4);
+    return s;
+  }
+  // Bare number: treat as DC.
+  try {
+    return waveform::Dc{parse_spice_number(tokens[start])};
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "unknown source kind '" + kind + "'");
+  }
+}
+
+double kv_get(const std::map<std::string, double>& kv, const std::string& key,
+              std::optional<double> fallback, int line_no) {
+  const auto it = kv.find(key);
+  if (it != kv.end()) return it->second;
+  if (fallback) return *fallback;
+  fail(line_no, "missing required model parameter " + key);
+}
+
+std::shared_ptr<const devices::MosfetModel> build_model(const ModelCard& card,
+                                                        int line_no) {
+  switch (card.kind) {
+    case ModelCard::Kind::kAsdm: {
+      devices::AsdmParams p;
+      p.k = kv_get(card.params, "K", std::nullopt, line_no);
+      p.lambda = kv_get(card.params, "LAMBDA", 1.0, line_no);
+      p.vx = kv_get(card.params, "VX", std::nullopt, line_no);
+      return std::make_shared<devices::AsdmModel>(p);
+    }
+    case ModelCard::Kind::kAlpha: {
+      devices::AlphaPowerParams p;
+      p.vdd = kv_get(card.params, "VDD", std::nullopt, line_no);
+      p.vt0 = kv_get(card.params, "VT0", std::nullopt, line_no);
+      p.alpha = kv_get(card.params, "ALPHA", std::nullopt, line_no);
+      p.id0 = kv_get(card.params, "ID0", std::nullopt, line_no);
+      p.vd0 = kv_get(card.params, "VD0", std::nullopt, line_no);
+      p.gamma = kv_get(card.params, "GAMMA", 0.0, line_no);
+      p.phi2f = kv_get(card.params, "PHI2F", 0.85, line_no);
+      p.lambda_clm = kv_get(card.params, "CLM", 0.0, line_no);
+      return std::make_shared<devices::AlphaPowerModel>(p);
+    }
+    case ModelCard::Kind::kBsim: {
+      devices::BsimLiteParams p;
+      p.kp = kv_get(card.params, "KP", std::nullopt, line_no);
+      p.vt0 = kv_get(card.params, "VT0", std::nullopt, line_no);
+      p.gamma = kv_get(card.params, "GAMMA", 0.0, line_no);
+      p.phi2f = kv_get(card.params, "PHI2F", 0.85, line_no);
+      p.theta = kv_get(card.params, "THETA", 0.0, line_no);
+      p.vsat_v = kv_get(card.params, "VSAT", 1e9, line_no);
+      p.lambda_clm = kv_get(card.params, "CLM", 0.0, line_no);
+      return std::make_shared<devices::BsimLiteModel>(p);
+    }
+  }
+  fail(line_no, "unreachable model kind");
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("parse_spice_number: empty token");
+  std::size_t pos = 0;
+  double value;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_spice_number: bad number '" + token + "'");
+  }
+  std::string suffix = to_upper(token.substr(pos));
+  // Trailing unit names (e.g. "10pF", "5nH") are tolerated: the first
+  // letters decide the scale.
+  if (suffix.rfind("MEG", 0) == 0) return value * 1e6;
+  if (suffix.empty()) return value;
+  switch (suffix[0]) {
+    case 'F': return value * 1e-15;
+    case 'P': return value * 1e-12;
+    case 'N': return value * 1e-9;
+    case 'U': return value * 1e-6;
+    case 'M': return value * 1e-3;
+    case 'K': return value * 1e3;
+    case 'G': return value * 1e9;
+    case 'T': return value * 1e12;
+    case 'V': case 'A': case 'H': case 'S': case 'O':
+      return value;  // bare unit letter, no scale
+    default:
+      throw std::invalid_argument("parse_spice_number: bad suffix '" + suffix + "'");
+  }
+}
+
+ParsedNetlist parse_netlist(const std::string& text) {
+  ParsedNetlist out;
+  std::map<std::string, ModelCard> models;
+
+  // First pass: collect .model cards (global, regardless of position) so
+  // device lines can reference them in any order.
+  {
+    std::istringstream iss(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(iss, raw)) {
+      ++line_no;
+      auto tokens = tokenize(raw);
+      if (tokens.empty()) continue;
+      if (to_upper(tokens[0]) != ".MODEL") continue;
+      if (tokens.size() < 3) fail(line_no, ".model needs a name and a kind");
+      ModelCard card;
+      const std::string kind = to_upper(tokens[2]);
+      if (kind == "ASDM") card.kind = ModelCard::Kind::kAsdm;
+      else if (kind == "ALPHA") card.kind = ModelCard::Kind::kAlpha;
+      else if (kind == "BSIM") card.kind = ModelCard::Kind::kBsim;
+      else fail(line_no, "unknown model kind '" + tokens[2] + "'");
+      std::vector<std::string> rest(tokens.begin() + 3, tokens.end());
+      if (!rest.empty() && to_upper(rest.back()) == "PMOS") {
+        card.polarity = MosfetPolarity::kPmos;
+        rest.pop_back();
+      } else if (!rest.empty() && to_upper(rest.back()) == "NMOS") {
+        rest.pop_back();
+      }
+      card.params = parse_kv(rest, 0, line_no);
+      models[to_upper(tokens[1])] = card;
+    }
+  }
+
+  // Second pass: split the text into the top-level body and .subckt blocks.
+  struct Card {
+    int line_no;
+    std::string raw;
+    std::vector<std::string> tokens;
+  };
+  struct SubcktDef {
+    std::vector<std::string> ports;
+    std::vector<Card> cards;
+    int line_no = 0;
+  };
+  std::map<std::string, SubcktDef> subckts;
+  std::vector<Card> body;
+  {
+    std::istringstream iss(text);
+    std::string raw;
+    int line_no = 0;
+    SubcktDef* open_subckt = nullptr;
+    while (std::getline(iss, raw)) {
+      ++line_no;
+      const auto first_char = raw.find_first_not_of(" \t\r");
+      if (first_char != std::string::npos && raw[first_char] == '*') continue;
+      auto tokens = tokenize(raw);
+      if (tokens.empty()) continue;
+      const std::string head = to_upper(tokens[0]);
+      if (head == ".SUBCKT") {
+        if (open_subckt != nullptr) fail(line_no, "nested .subckt definition");
+        if (tokens.size() < 3) fail(line_no, ".subckt needs a name and ports");
+        SubcktDef def;
+        def.line_no = line_no;
+        def.ports.assign(tokens.begin() + 2, tokens.end());
+        open_subckt = &(subckts[to_upper(tokens[1])] = def);
+        continue;
+      }
+      if (head == ".ENDS") {
+        if (open_subckt == nullptr) fail(line_no, ".ends without .subckt");
+        open_subckt = nullptr;
+        continue;
+      }
+      if (head == ".MODEL") continue;  // handled in the first pass
+      Card card{line_no, raw, std::move(tokens)};
+      if (open_subckt != nullptr)
+        open_subckt->cards.push_back(std::move(card));
+      else
+        body.push_back(std::move(card));
+    }
+    if (open_subckt != nullptr)
+      throw std::invalid_argument("netlist: unterminated .subckt block");
+  }
+
+  // Recursive card interpreter. Element and node names inside a subcircuit
+  // instance are prefixed "X<name>."; port nodes map to the caller's nodes;
+  // "0"/gnd is always global.
+  struct KCard {
+    std::string name, l1, l2;
+    double k;
+    int line_no;
+  };
+  std::vector<KCard> k_cards;
+  Circuit& ckt = out.circuit;
+
+  struct Scope {
+    std::string prefix;                          // "" at top level
+    std::map<std::string, std::string> port_map; // local -> canonical outer
+  };
+
+  const std::function<void(const Card&, const Scope&, int)> parse_card =
+      [&](const Card& card, const Scope& scope, int depth) {
+    const auto& tokens = card.tokens;
+    const int line_no = card.line_no;
+    const std::string head = to_upper(tokens[0]);
+    const char kind = head[0];
+    const std::string name = scope.prefix + tokens[0];
+
+    const auto node = [&](const std::string& local) -> NodeId {
+      if (local == "0" || local == "gnd" || local == "GND") return kGround;
+      const auto it = scope.port_map.find(local);
+      if (it != scope.port_map.end()) return ckt.node(it->second);
+      return ckt.node(scope.prefix + local);
+    };
+    const auto need = [&](std::size_t n) {
+      if (tokens.size() < n) fail(line_no, "too few fields");
+    };
+
+    switch (kind) {
+      case 'R': {
+        need(4);
+        ckt.add_resistor(name, node(tokens[1]), node(tokens[2]),
+                         parse_spice_number(tokens[3]));
+        break;
+      }
+      case 'C': {
+        need(4);
+        std::optional<double> ic;
+        auto kv = parse_kv(tokens, 4, line_no);
+        if (kv.count("IC")) ic = kv["IC"];
+        ckt.add_capacitor(name, node(tokens[1]), node(tokens[2]),
+                          parse_spice_number(tokens[3]), ic);
+        break;
+      }
+      case 'L': {
+        need(4);
+        std::optional<double> ic;
+        auto kv = parse_kv(tokens, 4, line_no);
+        if (kv.count("IC")) ic = kv["IC"];
+        ckt.add_inductor(name, node(tokens[1]), node(tokens[2]),
+                         parse_spice_number(tokens[3]), ic);
+        break;
+      }
+      case 'V': {
+        need(4);
+        ckt.add_vsource(name, node(tokens[1]), node(tokens[2]),
+                        parse_source_spec(tokens, 3, line_no));
+        break;
+      }
+      case 'I': {
+        need(4);
+        ckt.add_isource(name, node(tokens[1]), node(tokens[2]),
+                        parse_source_spec(tokens, 3, line_no));
+        break;
+      }
+      case 'G': {
+        need(6);
+        ckt.add_vccs(name, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                     node(tokens[4]), parse_spice_number(tokens[5]));
+        break;
+      }
+      case 'D': {
+        need(3);
+        auto kv = parse_kv(tokens, 3, line_no);
+        const double is = kv.count("IS") ? kv["IS"] : 1e-14;
+        const double n = kv.count("N") ? kv["N"] : 1.0;
+        ckt.add_diode(name, node(tokens[1]), node(tokens[2]), is, n);
+        break;
+      }
+      case 'M': {
+        need(6);
+        const std::string model_name = to_upper(tokens[5]);
+        const auto it = models.find(model_name);
+        if (it == models.end())
+          fail(line_no, "unknown model '" + tokens[5] + "'");
+        auto model = build_model(it->second, line_no);
+        auto kv = parse_kv(tokens, 6, line_no);
+        if (kv.count("W") && kv["W"] != 1.0) {
+          model = std::make_shared<devices::ScaledMosfetModel>(model->clone(),
+                                                               kv["W"]);
+        }
+        ckt.add_mosfet(name, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                       node(tokens[4]), std::move(model), it->second.polarity);
+        break;
+      }
+      case 'K': {
+        need(4);
+        // Inductor references are names in the current scope.
+        k_cards.push_back({name, scope.prefix + tokens[1],
+                           scope.prefix + tokens[2],
+                           parse_spice_number(tokens[3]), line_no});
+        break;
+      }
+      case 'X': {
+        need(2);
+        if (depth > 16) fail(line_no, "subcircuit nesting too deep");
+        const std::string sub_name = to_upper(tokens.back());
+        const auto it = subckts.find(sub_name);
+        if (it == subckts.end())
+          fail(line_no, "unknown subcircuit '" + tokens.back() + "'");
+        const SubcktDef& def = it->second;
+        if (tokens.size() - 2 != def.ports.size())
+          fail(line_no, "subcircuit '" + tokens.back() + "' expects " +
+                            std::to_string(def.ports.size()) + " ports, got " +
+                            std::to_string(tokens.size() - 2));
+        Scope inner;
+        inner.prefix = name + ".";
+        for (std::size_t i = 0; i < def.ports.size(); ++i) {
+          const NodeId outer = node(tokens[i + 1]);
+          inner.port_map[def.ports[i]] = ckt.node_name(outer);
+        }
+        for (const Card& c : def.cards) parse_card(c, inner, depth + 1);
+        break;
+      }
+      default:
+        fail(line_no, "unknown card '" + tokens[0] + "'");
+    }
+  };
+
+  // Walk the top-level body.
+  bool first_content_line = true;
+  bool ended = false;
+  Scope top;
+  for (const Card& card : body) {
+    if (ended) break;
+    const std::string head = to_upper(card.tokens[0]);
+    const char kind = head[0];
+
+    // A leading line that is not a recognizable card is the title.
+    if (first_content_line && kind != '.' &&
+        std::string("RCLVIGDMKX").find(kind) == std::string::npos) {
+      out.title = card.raw;
+      first_content_line = false;
+      continue;
+    }
+    first_content_line = false;
+
+    if (kind == '.') {
+      if (head == ".END") {
+        ended = true;
+        continue;
+      }
+      if (head == ".TRAN") {
+        if (card.tokens.size() < 3)
+          fail(card.line_no, ".tran needs tstep and tstop");
+        out.tran = TranDirective{parse_spice_number(card.tokens[1]),
+                                 parse_spice_number(card.tokens[2])};
+        continue;
+      }
+      fail(card.line_no, "unknown directive '" + card.tokens[0] + "'");
+    }
+    parse_card(card, top, 0);
+  }
+
+  // Fuse K-coupled inductor pairs into CoupledInductors elements.
+  for (const auto& kc : k_cards) {
+    auto* l1 = dynamic_cast<Inductor*>(out.circuit.find_element(kc.l1));
+    auto* l2 = dynamic_cast<Inductor*>(out.circuit.find_element(kc.l2));
+    if (l1 == nullptr || l2 == nullptr)
+      fail(kc.line_no, "K card references unknown inductor");
+    const NodeId n1a = l1->node1(), n1b = l1->node2();
+    const NodeId n2a = l2->node1(), n2b = l2->node2();
+    const double lv1 = l1->inductance(), lv2 = l2->inductance();
+    out.circuit.remove_element(kc.l1);
+    out.circuit.remove_element(kc.l2);
+    out.circuit.add_coupled_inductors(kc.name, n1a, n1b, n2a, n2b, lv1, lv2,
+                                      kc.k);
+  }
+  return out;
+}
+
+}  // namespace ssnkit::circuit

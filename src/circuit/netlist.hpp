@@ -1,0 +1,59 @@
+// A SPICE-flavoured netlist front end, so circuits (including the SSN
+// testbench) can be described as text. Supported cards:
+//
+//   * comment lines start with '*' (or ';' / '//' anywhere in a line)
+//   Rname n1 n2 value
+//   Cname n1 n2 value [IC=v]
+//   Lname n1 n2 value [IC=i]
+//   Vname p  m  DC value | RAMP(v0 v1 tstart trise) |
+//                PULSE(v0 v1 delay rise fall width period) |
+//                PWL(t0 v0 t1 v1 ...) | SIN(off ampl freq [delay])
+//   Iname p  m  <same shapes as V>
+//   Gname op om cp cm gm                      (VCCS)
+//   Dname a  c  [IS=value] [N=value]
+//   Kname L1 L2 k                 (mutual coupling; fuses the two L cards)
+//   Mname d  g  s  b  modelname [W=mult]
+//   .model name ASDM  K=... LAMBDA=... VX=...
+//   .model name ALPHA VDD=... VT0=... ALPHA=... ID0=... VD0=...
+//                     [GAMMA=...] [PHI2F=...] [CLM=...]
+//   .model name BSIM  KP=... VT0=... [GAMMA=...] [PHI2F=...] [THETA=...]
+//                     [VSAT=...] [CLM=...]
+//   (append PMOS to a .model line for a p-channel device)
+//   .subckt NAME port1 [port2 ...] / .ends    (hierarchical blocks)
+//   Xname node1 [node2 ...] NAME              (instantiate a subcircuit;
+//                                              inner elements/nodes become
+//                                              "Xname.<local>"; ground is
+//                                              global)
+//   .tran tstep tstop
+//   .end
+//
+// Numbers accept SPICE suffixes: f p n u m k meg g t (case-insensitive).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <optional>
+#include <string>
+
+namespace ssnkit::circuit {
+
+struct TranDirective {
+  double tstep = 0.0;
+  double tstop = 0.0;
+};
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::optional<TranDirective> tran;
+  std::string title;  ///< first line when it is not a card
+};
+
+/// Parse a netlist; throws std::invalid_argument with a line-numbered
+/// message on any syntax error.
+ParsedNetlist parse_netlist(const std::string& text);
+
+/// Parse a single SPICE number with optional unit suffix ("10p", "5MEG").
+/// Throws std::invalid_argument on malformed input.
+double parse_spice_number(const std::string& token);
+
+}  // namespace ssnkit::circuit

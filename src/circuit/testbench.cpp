@@ -1,0 +1,112 @@
+#include "circuit/testbench.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::circuit {
+
+void SsnBenchSpec::validate() const {
+  tech.validate();
+  package.validate();
+  if (n_drivers < 1)
+    throw std::invalid_argument("SsnBenchSpec: n_drivers must be >= 1");
+  if (n_quiet < 0) throw std::invalid_argument("SsnBenchSpec: n_quiet must be >= 0");
+  if (!(input_rise_time > 0.0))
+    throw std::invalid_argument("SsnBenchSpec: input_rise_time must be > 0");
+  if (load_cap < 0.0) throw std::invalid_argument("SsnBenchSpec: load_cap must be >= 0");
+  if (!(driver_width_mult > 0.0))
+    throw std::invalid_argument("SsnBenchSpec: driver_width_mult must be > 0");
+  if (!stagger.empty() && int(stagger.size()) != n_drivers)
+    throw std::invalid_argument(
+        "SsnBenchSpec: stagger must be empty or have n_drivers entries");
+  for (double s : stagger)
+    if (s < 0.0) throw std::invalid_argument("SsnBenchSpec: stagger must be >= 0");
+}
+
+SsnBench make_ssn_testbench(const SsnBenchSpec& spec) {
+  spec.validate();
+  SsnBench bench;
+  Circuit& ckt = bench.circuit;
+
+  const double vdd = spec.tech.vdd;
+  const double cl = spec.load_cap > 0.0 ? spec.load_cap : spec.tech.load_cap;
+
+  const NodeId gnd = kGround;
+  const NodeId n_vdd = ckt.node(bench.vdd_node);
+  const NodeId n_vssi = ckt.node(bench.vssi_node);
+  const NodeId n_bulk = spec.bulk_to_vssi ? n_vssi : gnd;
+
+  ckt.add_vsource("Vdd", n_vdd, gnd, waveform::Dc{vdd});
+
+  // Ground return path: vssi --L(--R)-- 0 with the pad capacitance from
+  // vssi to the true ground.
+  if (spec.include_package_r && spec.package.resistance > 0.0) {
+    const NodeId mid = ckt.node("vss_r");
+    ckt.add_inductor(bench.inductor_name, n_vssi, mid, spec.package.inductance);
+    ckt.add_resistor("Rgnd", mid, gnd, spec.package.resistance);
+  } else {
+    ckt.add_inductor(bench.inductor_name, n_vssi, gnd, spec.package.inductance);
+  }
+  if (spec.include_package_c && spec.package.capacitance > 0.0) {
+    ckt.add_capacitor("Cpad", n_vssi, gnd, spec.package.capacitance);
+  }
+
+  // Shared device models: one instance serves all identical drivers.
+  std::shared_ptr<const devices::MosfetModel> nmos;
+  if (spec.pulldown_override) {
+    nmos = spec.driver_width_mult == 1.0
+               ? spec.pulldown_override
+               : std::make_shared<devices::ScaledMosfetModel>(
+                     spec.pulldown_override->clone(), spec.driver_width_mult);
+  } else {
+    nmos = std::shared_ptr<const devices::MosfetModel>(
+        spec.tech.make_golden(spec.golden, spec.driver_width_mult));
+  }
+  // Pull-up: the same golden device mirrored (the element handles PMOS
+  // polarity); a 0.8 width factor reflects the usual Wp/Wn compromise.
+  std::shared_ptr<const devices::MosfetModel> pmos;
+  if (spec.include_pullup) {
+    pmos = std::shared_ptr<const devices::MosfetModel>(
+        std::make_shared<devices::ScaledMosfetModel>(
+            spec.tech.make_golden(spec.golden, spec.driver_width_mult),
+            0.8));
+  }
+
+  bench.slope = vdd / spec.input_rise_time;
+  bench.t_ramp_start = 0.0;
+  bench.t_ramp_end = 0.0;
+
+  const int total = spec.n_drivers + spec.n_quiet;
+  for (int i = 0; i < total; ++i) {
+    const std::string idx = std::to_string(i);
+    const NodeId n_in = ckt.node("in" + idx);
+    const NodeId n_out = ckt.node("out" + idx);
+    bench.input_nodes.push_back("in" + idx);
+    bench.output_nodes.push_back("out" + idx);
+
+    const bool switching = i < spec.n_drivers;
+    if (switching) {
+      const double delay = spec.stagger.empty() ? 0.0 : spec.stagger[std::size_t(i)];
+      ckt.add_vsource("Vin" + idx, n_in, gnd,
+                      waveform::Ramp{0.0, vdd, delay, spec.input_rise_time});
+      bench.t_ramp_end =
+          std::max(bench.t_ramp_end, delay + spec.input_rise_time);
+    } else {
+      ckt.add_vsource("Vin" + idx, n_in, gnd, waveform::Dc{0.0});
+    }
+
+    ckt.add_mosfet("Mn" + idx, n_out, n_in, n_vssi, n_bulk, nmos,
+                   MosfetPolarity::kNmos);
+    if (spec.include_pullup) {
+      ckt.add_mosfet("Mp" + idx, n_out, n_in, n_vdd, n_vdd, pmos,
+                     MosfetPolarity::kPmos);
+    }
+    ckt.add_capacitor("Cl" + idx, n_out, gnd, cl);
+    // DC anchor: keeps the output node's operating point defined even with
+    // the pull-up omitted. 10 MOhm draws a negligible ~0.2 uA while still
+    // overpowering any residual subthreshold leakage of the models.
+    ckt.add_resistor("Ranchor" + idx, n_out, n_vdd, 1e7);
+  }
+  return bench;
+}
+
+}  // namespace ssnkit::circuit

@@ -1,0 +1,67 @@
+// Factory for the paper's experimental setup: N identical output drivers
+// discharging their pad loads simultaneously through a shared ground
+// parasitic network (Fig. 2/3/4 of the paper).
+//
+// Topology per driver i:
+//
+//      vdd ----+---[PMOS]---+--- out_i ---||--- 0   (load C_L to board gnd)
+//              |            |
+//   in_i ------+------------+
+//              |            |
+//              +---[NMOS]---+
+//                    |
+//                  vssi  --- L (+ optional R) --- 0, and C_pad from vssi to 0
+//
+// The NMOS bulk is tied to the quiet substrate (true ground) by default —
+// this is what makes the fitted ASDM lambda exceed 1 (body effect of the
+// bouncing source). A 1 GOhm anchor from each output to vdd keeps the DC
+// operating point well-posed even when the pull-up is omitted.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "process/package.hpp"
+#include "process/technology.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssnkit::circuit {
+
+struct SsnBenchSpec {
+  process::Technology tech = process::tech_180nm();
+  process::Package package = process::package_pga();
+  int n_drivers = 8;            ///< drivers switching simultaneously (paper's N)
+  int n_quiet = 0;              ///< extra drivers whose inputs stay low
+  double input_rise_time = 0.1e-9;  ///< t_r; the paper's slope S = vdd / t_r
+  double load_cap = 0.0;        ///< per-driver pad load [F]; 0 = tech default
+  double driver_width_mult = 1.0;
+  process::GoldenKind golden = process::GoldenKind::kAlphaPower;
+  /// Replace the golden pull-down with a specific device (e.g. the fitted
+  /// AsdmModel) to isolate formula error from device-fit error.
+  std::shared_ptr<const devices::MosfetModel> pulldown_override;
+  bool include_package_r = false;  ///< the paper neglects the 10 mOhm R
+  bool include_package_c = true;   ///< Section 3 benches set this false
+  bool include_pullup = true;      ///< full inverter driver vs bare pull-down
+  bool bulk_to_vssi = false;       ///< tie NMOS bulk to the bouncing rail
+  std::vector<double> stagger;     ///< per-driver input delay [s]; empty = all 0
+
+  void validate() const;
+};
+
+/// The built circuit plus the probe names the analyses need.
+struct SsnBench {
+  Circuit circuit;
+  std::string vssi_node = "vssi";       ///< the bouncing internal ground
+  std::string vdd_node = "vdd";
+  std::string inductor_name = "Lgnd";   ///< branch current = total SSN current
+  std::vector<std::string> input_nodes;
+  std::vector<std::string> output_nodes;
+  double t_ramp_start = 0.0;            ///< earliest input ramp start
+  double t_ramp_end = 0.0;              ///< latest input ramp end
+  double slope = 0.0;                   ///< input slope S [V/s]
+};
+
+SsnBench make_ssn_testbench(const SsnBenchSpec& spec);
+
+}  // namespace ssnkit::circuit

@@ -1,0 +1,98 @@
+#include "cli/args.hpp"
+
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssnkit::cli {
+
+Args Args::parse(const std::vector<std::string>& argv,
+                 const std::vector<std::string>& flag_names) {
+  Args out;
+  const auto is_flag = [&](const std::string& name) {
+    return std::find(flag_names.begin(), flag_names.end(), name) !=
+           flag_names.end();
+  };
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      out.positional_.push_back(tok);
+      continue;
+    }
+    std::string key = tok.substr(2);
+    if (key.empty()) throw std::invalid_argument("args: bare '--'");
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      const std::string value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      if (is_flag(key))
+        throw std::invalid_argument("args: flag --" + key + " takes no value");
+      out.values_[key] = value;
+      continue;
+    }
+    if (is_flag(key)) {
+      out.flags_[key] = true;
+      continue;
+    }
+    if (i + 1 >= argv.size())
+      throw std::invalid_argument("args: missing value for --" + key);
+    out.values_[key] = argv[++i];
+  }
+  return out;
+}
+
+bool Args::has(const std::string& key) const {
+  read_[key] = true;
+  return values_.count(key) != 0 || flags_.count(key) != 0;
+}
+
+bool Args::flag(const std::string& key) const {
+  read_[key] = true;
+  const auto it = flags_.find(key);
+  return it != flags_.end() && it->second;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  read_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return circuit::parse_spice_number(*v);
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int value = std::stoi(*v, &pos);
+    if (pos != v->size())
+      throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("args: --" + key + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+std::vector<std::string> Args::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_)
+    if (!read_.count(key)) unused.push_back(key);
+  for (const auto& [key, set] : flags_)
+    if (!read_.count(key)) unused.push_back(key);
+  return unused;
+}
+
+}  // namespace ssnkit::cli

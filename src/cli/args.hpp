@@ -1,0 +1,43 @@
+// A small argument parser for the ssnkit command-line tool. Supports
+// --key value, --key=value, boolean --flags, and positional arguments,
+// with typed accessors and defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ssnkit::cli {
+
+class Args {
+ public:
+  /// Parse argv-style input (without the program/subcommand names).
+  /// `flag_names` lists options that take no value. Throws
+  /// std::invalid_argument on malformed input (e.g. missing value).
+  static Args parse(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& flag_names = {});
+
+  bool has(const std::string& key) const;
+  bool flag(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric accessors accept SPICE-style suffixes ("5n", "0.1n", "1.8").
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never read — for catching typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace ssnkit::cli

@@ -1,0 +1,381 @@
+#include "cli/commands.hpp"
+
+#include "analysis/calibrate.hpp"
+#include "analysis/design.hpp"
+#include "analysis/measure.hpp"
+#include "analysis/montecarlo.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/sweeps.hpp"
+#include "circuit/netlist.hpp"
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+#include "io/ascii_chart.hpp"
+#include "io/table.hpp"
+#include "sim/ac.hpp"
+#include "sim/engine.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ssnkit::cli {
+
+namespace {
+
+process::GoldenKind golden_from(const Args& args) {
+  const std::string g = args.get_or("golden", "alpha");
+  if (g == "alpha") return process::GoldenKind::kAlphaPower;
+  if (g == "bsim") return process::GoldenKind::kBsimLite;
+  throw std::invalid_argument("--golden must be 'alpha' or 'bsim'");
+}
+
+process::Technology tech_from(const Args& args) {
+  return process::technology_by_name(args.get_or("tech", "180nm"));
+}
+
+process::Package package_from(const Args& args) {
+  process::Package pkg = process::package_by_name(args.get_or("package", "pga"));
+  const int pads = args.get_int("pads", 1);
+  if (pads > 1) pkg = pkg.with_ground_pads(pads);
+  if (args.has("l")) pkg.inductance = args.get_double("l", pkg.inductance);
+  if (args.has("c")) pkg.capacitance = args.get_double("c", pkg.capacitance);
+  return pkg;
+}
+
+void warn_unused(const Args& args, std::ostream& os) {
+  for (const auto& key : args.unused_keys())
+    os << "warning: unrecognized option --" << key << "\n";
+}
+
+}  // namespace
+
+const char* usage() {
+  return R"(ssnkit — simultaneous switching noise estimation (Ding & Mazumder, DATE 2002)
+
+usage: ssnkit <command> [options]
+
+commands:
+  calibrate   fit the ASDM (K, lambda, V_x) to a process' golden device
+  estimate    closed-form max SSN for a switching event (+ --verify to simulate)
+  sweep-n     max SSN vs driver count (CSV on stdout)
+  sweep-c     max SSN vs pad capacitance (CSV on stdout)
+  design      ground pads / max drivers / slope budget for a noise budget
+  mc          Monte Carlo corner distribution of the max SSN
+  ac          ground-path impedance sweep |Z(f)| (CSV on stdout)
+  simulate    run a SPICE-flavoured netlist transient (.tran required)
+
+common options:
+  --tech 180nm|250nm|350nm     process (default 180nm)
+  --golden alpha|bsim          golden device family (default alpha)
+  --package pga|qfp|wire_bond|flip_chip   (default pga)
+  --pads K                     parallel ground pads (default 1)
+  --l 5n / --c 1p              override package L / C
+  --n 8                        simultaneously switching drivers
+  --tr 0.1n                    input rise time
+  --no-c                       drop the pad capacitance (Section 3 model)
+  --extended                   also report the post-ramp (true) peak
+)";
+}
+
+int cmd_calibrate(const Args& args, std::ostream& os) {
+  const auto tech = tech_from(args);
+  const auto cal = analysis::calibrate(tech, golden_from(args));
+  io::TextTable t({"parameter", "value"});
+  t.add_row({std::string("technology"), tech.name});
+  t.add_row({std::string("K [A/V]"), io::si_format(cal.asdm.params.k, 5)});
+  t.add_row({std::string("lambda"), io::si_format(cal.asdm.params.lambda, 5)});
+  t.add_row({std::string("V_x [V]"), io::si_format(cal.asdm.params.vx, 5)});
+  t.add_row({std::string("fit max error [% of Imax]"),
+             io::si_format(100.0 * cal.asdm.max_rel_error, 3)});
+  t.add_row({std::string("alpha-power B [A/V^a]"),
+             io::si_format(cal.baseline_b(), 5)});
+  t.add_row({std::string("alpha-power V_T [V]"),
+             io::si_format(cal.alpha.params.vt0, 4)});
+  t.add_row({std::string("alpha-power alpha"),
+             io::si_format(cal.alpha.params.alpha, 4)});
+  os << t.to_string();
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_estimate(const Args& args, std::ostream& os) {
+  const auto tech = tech_from(args);
+  const auto pkg = package_from(args);
+  const int n = args.get_int("n", 8);
+  const double tr = args.get_double("tr", 0.1e-9);
+  const bool with_c = !args.flag("no-c") && pkg.capacitance > 0.0;
+
+  const auto cal = analysis::calibrate(tech, golden_from(args));
+  const auto scenario = analysis::make_scenario(cal, pkg, n, tr, with_c);
+
+  io::TextTable t({"quantity", "value"});
+  t.add_row({std::string("drivers (N)"), std::to_string(n)});
+  t.add_row({std::string("L / C"), io::si_format(pkg.inductance) + "H / " +
+                                       (with_c ? io::si_format(pkg.capacitance) +
+                                                     "F"
+                                               : std::string("ignored"))});
+  t.add_row({std::string("slope S"), io::si_format(scenario.slope) + "V/s"});
+  t.add_row({std::string("beta = N*L*S"), io::si_format(scenario.beta(), 4)});
+  if (with_c) {
+    const core::LcModel model(scenario);
+    t.add_row({std::string("zeta"), io::si_format(model.zeta(), 4)});
+    t.add_row({std::string("C_crit"),
+               io::si_format(scenario.critical_capacitance()) + "F"});
+    t.add_row({std::string("Table 1 case"), core::to_string(model.max_case())});
+    t.add_row({std::string("max SSN (LC model)"),
+               io::si_format(model.v_max(), 5) + "V"});
+    if (args.flag("extended")) {
+      const auto ext = model.v_max_extended();
+      t.add_row({std::string("max SSN incl. post-ramp"),
+                 io::si_format(ext.v, 5) + "V" +
+                     (ext.after_ramp ? " (peak after t_r)" : "")});
+    }
+  } else {
+    const core::LOnlyModel model(scenario);
+    t.add_row({std::string("max SSN (Eqn 7)"),
+               io::si_format(model.v_max(), 5) + "V"});
+  }
+  const auto sens = with_c ? analysis::lc_sensitivities(scenario)
+                           : analysis::l_only_sensitivities(scenario);
+  t.add_row({std::string("elasticity wrt L / S"),
+             io::si_format(sens.wrt_inductance, 3) + " / " +
+                 io::si_format(sens.wrt_slope, 3)});
+  os << t.to_string();
+
+  if (args.flag("verify")) {
+    circuit::SsnBenchSpec spec;
+    spec.tech = tech;
+    spec.package = pkg;
+    spec.golden = cal.golden;
+    spec.n_drivers = n;
+    spec.input_rise_time = tr;
+    spec.include_package_c = with_c;
+    const auto m = analysis::measure_ssn(spec);
+    os << "simulated max SSN: " << io::si_format(m.v_max, 5) << "V ("
+       << m.stats.accepted_steps << " steps)\n";
+  }
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_sweep_n(const Args& args, std::ostream& os) {
+  analysis::DriverSweepConfig config;
+  config.tech = tech_from(args);
+  config.package = package_from(args);
+  config.golden = golden_from(args);
+  config.input_rise_time = args.get_double("tr", 0.1e-9);
+  config.include_package_c = !args.flag("no-c");
+  const int max_n = args.get_int("max-n", 16);
+  config.driver_counts.clear();
+  for (int n = 1; n <= max_n; n += (n < 4 ? 1 : 2))
+    config.driver_counts.push_back(n);
+  const auto result = analysis::run_driver_sweep(config);
+  os << "n,sim,this_work,vemuru,song,senthinathan\n";
+  for (const auto& r : result.rows)
+    os << r.n << ',' << r.sim << ',' << r.this_work << ',' << r.vemuru << ','
+       << r.song << ',' << r.senthinathan << '\n';
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_sweep_c(const Args& args, std::ostream& os) {
+  analysis::CapacitanceSweepConfig config;
+  config.tech = tech_from(args);
+  config.package = package_from(args);
+  config.golden = golden_from(args);
+  config.n_drivers = args.get_int("n", 8);
+  config.input_rise_time = args.get_double("tr", 0.1e-9);
+  const auto result = analysis::run_capacitance_sweep(config);
+  os << "c,zeta,sim,lc_model,l_only,err_lc,err_l_only\n";
+  for (const auto& r : result.rows)
+    os << r.c << ',' << r.zeta << ',' << r.sim << ',' << r.lc_model << ','
+       << r.l_only << ',' << r.err_lc << ',' << r.err_l_only << '\n';
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_design(const Args& args, std::ostream& os) {
+  const auto tech = tech_from(args);
+  const auto pkg = package_from(args);
+  const int n = args.get_int("n", 8);
+  const double tr = args.get_double("tr", 0.1e-9);
+  const double budget = args.get_double("budget", 0.15 * tech.vdd);
+
+  const auto cal = analysis::calibrate(tech, golden_from(args));
+  const auto scenario = analysis::make_scenario(cal, pkg, n, tr, true);
+
+  io::TextTable t({"design query", "answer"});
+  t.add_row({std::string("noise budget"), io::si_format(budget, 4) + "V"});
+  t.add_row({std::string("predicted max SSN"),
+             io::si_format(analysis::predict_vmax(scenario), 4) + "V"});
+  try {
+    t.add_row({std::string("ground pads needed"),
+               std::to_string(analysis::required_ground_pads(scenario, pkg,
+                                                             budget))});
+  } catch (const std::runtime_error&) {
+    t.add_row({std::string("ground pads needed"), std::string("> 64")});
+  }
+  t.add_row({std::string("max simultaneous drivers"),
+             std::to_string(analysis::max_simultaneous_drivers(scenario,
+                                                               budget))});
+  try {
+    t.add_row({std::string("max input slope"),
+               io::si_format(analysis::max_input_slope(scenario, budget)) +
+                   "V/s"});
+  } catch (const std::runtime_error&) {
+    t.add_row({std::string("max input slope"), std::string("below 1e8 V/s")});
+  }
+  os << t.to_string();
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_mc(const Args& args, std::ostream& os) {
+  const auto tech = tech_from(args);
+  const auto pkg = package_from(args);
+  const auto cal = analysis::calibrate(tech, golden_from(args));
+  const auto scenario = analysis::make_scenario(
+      cal, pkg, args.get_int("n", 8), args.get_double("tr", 0.1e-9),
+      !args.flag("no-c"));
+
+  analysis::MonteCarloOptions opts;
+  opts.samples = args.get_int("samples", 1000);
+  opts.seed = unsigned(args.get_int("seed", 12345));
+  const auto mc = analysis::monte_carlo_vmax(scenario, opts);
+
+  io::TextTable t({"statistic", "V_max [V]"});
+  t.add_row({std::string("mean"), io::si_format(mc.mean, 4)});
+  t.add_row({std::string("sigma"), io::si_format(mc.stddev, 4)});
+  t.add_row({std::string("min / max"),
+             io::si_format(mc.min, 4) + " / " + io::si_format(mc.max, 4)});
+  t.add_row({std::string("p95"), io::si_format(mc.p95, 4)});
+  t.add_row({std::string("p99"), io::si_format(mc.p99, 4)});
+  t.add_row({std::string("damping-region flips"),
+             io::si_format(100.0 * mc.region_flip_fraction, 3) + "%"});
+  os << t.to_string();
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_ac(const Args& args, std::ostream& os) {
+  // Ground-path impedance seen by the drivers, with the bank linearized
+  // mid-switching (see bench_ac_impedance for the full study).
+  const auto tech = tech_from(args);
+  const auto pkg = package_from(args);
+  const int n = args.get_int("n", 8);
+
+  circuit::Circuit ckt;
+  const circuit::NodeId n_vdd = ckt.node("vdd");
+  const circuit::NodeId n_vssi = ckt.node("vssi");
+  ckt.add_vsource("Vdd", n_vdd, circuit::kGround, waveform::Dc{tech.vdd});
+  ckt.add_inductor("Lgnd", n_vssi, circuit::kGround, pkg.inductance);
+  if (pkg.capacitance > 0.0)
+    ckt.add_capacitor("Cpad", n_vssi, circuit::kGround, pkg.capacitance);
+  std::shared_ptr<const devices::MosfetModel> nmos(
+      tech.make_golden(golden_from(args)));
+  for (int i = 0; i < n; ++i) {
+    const std::string idx = std::to_string(i);
+    const circuit::NodeId in = ckt.node("in" + idx);
+    const circuit::NodeId out = ckt.node("out" + idx);
+    ckt.add_vsource("Vin" + idx, in, circuit::kGround,
+                    waveform::Dc{0.5 * tech.vdd + 0.35});
+    ckt.add_mosfet("Mn" + idx, out, in, n_vssi, circuit::kGround, nmos);
+    ckt.add_resistor("Rload" + idx, n_vdd, out, 200.0);
+    ckt.add_capacitor("Cl" + idx, out, circuit::kGround, tech.load_cap);
+  }
+  auto& probe = ckt.add_isource("Iprobe", circuit::kGround, n_vssi,
+                                waveform::Dc{0.0});
+  probe.set_ac(1.0);
+
+  sim::AcOptions opts;
+  opts.f_start = args.get_double("fstart", 1e8);
+  opts.f_stop = args.get_double("fstop", 1e11);
+  opts.points_per_decade = args.get_int("ppd", 40);
+  const auto res = sim::run_ac(ckt, opts);
+  const auto mag = res.magnitude("vssi");
+  const auto phase = res.phase_deg("vssi");
+  os << "freq,z_mag,z_phase_deg\n";
+  for (std::size_t i = 0; i < res.point_count(); ++i)
+    os << res.frequencies()[i] << ',' << mag[i] << ',' << phase[i] << '\n';
+  warn_unused(args, os);
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& os) {
+  if (args.positional().empty())
+    throw std::invalid_argument("simulate: need a netlist file");
+  std::ifstream in(args.positional().front());
+  if (!in)
+    throw std::invalid_argument("simulate: cannot open '" +
+                                args.positional().front() + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = circuit::parse_netlist(ss.str());
+  if (!parsed.tran)
+    throw std::invalid_argument("simulate: netlist has no .tran directive");
+
+  sim::TransientOptions topts;
+  topts.t_stop = parsed.tran->tstop;
+  topts.dt_initial = parsed.tran->tstep;
+  const auto result = sim::run_transient(parsed.circuit, topts);
+
+  const std::string probe = args.get_or("probe", "");
+  if (!probe.empty()) {
+    if (!result.has_signal(probe))
+      throw std::invalid_argument("simulate: no signal '" + probe + "'");
+    const auto wave = result.waveform(probe);
+    io::ChartOptions copts;
+    copts.title = "v(" + probe + ")";
+    copts.y_label = probe;
+    os << io::ascii_chart(wave, copts);
+    os << probe << ": min " << wave.minimum().value << ", max "
+       << wave.maximum().value << "\n";
+  } else {
+    // CSV of everything.
+    os << "time";
+    for (const auto& name : result.signal_names()) os << ',' << name;
+    os << '\n';
+    std::vector<waveform::Waveform> waves;
+    for (const auto& name : result.signal_names())
+      waves.push_back(result.waveform(name));
+    for (std::size_t i = 0; i < result.point_count(); ++i) {
+      os << result.times()[i];
+      for (const auto& w : waves) os << ',' << w.value(i);
+      os << '\n';
+    }
+  }
+  warn_unused(args, os);
+  return 0;
+}
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& os,
+            std::ostream& err) {
+  if (argv.empty()) {
+    err << usage();
+    return 2;
+  }
+  const std::string command = argv.front();
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  try {
+    const Args args = Args::parse(rest, {"no-c", "verify", "extended"});
+    if (command == "calibrate") return cmd_calibrate(args, os);
+    if (command == "estimate") return cmd_estimate(args, os);
+    if (command == "sweep-n") return cmd_sweep_n(args, os);
+    if (command == "sweep-c") return cmd_sweep_c(args, os);
+    if (command == "design") return cmd_design(args, os);
+    if (command == "mc") return cmd_mc(args, os);
+    if (command == "ac") return cmd_ac(args, os);
+    if (command == "simulate") return cmd_simulate(args, os);
+    if (command == "help" || command == "--help") {
+      os << usage();
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ssnkit::cli

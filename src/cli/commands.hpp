@@ -1,0 +1,40 @@
+// The ssnkit CLI subcommands as testable functions: each takes parsed
+// arguments and writes its report to a stream, returning a process exit
+// code. The thin tools/ssnkit_cli.cpp main() only dispatches.
+//
+//   ssnkit calibrate [--tech 180nm] [--golden alpha|bsim]
+//   ssnkit estimate  [--tech ...] [--package pga] [--n 8] [--tr 0.1n]
+//                    [--no-c] [--verify]
+//   ssnkit sweep-n   [--tech ...] [--package ...] [--tr ...] [--max-n 16]
+//   ssnkit sweep-c   [--tech ...] [--package ...] [--n 8] [--tr ...]
+//   ssnkit design    [--budget 0.27] [--tech ...] [--package ...]
+//                    [--n 8] [--tr ...]
+//   ssnkit mc        [--samples 1000] [--tech ...] [--package ...] ...
+//   ssnkit ac        [--tech ...] [--n 8] [--l 5n] [--c 1p] — ground-path
+//                    impedance sweep (CSV on stdout)
+//   ssnkit simulate  <netlist.cir> [--probe node]
+#pragma once
+
+#include "cli/args.hpp"
+
+#include <iosfwd>
+
+namespace ssnkit::cli {
+
+int cmd_calibrate(const Args& args, std::ostream& os);
+int cmd_estimate(const Args& args, std::ostream& os);
+int cmd_sweep_n(const Args& args, std::ostream& os);
+int cmd_sweep_c(const Args& args, std::ostream& os);
+int cmd_design(const Args& args, std::ostream& os);
+int cmd_mc(const Args& args, std::ostream& os);
+int cmd_ac(const Args& args, std::ostream& os);
+int cmd_simulate(const Args& args, std::ostream& os);
+
+/// Dispatch on the subcommand name; unknown names print usage and return 2.
+int run_cli(const std::vector<std::string>& argv, std::ostream& os,
+            std::ostream& err);
+
+/// The usage text.
+const char* usage();
+
+}  // namespace ssnkit::cli

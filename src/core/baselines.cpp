@@ -1,0 +1,76 @@
+#include "core/baselines.hpp"
+
+#include "numeric/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::core {
+
+namespace {
+
+/// Solve V = rhs(V) for V in [0, vdd - vt). rhs must be decreasing in V
+/// (more noise -> less overdrive -> less current), so f(V) = V - rhs(V)
+/// brackets a unique root.
+double solve_self_consistent(const std::function<double(double)>& rhs,
+                             double vdd, double vt) {
+  const double hi = vdd - vt - 1e-12;
+  const auto f = [&](double v) { return v - rhs(v); };
+  if (f(0.0) >= 0.0) return 0.0;  // rhs(0) <= 0: no noise predicted
+  if (f(hi) <= 0.0) return hi;    // saturated at the full overdrive
+  return numeric::brent(f, 0.0, hi);
+}
+
+}  // namespace
+
+void BaselineInputs::validate() const {
+  if (n_drivers < 1) throw std::invalid_argument("BaselineInputs: n_drivers >= 1");
+  if (!(inductance > 0.0))
+    throw std::invalid_argument("BaselineInputs: inductance must be > 0");
+  if (!(slope > 0.0)) throw std::invalid_argument("BaselineInputs: slope must be > 0");
+  if (!(vdd > 0.0)) throw std::invalid_argument("BaselineInputs: vdd must be > 0");
+  if (!(b > 0.0)) throw std::invalid_argument("BaselineInputs: b must be > 0");
+  if (!(vt > 0.0 && vt < vdd))
+    throw std::invalid_argument("BaselineInputs: vt must be in (0, vdd)");
+  if (!(alpha >= 1.0 && alpha <= 2.0))
+    throw std::invalid_argument("BaselineInputs: alpha must be in [1, 2]");
+}
+
+double senthinathan_prince_vmax(const BaselineInputs& in) {
+  in.validate();
+  const double nl = double(in.n_drivers) * in.inductance;
+  // Square-law coefficient matched to the calibrated device at full
+  // overdrive: B2*(VDD-VT)^2 == B*(VDD-VT)^alpha.
+  const double vov = in.vdd - in.vt;
+  const double b2 = in.b * std::pow(vov, in.alpha - 2.0);
+  const auto rhs = [&](double v) {
+    const double ov = in.vdd - v - in.vt;
+    return nl * in.slope * b2 * ov * ov / vov;
+  };
+  return solve_self_consistent(rhs, in.vdd, in.vt);
+}
+
+double vemuru_vmax(const BaselineInputs& in) {
+  in.validate();
+  const double nl = double(in.n_drivers) * in.inductance;
+  const double vov = in.vdd - in.vt;
+  const auto rhs = [&](double v) {
+    const double gm = in.alpha * in.b * std::pow(in.vdd - v - in.vt, in.alpha - 1.0);
+    const double tau = nl * gm;
+    return tau * in.slope * (1.0 - std::exp(-vov / (in.slope * tau)));
+  };
+  return solve_self_consistent(rhs, in.vdd, in.vt);
+}
+
+double song_vmax(const BaselineInputs& in) {
+  in.validate();
+  const double nl = double(in.n_drivers) * in.inductance;
+  const double vov = in.vdd - in.vt;
+  const auto rhs = [&](double v) {
+    const double gm = in.alpha * in.b * std::pow(in.vdd - v - in.vt, in.alpha - 1.0);
+    return nl * gm * in.slope * (1.0 - v / vov);
+  };
+  return solve_self_consistent(rhs, in.vdd, in.vt);
+}
+
+}  // namespace ssnkit::core

@@ -1,0 +1,52 @@
+// Baseline maximum-SSN estimators the paper compares against in Fig. 3.
+//
+// The original Vemuru '96 and Song '99 papers are not openly available, so
+// these are RECONSTRUCTIONS from the assumptions the Ding–Mazumder paper
+// attributes to each (see DESIGN.md, substitutions table). All three are
+// built on the Sakurai–Newton alpha-power law
+//
+//     I_D = B * (V_GS - V_T)^alpha
+//
+// calibrated to the same golden device as the ASDM (devices::fit_alpha_power).
+//
+//  * Senthinathan–Prince '91 (square law, alpha forced to 2): triangular
+//    current approximation — dI/dt ~= I_peak / (t_r - t_on) — giving the
+//    implicit equation
+//        V = N*L*S*B*(VDD - V - VT)^2 / (VDD - VT).
+//  * Vemuru '96: "the derivative of the drain current is constant", i.e.
+//    gm evaluated at the (noise-reduced) final overdrive; the resulting
+//    first-order ODE is our Eqn 6 with lambda = 1, K = gm, V_x = V_T:
+//        V = N*L*gm*S*(1 - exp(-(VDD-VT)/(S*N*L*gm))),
+//        gm = alpha*B*(VDD - V - VT)^(alpha-1).
+//  * Song '99: constant dI/dt AND a linear-in-time noise voltage:
+//        V = N*L*alpha*B*S*(VDD - V - VT)^(alpha-1) * (1 - V/(VDD-VT)).
+//
+// Each equation is solved exactly (safeguarded root finding), so the only
+// approximations are the models' own.
+#pragma once
+
+namespace ssnkit::core {
+
+/// Alpha-power calibration + switching event for the baseline formulas.
+struct BaselineInputs {
+  int n_drivers = 8;        ///< N
+  double inductance = 5e-9; ///< L [H]
+  double slope = 1.8e10;    ///< S [V/s]
+  double vdd = 1.8;         ///< supply / ramp top [V]
+  double b = 0.0;           ///< alpha-power coefficient B [A/V^alpha]
+  double vt = 0.45;         ///< threshold V_T [V]
+  double alpha = 1.3;       ///< alpha-power exponent
+
+  void validate() const;
+};
+
+/// Classic square-law estimate (Senthinathan & Prince, JSSC 1991 style).
+double senthinathan_prince_vmax(const BaselineInputs& in);
+
+/// Vemuru 1996 style estimate (velocity saturation via alpha < 2).
+double vemuru_vmax(const BaselineInputs& in);
+
+/// Song et al. 1999 style estimate.
+double song_vmax(const BaselineInputs& in);
+
+}  // namespace ssnkit::core

@@ -1,0 +1,58 @@
+#include "core/l_only_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssnkit::core {
+
+LOnlyModel::LOnlyModel(SsnScenario scenario) : scenario_(std::move(scenario)) {
+  scenario_.validate();
+}
+
+double LOnlyModel::tau() const {
+  return double(scenario_.n_drivers) * scenario_.inductance * scenario_.device.k *
+         scenario_.device.lambda;
+}
+
+double LOnlyModel::vn(double t) const {
+  const double t_on = scenario_.t_on();
+  if (t <= t_on) return 0.0;
+  const double t_clamped = std::min(t, scenario_.t_ramp_end());
+  return scenario_.v_inf() * (1.0 - std::exp(-(t_clamped - t_on) / tau()));
+}
+
+double LOnlyModel::vn_dot(double t) const {
+  const double t_on = scenario_.t_on();
+  if (t <= t_on || t > scenario_.t_ramp_end()) return 0.0;
+  return scenario_.v_inf() / tau() * std::exp(-(t - t_on) / tau());
+}
+
+double LOnlyModel::i_driver(double t) const {
+  const double t_on = scenario_.t_on();
+  if (t <= t_on) return 0.0;
+  const double t_clamped = std::min(t, scenario_.t_ramp_end());
+  const devices::AsdmParams& d = scenario_.device;
+  // Eqn 8: i = K*(S*t - lambda*V_n(t) - V_x).
+  return d.k * (scenario_.slope * t_clamped - d.lambda * vn(t_clamped) - d.vx);
+}
+
+double LOnlyModel::v_max() const {
+  // Eqn 7 / Eqn 10: evaluated at the end of the ramp. The exponent is
+  // (vdd - V_x)/(S*tau) = (vdd - V_x)/(lambda*K*beta).
+  const double exponent =
+      scenario_.active_ramp() / tau();
+  return scenario_.v_inf() * (1.0 - std::exp(-exponent));
+}
+
+waveform::Waveform LOnlyModel::vn_waveform(std::size_t points) const {
+  return waveform::Waveform::from_function([this](double t) { return vn(t); }, 0.0,
+                                           scenario_.t_ramp_end(), points);
+}
+
+waveform::Waveform LOnlyModel::current_waveform(std::size_t points) const {
+  return waveform::Waveform::from_function(
+      [this](double t) { return i_inductor(t); }, 0.0, scenario_.t_ramp_end(),
+      points);
+}
+
+}  // namespace ssnkit::core

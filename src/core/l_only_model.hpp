@@ -1,0 +1,55 @@
+// Section 3 of the paper: closed-form SSN with the ground inductance as the
+// only parasitic.
+//
+// With v_in = S*t and the ASDM device, the ground-bounce ODE
+//     V_n = N*L * d/dt [ K*(S*t - lambda*V_n - V_x) ]
+// is first order and linear; its exact solution for t in [t_on, t_r] is
+//
+//     V_n(t)  = N*L*K*S * (1 - exp(-(t - t_on)/tau)),  tau = N*L*K*lambda
+//
+// (Eqn 6), the per-driver current is Eqn 8, and the maximum — reached at
+// the end of the ramp — is Eqn 7 / Eqn 10:
+//
+//     V_max = K*beta * (1 - exp(-(vdd - V_x)/(lambda*K*beta))),  beta = N*L*S.
+#pragma once
+
+#include "core/scenario.hpp"
+#include "waveform/waveform.hpp"
+
+namespace ssnkit::core {
+
+class LOnlyModel {
+ public:
+  /// The scenario's capacitance is ignored by construction (that is the
+  /// point of this model); everything else must validate.
+  explicit LOnlyModel(SsnScenario scenario);
+
+  const SsnScenario& scenario() const { return scenario_; }
+
+  /// Time constant tau = N*L*K*lambda (Eqn 5).
+  double tau() const;
+
+  /// Ground-bounce voltage (Eqn 6). Zero before turn-on; after the ramp
+  /// ends the formula no longer applies and the value is held at V_n(t_r)
+  /// (the paper's formulas are only valid while the input rises).
+  double vn(double t) const;
+
+  /// dV_n/dt, with the same domain convention as vn().
+  double vn_dot(double t) const;
+
+  /// Per-driver drain current (Eqn 8); total inductor current is N times
+  /// this (the inductance carries the whole discharge in the L-only case).
+  double i_driver(double t) const;
+  double i_inductor(double t) const { return double(scenario_.n_drivers) * i_driver(t); }
+
+  /// Maximum SSN voltage (Eqn 7), attained at t = t_r.
+  double v_max() const;
+
+  waveform::Waveform vn_waveform(std::size_t points = 512) const;
+  waveform::Waveform current_waveform(std::size_t points = 512) const;
+
+ private:
+  SsnScenario scenario_;
+};
+
+}  // namespace ssnkit::core

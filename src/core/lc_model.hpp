@@ -1,0 +1,118 @@
+// Section 4 of the paper: SSN with both the ground inductance L and the
+// pad/wire capacitance C. The ground bounce obeys the 2nd-order ODE
+//
+//     L*C*V_n'' + N*L*K*lambda*V_n' + V_n = N*L*K*S      (Eqn 13)
+//     V_n(t_on) = 0,  V_n'(t_on) = 0
+//
+// i.e. a damped resonator with
+//     omega0 = 1/sqrt(L*C),   zeta = (N*K*lambda/2)*sqrt(L/C).
+//
+// The maximum SSN voltage needs FOUR different formulas (Table 1):
+//   case 1  zeta > 1  (over-damped)        max at the ramp end t_r
+//   case 2  zeta = 1  (critically damped)  max at the ramp end t_r
+//   case 3a zeta < 1, first peak inside the ramp
+//           (pi/omega_d <= t_r - t_on)     max = V_inf*(1 + e^(-sigma*pi/omega_d))
+//   case 3b zeta < 1, first peak after the ramp
+//                                          max at the ramp end t_r
+#pragma once
+
+#include "core/scenario.hpp"
+#include "waveform/waveform.hpp"
+
+namespace ssnkit::core {
+
+enum class DampingRegion {
+  kOverDamped,
+  kCriticallyDamped,
+  kUnderDamped,
+};
+
+/// Which of the paper's Table 1 rows produced the maximum.
+enum class MaxSsnCase {
+  kOverDamped,            ///< case 1
+  kCriticallyDamped,      ///< case 2
+  kUnderDampedFirstPeak,  ///< case 3a
+  kUnderDampedBoundary,   ///< case 3b
+};
+
+const char* to_string(DampingRegion region);
+const char* to_string(MaxSsnCase c);
+
+class LcModel {
+ public:
+  /// Requires scenario.capacitance > 0 (use LOnlyModel otherwise).
+  explicit LcModel(SsnScenario scenario);
+
+  const SsnScenario& scenario() const { return scenario_; }
+
+  double omega0() const { return omega0_; }
+  double zeta() const { return zeta_; }
+  /// Decay rate sigma = zeta*omega0 (under-damped envelope).
+  double sigma() const { return sigma_; }
+  /// Damped natural frequency (under-damped region only; 0 otherwise).
+  double omega_d() const { return omega_d_; }
+
+  DampingRegion region() const { return region_; }
+
+  /// Ground-bounce voltage: 0 before turn-on, the per-region analytic
+  /// solution of Eqn 13 during the ramp, held at V_n(t_r) afterwards.
+  double vn(double t) const;
+  /// dV_n/dt with the same domain convention.
+  double vn_dot(double t) const;
+
+  /// Per-driver drain current K*(S*t - lambda*V_n - V_x).
+  double i_driver(double t) const;
+  /// Inductor current: total driver current minus the pad-capacitor
+  /// displacement current C*V_n'.
+  double i_inductor(double t) const;
+
+  /// Time of the first under-damped peak, t_on + pi/omega_d. Throws
+  /// std::logic_error outside the under-damped region.
+  double t_first_peak() const;
+
+  /// Maximum SSN voltage over the ramp (Table 1).
+  double v_max() const;
+  /// Which Table 1 formula v_max() used.
+  MaxSsnCase max_case() const;
+
+  waveform::Waveform vn_waveform(std::size_t points = 512) const;
+  waveform::Waveform current_waveform(std::size_t points = 512) const;
+
+  // --- post-ramp continuation (extension beyond the paper) -----------------
+  // For t > t_r the input is constant at vdd, the forcing term disappears
+  // (Eqn 13 with S = 0) and the bounce relaxes as a free damped oscillation
+  // from the state (V_n(t_r), V_n'(t_r)). The paper stops at t_r; these
+  // methods continue the same analytic machinery past it.
+
+  /// V_n at any time, using Eqn 13 during the ramp and the free response
+  /// afterwards (continuous value and derivative at t_r).
+  double vn_extended(double t) const;
+  double vn_dot_extended(double t) const;
+
+  /// Global maximum over [0, horizon] (default: several decay constants
+  /// past t_r). For case 3b the true physical peak lies AFTER the ramp;
+  /// this is the quantity the paper's boundary formula underestimates.
+  struct ExtendedMax {
+    double v = 0.0;
+    double t = 0.0;
+    bool after_ramp = false;  ///< peak occurred past t_r
+  };
+  ExtendedMax v_max_extended(double horizon = 0.0) const;
+
+ private:
+  double vn_raw(double dt) const;      // solution at dt = t - t_on >= 0
+  double vn_dot_raw(double dt) const;
+  /// Free (unforced) response from initial state (v0, dv0) at dt >= 0.
+  double free_response(double v0, double dv0, double dt) const;
+  double free_response_dot(double v0, double dv0, double dt) const;
+
+  SsnScenario scenario_;
+  DampingRegion region_;
+  double omega0_ = 0.0;
+  double zeta_ = 0.0;
+  double sigma_ = 0.0;
+  double omega_d_ = 0.0;
+  double s1_ = 0.0, s2_ = 0.0;  // over-damped real roots (s1 < s2 < 0)
+};
+
+}  // namespace ssnkit::core

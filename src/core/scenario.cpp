@@ -1,0 +1,49 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::core {
+
+void SsnScenario::validate() const {
+  if (n_drivers < 1) throw std::invalid_argument("SsnScenario: n_drivers must be >= 1");
+  if (!(inductance > 0.0))
+    throw std::invalid_argument("SsnScenario: inductance must be > 0");
+  if (capacitance < 0.0)
+    throw std::invalid_argument("SsnScenario: capacitance must be >= 0");
+  if (!(slope > 0.0)) throw std::invalid_argument("SsnScenario: slope must be > 0");
+  if (!(vdd > 0.0)) throw std::invalid_argument("SsnScenario: vdd must be > 0");
+  device.validate();
+  if (!(device.vx < vdd))
+    throw std::invalid_argument("SsnScenario: device V_x must be below vdd");
+}
+
+double SsnScenario::critical_capacitance() const {
+  const double nkl = double(n_drivers) * device.k * device.lambda;
+  return nkl * nkl * inductance / 4.0;
+}
+
+SsnScenario SsnScenario::with_drivers(int n) const {
+  SsnScenario s = *this;
+  s.n_drivers = n;
+  return s;
+}
+
+SsnScenario SsnScenario::with_capacitance(double c) const {
+  SsnScenario s = *this;
+  s.capacitance = c;
+  return s;
+}
+
+SsnScenario SsnScenario::with_inductance(double l) const {
+  SsnScenario s = *this;
+  s.inductance = l;
+  return s;
+}
+
+SsnScenario SsnScenario::with_slope(double sl) const {
+  SsnScenario s = *this;
+  s.slope = sl;
+  return s;
+}
+
+}  // namespace ssnkit::core

@@ -1,0 +1,50 @@
+#include "devices/asdm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssnkit::devices {
+
+void AsdmParams::validate() const {
+  if (!(k > 0.0)) throw std::invalid_argument("AsdmParams: k must be > 0");
+  if (!(lambda >= 1.0))
+    throw std::invalid_argument("AsdmParams: lambda must be >= 1");
+  if (!(vx > 0.0)) throw std::invalid_argument("AsdmParams: vx must be > 0");
+  if (!(eps_smooth > 0.0))
+    throw std::invalid_argument("AsdmParams: eps_smooth must be > 0");
+}
+
+AsdmModel::AsdmModel(AsdmParams params) : params_(params) { params_.validate(); }
+
+double AsdmModel::ids_gate_source(double vg, double vs) const {
+  return std::max(0.0, params_.k * (vg - params_.lambda * vs - params_.vx));
+}
+
+double AsdmModel::turn_on_vg(double vs) const {
+  return params_.lambda * vs + params_.vx;
+}
+
+double AsdmModel::ids(double vgs, double /*vds*/, double vbs) const {
+  // Smooth-clamped variant of ids_gate_source (see eps_smooth in the
+  // params): overdrive = vgs + (lambda-1)*vbs - vx.
+  const double overdrive = vgs + (params_.lambda - 1.0) * vbs - params_.vx;
+  return params_.k * softplus(overdrive, params_.eps_smooth);
+}
+
+MosfetEval AsdmModel::evaluate(double vgs, double vds, double vbs) const {
+  MosfetEval out;
+  out.ids = ids(vgs, vds, vbs);
+  const double overdrive = vgs + (params_.lambda - 1.0) * vbs - params_.vx;
+  const double slope = softplus_deriv(overdrive, params_.eps_smooth);
+  out.gm = params_.k * slope;
+  out.gds = 0.0;
+  // d ids / d vbs: ids = k*(vgs + (lambda-1)*vbs - vx) when on.
+  out.gmb = params_.k * (params_.lambda - 1.0) * slope;
+  return out;
+}
+
+std::unique_ptr<MosfetModel> AsdmModel::clone() const {
+  return std::make_unique<AsdmModel>(*this);
+}
+
+}  // namespace ssnkit::devices

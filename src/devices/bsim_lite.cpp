@@ -1,0 +1,61 @@
+#include "devices/bsim_lite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::devices {
+
+void BsimLiteParams::validate() const {
+  if (!(kp > 0.0)) throw std::invalid_argument("BsimLiteParams: kp must be > 0");
+  if (!(vt0 > 0.0)) throw std::invalid_argument("BsimLiteParams: vt0 must be > 0");
+  if (gamma < 0.0) throw std::invalid_argument("BsimLiteParams: gamma must be >= 0");
+  if (!(phi2f > 0.0)) throw std::invalid_argument("BsimLiteParams: phi2f must be > 0");
+  if (theta < 0.0) throw std::invalid_argument("BsimLiteParams: theta must be >= 0");
+  if (!(vsat_v > 0.0)) throw std::invalid_argument("BsimLiteParams: vsat_v must be > 0");
+  if (lambda_clm < 0.0)
+    throw std::invalid_argument("BsimLiteParams: lambda_clm must be >= 0");
+  if (!(eps_smooth > 0.0))
+    throw std::invalid_argument("BsimLiteParams: eps_smooth must be > 0");
+}
+
+BsimLiteModel::BsimLiteModel(BsimLiteParams params) : params_(params) {
+  params_.validate();
+}
+
+double BsimLiteModel::vt(double vsb) const {
+  return body_effect_vt(params_.vt0, params_.gamma, params_.phi2f, vsb);
+}
+
+double BsimLiteModel::vdsat(double vgs, double vbs) const {
+  const double vgt = softplus(vgs - vt(-vbs), params_.eps_smooth);
+  return vgt * params_.vsat_v / (vgt + params_.vsat_v);
+}
+
+double BsimLiteModel::ids(double vgs, double vds, double vbs) const {
+  const double vsb = -vbs;
+  const double vth = vt(vsb);
+  const double vgt = softplus(vgs - vth, params_.eps_smooth);
+  const double mu_eff = 1.0 / (1.0 + params_.theta * vgt);
+  const double vds_sat = vgt * params_.vsat_v / (vgt + params_.vsat_v);
+  const double vds_pos = std::max(vds, 0.0);
+
+  // Smooth blend of vds and vdsat (p-norm, p = 4): vdseff follows vds deep
+  // in triode and saturates to vdsat, keeping d(ids)/d(vds) continuous.
+  constexpr double p = 4.0;
+  const double vdseff =
+      (vds_pos <= 0.0 || vds_sat <= 0.0)
+          ? 0.0
+          : vds_pos * vds_sat /
+                std::pow(std::pow(vds_pos, p) + std::pow(vds_sat, p), 1.0 / p);
+
+  const double core = params_.kp * mu_eff * (vgt - 0.5 * vdseff) * vdseff /
+                      (1.0 + vdseff / params_.vsat_v);
+  const double clm = 1.0 + params_.lambda_clm * std::max(vds_pos - vdseff, 0.0);
+  return core * clm;
+}
+
+std::unique_ptr<MosfetModel> BsimLiteModel::clone() const {
+  return std::make_unique<BsimLiteModel>(*this);
+}
+
+}  // namespace ssnkit::devices

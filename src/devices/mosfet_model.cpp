@@ -1,0 +1,78 @@
+#include "devices/mosfet_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::devices {
+
+MosfetEval MosfetModel::evaluate(double vgs, double vds, double vbs) const {
+  MosfetEval out;
+  out.ids = ids(vgs, vds, vbs);
+  // Central differences with a voltage-scale step; accurate enough for
+  // Newton convergence (the Jacobian only steers the iteration).
+  const double h = 1e-6;
+  out.gm = (ids(vgs + h, vds, vbs) - ids(vgs - h, vds, vbs)) / (2.0 * h);
+  out.gds = (ids(vgs, vds + h, vbs) - ids(vgs, vds - h, vbs)) / (2.0 * h);
+  out.gmb = (ids(vgs, vds, vbs + h) - ids(vgs, vds, vbs - h)) / (2.0 * h);
+  return out;
+}
+
+ScaledMosfetModel::ScaledMosfetModel(std::unique_ptr<MosfetModel> inner,
+                                     double factor)
+    : inner_(std::move(inner)), factor_(factor) {
+  if (!inner_) throw std::invalid_argument("ScaledMosfetModel: null inner model");
+  if (!(factor_ > 0.0))
+    throw std::invalid_argument("ScaledMosfetModel: factor must be > 0");
+}
+
+double ScaledMosfetModel::ids(double vgs, double vds, double vbs) const {
+  return factor_ * inner_->ids(vgs, vds, vbs);
+}
+
+MosfetEval ScaledMosfetModel::evaluate(double vgs, double vds, double vbs) const {
+  MosfetEval e = inner_->evaluate(vgs, vds, vbs);
+  e.ids *= factor_;
+  e.gm *= factor_;
+  e.gds *= factor_;
+  e.gmb *= factor_;
+  return e;
+}
+
+std::unique_ptr<MosfetModel> ScaledMosfetModel::clone() const {
+  return std::make_unique<ScaledMosfetModel>(inner_->clone(), factor_);
+}
+
+double smooth_relu(double x, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("smooth_relu: eps must be > 0");
+  // 0.5*(x + sqrt(x^2 + 4 eps^2)): equals eps at x = 0, asymptotes to x and
+  // to eps^2/|x| on the two sides.
+  return 0.5 * (x + std::sqrt(x * x + 4.0 * eps * eps));
+}
+
+double smooth_relu_deriv(double x, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("smooth_relu_deriv: eps must be > 0");
+  return 0.5 * (1.0 + x / std::sqrt(x * x + 4.0 * eps * eps));
+}
+
+double softplus(double x, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("softplus: eps must be > 0");
+  // Numerically stable: max(x, 0) + eps*log1p(exp(-|x|/eps)).
+  return std::max(x, 0.0) + eps * std::log1p(std::exp(-std::fabs(x) / eps));
+}
+
+double softplus_deriv(double x, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("softplus_deriv: eps must be > 0");
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x / eps));
+  const double e = std::exp(x / eps);
+  return e / (1.0 + e);
+}
+
+double body_effect_vt(double vt0, double gamma, double phi2f, double vsb) {
+  if (gamma == 0.0) return vt0;
+  if (phi2f <= 0.0) throw std::invalid_argument("body_effect_vt: phi2f must be > 0");
+  const double vsb_clamped = std::max(vsb, -0.5 * phi2f);
+  return vt0 + gamma * (std::sqrt(phi2f + vsb_clamped) - std::sqrt(phi2f));
+}
+
+}  // namespace ssnkit::devices

@@ -1,0 +1,83 @@
+// Abstract MOSFET model interface. All models are written for an n-channel
+// device in forward operation; the circuit-level Mosfet element handles
+// p-channel devices and reverse (vds < 0) operation by terminal reflection.
+//
+// Conventions:
+//   vgs, vds, vbs are terminal voltage differences in volts,
+//   ids is the drain-to-source current in amperes (>= 0 in forward mode).
+#pragma once
+
+#include <memory>
+
+namespace ssnkit::devices {
+
+/// Current plus its small-signal derivatives, as needed by the MNA
+/// Newton–Raphson linearization.
+struct MosfetEval {
+  double ids = 0.0;  ///< drain current [A]
+  double gm = 0.0;   ///< d ids / d vgs [S]
+  double gds = 0.0;  ///< d ids / d vds [S]
+  double gmb = 0.0;  ///< d ids / d vbs [S]
+};
+
+class MosfetModel {
+ public:
+  virtual ~MosfetModel() = default;
+
+  /// Drain current for an NMOS in forward operation (vds >= 0 expected;
+  /// implementations must return something finite for any input).
+  virtual double ids(double vgs, double vds, double vbs) const = 0;
+
+  /// Current plus derivatives. The default implementation uses central
+  /// finite differences on ids(); models with cheap analytic derivatives
+  /// may override.
+  virtual MosfetEval evaluate(double vgs, double vds, double vbs) const;
+
+  virtual std::unique_ptr<MosfetModel> clone() const = 0;
+
+ protected:
+  MosfetModel() = default;
+  MosfetModel(const MosfetModel&) = default;
+  MosfetModel& operator=(const MosfetModel&) = default;
+};
+
+/// Width-scaling adapter: multiplies the wrapped model's current by a
+/// constant factor (W/W_nominal). Lets one parameter set serve drivers of
+/// any strength.
+class ScaledMosfetModel final : public MosfetModel {
+ public:
+  ScaledMosfetModel(std::unique_ptr<MosfetModel> inner, double factor);
+
+  double factor() const { return factor_; }
+  const MosfetModel& inner() const { return *inner_; }
+
+  double ids(double vgs, double vds, double vbs) const override;
+  MosfetEval evaluate(double vgs, double vds, double vbs) const override;
+  std::unique_ptr<MosfetModel> clone() const override;
+
+ private:
+  std::unique_ptr<MosfetModel> inner_;
+  double factor_;
+};
+
+/// Smooth rectifier: ->0 for x << 0, ->x for x >> 0, C-infinity everywhere.
+/// Used by the device models to keep Newton iterations differentiable
+/// across the off/on boundary. `eps` sets the blending width in volts.
+double smooth_relu(double x, double eps);
+
+/// Derivative of smooth_relu with respect to x.
+double smooth_relu_deriv(double x, double eps);
+
+/// Softplus rectifier eps*log(1+exp(x/eps)): like smooth_relu but with an
+/// exponentially vanishing off-tail (smooth_relu decays only as eps^2/|x|,
+/// which leaks visible current through gigaohm-scale anchors).
+double softplus(double x, double eps);
+
+/// Derivative of softplus with respect to x (the logistic function).
+double softplus_deriv(double x, double eps);
+
+/// Body-effect threshold shift: vt = vt0 + gamma*(sqrt(phi2f+vsb)-sqrt(phi2f))
+/// with vsb clamped at -phi2f/2 to stay real under forward body bias.
+double body_effect_vt(double vt0, double gamma, double phi2f, double vsb);
+
+}  // namespace ssnkit::devices

@@ -1,0 +1,37 @@
+// Terminal line charts so the bench binaries can show the *shape* of each
+// paper figure directly in their output (no plotting stack needed).
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ssnkit::io {
+
+struct ChartOptions {
+  int width = 72;    ///< plot columns
+  int height = 18;   ///< plot rows
+  std::string title;
+  std::string x_label = "t";
+  std::string y_label = "v";
+};
+
+/// Render one or more series on a shared axis. Each series is drawn with
+/// its own glyph ('*', '+', 'o', 'x', '#', '@', in that order) and listed
+/// in the legend with its name.
+std::string ascii_chart(const std::vector<const waveform::Waveform*>& series,
+                        const std::vector<std::string>& names,
+                        const ChartOptions& opts = {});
+
+/// Convenience overload for a single waveform.
+std::string ascii_chart(const waveform::Waveform& wave,
+                        const ChartOptions& opts = {});
+
+/// Scatter-style chart from x/y arrays (used by the sweep benches).
+std::string ascii_xy_chart(const std::vector<double>& x,
+                           const std::vector<std::vector<double>>& ys,
+                           const std::vector<std::string>& names,
+                           const ChartOptions& opts = {});
+
+}  // namespace ssnkit::io

@@ -1,0 +1,60 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssnkit::io {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("CsvWriter: no headers");
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  if (row.size() != headers_.size())
+    throw std::invalid_argument("CsvWriter::add_row: width mismatch");
+  rows_.push_back(row);
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << ',';
+    os << headers_[i];
+  }
+  os << '\n';
+  os.precision(12);
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  write(out);
+}
+
+void write_waveforms_csv(std::ostream& os, const std::vector<std::string>& names,
+                         const std::vector<const waveform::Waveform*>& waves) {
+  if (names.size() != waves.size())
+    throw std::invalid_argument("write_waveforms_csv: names/waves mismatch");
+  if (waves.empty() || waves[0] == nullptr || waves[0]->empty())
+    throw std::invalid_argument("write_waveforms_csv: need a non-empty lead waveform");
+  os << "time";
+  for (const auto& n : names) os << ',' << n;
+  os << '\n';
+  os.precision(12);
+  for (std::size_t i = 0; i < waves[0]->size(); ++i) {
+    const double t = waves[0]->time(i);
+    os << t;
+    for (const auto* w : waves) os << ',' << w->sample(t);
+    os << '\n';
+  }
+}
+
+}  // namespace ssnkit::io

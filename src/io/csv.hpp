@@ -1,0 +1,39 @@
+// CSV output for sweep results and waveforms, so the bench harness data can
+// be re-plotted with any external tool.
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssnkit::io {
+
+/// Column-oriented CSV writer: set headers once, append rows.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  std::size_t column_count() const { return headers_.size(); }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Throws std::invalid_argument when the row width mismatches.
+  void add_row(const std::vector<double>& row);
+
+  void write(std::ostream& os) const;
+  /// Throws std::runtime_error when the file cannot be created.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Dump one or more waveforms (sampled at the first waveform's times) as
+/// time,name1,name2,... CSV.
+void write_waveforms_csv(std::ostream& os,
+                         const std::vector<std::string>& names,
+                         const std::vector<const waveform::Waveform*>& waves);
+
+}  // namespace ssnkit::io

@@ -1,0 +1,33 @@
+// Emit self-contained gnuplot scripts (data inlined via heredoc blocks) so
+// every bench figure can be turned into a real plot offline.
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssnkit::io {
+
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label = "t [s]";
+  std::string y_label = "V [V]";
+  std::string terminal = "pngcairo size 900,600";
+  std::string output;  ///< output file for the terminal; empty = interactive
+};
+
+/// Write a script plotting the given waveforms as lines.
+void write_gnuplot_script(std::ostream& os,
+                          const std::vector<const waveform::Waveform*>& series,
+                          const std::vector<std::string>& names,
+                          const GnuplotOptions& opts = {});
+
+/// Write a script plotting y-columns against an x vector (sweep results).
+void write_gnuplot_xy_script(std::ostream& os, const std::vector<double>& x,
+                             const std::vector<std::vector<double>>& ys,
+                             const std::vector<std::string>& names,
+                             const GnuplotOptions& opts = {});
+
+}  // namespace ssnkit::io

@@ -1,0 +1,89 @@
+#include "numeric/complex_la.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace ssnkit::numeric {
+
+void CVector::fill(Complex value) {
+  for (auto& x : data_) x = value;
+}
+
+double CVector::norm_inf() const {
+  double acc = 0.0;
+  for (const auto& x : data_) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+void CMatrix::fill(Complex value) {
+  for (auto& x : data_) x = value;
+}
+
+CVector CMatrix::mul(const CVector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CMatrix::mul: size mismatch");
+  CVector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc{};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+CLuFactorization::CLuFactorization(CMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("CLuFactorization: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < std::numeric_limits<double>::min() * 16) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    const Complex inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex m = lu_(r, k) * inv_pivot;
+      lu_(r, k) = m;
+      if (m == Complex{}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+CVector CLuFactorization::solve(const CVector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("CLuFactorization::solve: size");
+  if (singular_) throw std::runtime_error("CLuFactorization::solve: singular");
+  CVector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) y[i] -= lu_(i, j) * y[j];
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) y[ii] -= lu_(ii, j) * y[j];
+    y[ii] /= lu_(ii, ii);
+  }
+  return y;
+}
+
+CVector solve_linear(CMatrix a, const CVector& b) {
+  return CLuFactorization(std::move(a)).solve(b);
+}
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,38 @@
+#include "numeric/least_squares.hpp"
+
+#include "numeric/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::numeric {
+
+LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("solve_least_squares: row count mismatch");
+  QrFactorization qr(a);
+  LeastSquaresResult result;
+  result.coefficients = qr.solve(b);
+  result.residual_norm = qr.residual_norm(b);
+  result.residual_rms =
+      a.rows() == 0 ? 0.0 : result.residual_norm / std::sqrt(double(a.rows()));
+  return result;
+}
+
+LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b,
+                                       const Vector& weights) {
+  if (a.rows() != b.size() || a.rows() != weights.size())
+    throw std::invalid_argument("solve_least_squares: row count mismatch");
+  Matrix wa = a;
+  Vector wb = b;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    if (weights[r] < 0.0)
+      throw std::invalid_argument("solve_least_squares: negative weight");
+    const double s = std::sqrt(weights[r]);
+    for (std::size_t c = 0; c < a.cols(); ++c) wa(r, c) *= s;
+    wb[r] *= s;
+  }
+  return solve_least_squares(wa, wb);
+}
+
+}  // namespace ssnkit::numeric

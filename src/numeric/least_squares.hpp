@@ -1,0 +1,23 @@
+// Linear least squares on top of Householder QR, with optional row weights.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace ssnkit::numeric {
+
+/// Result of a linear least-squares solve.
+struct LeastSquaresResult {
+  Vector coefficients;     ///< fitted parameter vector
+  double residual_norm;    ///< ||A x − b||_2
+  double residual_rms;     ///< residual_norm / sqrt(#rows)
+};
+
+/// Minimize ||A x − b||_2. A must have rows >= cols and full column rank.
+LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b);
+
+/// Weighted variant: minimize ||W^(1/2) (A x − b)||_2 with per-row weights
+/// w_i >= 0. The reported residuals are the *weighted* residuals.
+LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b,
+                                       const Vector& weights);
+
+}  // namespace ssnkit::numeric

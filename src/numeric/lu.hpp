@@ -1,0 +1,44 @@
+// LU factorization with partial pivoting — the linear solver behind every
+// Newton iteration of the MNA engine.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+#include <vector>
+
+namespace ssnkit::numeric {
+
+/// LU factorization of a square matrix with row partial pivoting.
+///
+/// Throws std::invalid_argument for non-square input. A numerically
+/// singular matrix is detected at factorization time (`singular()` returns
+/// true) and `solve()` on it throws std::runtime_error.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  bool singular() const { return singular_; }
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b. b.size() must equal size().
+  Vector solve(const Vector& b) const;
+
+  /// Determinant of the original matrix (0 when singular).
+  double determinant() const;
+
+  /// Reciprocal pivot-growth based condition estimate: the ratio of the
+  /// smallest to the largest |pivot|. Near zero means ill-conditioned.
+  double pivot_ratio() const;
+
+ private:
+  Matrix lu_;                 // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;              // permutation parity, for determinant()
+  bool singular_ = false;
+};
+
+/// One-shot convenience: solve A x = b.
+/// Throws std::runtime_error when A is singular.
+Vector solve_linear(Matrix a, const Vector& b);
+
+}  // namespace ssnkit::numeric

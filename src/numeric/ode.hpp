@@ -1,0 +1,46 @@
+// Reference ODE integrators (explicit RK4, adaptive Dormand–Prince RK45).
+// These are NOT used by the circuit simulator — they provide independent
+// high-accuracy reference solutions of the SSN differential equations
+// (Eqn 5 and Eqn 13 of the paper) against which both the closed-form
+// formulas and the MNA transient engine are validated.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace ssnkit::numeric {
+
+/// Right-hand side dy/dt = f(t, y).
+using OdeRhs = std::function<Vector(double t, const Vector& y)>;
+
+/// A sampled ODE trajectory.
+struct OdeSolution {
+  std::vector<double> t;
+  std::vector<Vector> y;
+  std::size_t steps_taken = 0;
+  std::size_t steps_rejected = 0;
+
+  /// Linear interpolation of component `k` at time `time` (clamped).
+  double sample(double time, std::size_t k = 0) const;
+};
+
+/// Classic fixed-step RK4 from t0 to t1 with `steps` equal steps.
+OdeSolution rk4(const OdeRhs& f, double t0, double t1, Vector y0,
+                std::size_t steps);
+
+struct Rk45Options {
+  double rel_tol = 1e-9;
+  double abs_tol = 1e-12;
+  double initial_step = 0.0;  ///< 0 = auto
+  double min_step = 0.0;      ///< 0 = auto (span * 1e-14)
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Adaptive Dormand–Prince RK5(4). Throws std::runtime_error when the step
+/// size underflows or the step budget is exhausted.
+OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
+                 const Rk45Options& opts = {});
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,85 @@
+#include "numeric/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ssnkit::numeric {
+
+QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n) throw std::invalid_argument("QrFactorization: need rows >= cols");
+  beta_.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta_[k] = 0.0;
+      rank_deficient_ = true;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // v = x - alpha*e1, normalized so v[0] = 1 (stored implicitly).
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    beta_[k] = -v0 / alpha;
+    qr_(k, k) = alpha;
+
+    // Apply H = I - beta * v v^T to the remaining columns.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = qr_(k, c);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, c);
+      s *= beta_[k];
+      qr_(k, c) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, c) -= s * qr_(i, k);
+    }
+  }
+  // Detect near-zero diagonals of R relative to the largest one.
+  double rmax = 0.0;
+  for (std::size_t k = 0; k < n; ++k) rmax = std::max(rmax, std::fabs(qr_(k, k)));
+  for (std::size_t k = 0; k < n; ++k)
+    if (std::fabs(qr_(k, k)) <= rmax * 1e-13) rank_deficient_ = true;
+}
+
+Vector QrFactorization::apply_qt(const Vector& b) const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  if (b.size() != m) throw std::invalid_argument("QrFactorization: rhs size mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector QrFactorization::solve(const Vector& b) const {
+  if (rank_deficient_)
+    throw std::runtime_error("QrFactorization::solve: rank-deficient system");
+  const std::size_t n = cols();
+  Vector y = apply_qt(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+double QrFactorization::residual_norm(const Vector& b) const {
+  const Vector y = apply_qt(b);
+  double acc = 0.0;
+  for (std::size_t i = cols(); i < rows(); ++i) acc += y[i] * y[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,37 @@
+// Householder QR factorization, used by the least-squares fitter. QR is
+// preferred over normal equations for the ASDM extraction because the
+// Vandermonde-like design matrices there can be poorly scaled.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace ssnkit::numeric {
+
+/// Householder QR of an m-by-n matrix with m >= n.
+class QrFactorization {
+ public:
+  explicit QrFactorization(Matrix a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// True when some diagonal of R is (numerically) zero, i.e. the columns
+  /// of A are linearly dependent.
+  bool rank_deficient() const { return rank_deficient_; }
+
+  /// Minimum-residual solution of A x = b (least squares when m > n).
+  /// Throws std::runtime_error when rank deficient.
+  Vector solve(const Vector& b) const;
+
+  /// Euclidean norm of the least-squares residual for the given rhs.
+  double residual_norm(const Vector& b) const;
+
+ private:
+  Vector apply_qt(const Vector& b) const;
+
+  Matrix qr_;      // R in the upper triangle, Householder vectors below
+  Vector beta_;    // Householder scalar coefficients
+  bool rank_deficient_ = false;
+};
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,159 @@
+#include "numeric/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::numeric {
+
+namespace {
+
+void require_bracket(double flo, double fhi) {
+  if (std::isnan(flo) || std::isnan(fhi))
+    throw std::invalid_argument("root finding: f is NaN at a bracket endpoint");
+  if (flo * fhi > 0.0)
+    throw std::invalid_argument("root finding: endpoints do not bracket a root");
+}
+
+}  // namespace
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opts) {
+  if (lo > hi) std::swap(lo, hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  require_bracket(flo, fhi);
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::fabs(fmid) <= opts.f_tol || (hi - lo) * 0.5 <= opts.x_tol) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opts) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  require_bracket(fa, fb);
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    if (std::fabs(fb) <= opts.f_tol || std::fabs(b - a) <= opts.x_tol) return b;
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      s = b - fb * (b - a) / (fb - fa);  // secant
+    }
+    const double lo34 = (3.0 * a + b) / 4.0;
+    const bool out_of_range = !((s > std::min(lo34, b)) && (s < std::max(lo34, b)));
+    const bool slow = mflag ? std::fabs(s - b) >= std::fabs(b - c) / 2.0
+                            : std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+    const bool tiny = mflag ? std::fabs(b - c) < opts.x_tol
+                            : std::fabs(c - d) < opts.x_tol;
+    if (out_of_range || slow || tiny) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+double newton_safeguarded(const std::function<double(double)>& f,
+                          const std::function<double(double)>& df, double x0,
+                          double lo, double hi, const RootOptions& opts) {
+  if (lo > hi) std::swap(lo, hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  require_bracket(flo, fhi);
+  double x = std::clamp(x0, lo, hi);
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) <= opts.f_tol) return x;
+    // Shrink the bracket around the sign change.
+    if ((fx < 0.0) == (flo < 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+    }
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) <= opts.x_tol) return next;
+    x = next;
+  }
+  return x;
+}
+
+std::optional<double> newton(const std::function<double(double)>& f,
+                             const std::function<double(double)>& df,
+                             double x0, const RootOptions& opts) {
+  double x = x0;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) <= opts.f_tol) return x;
+    const double dfx = df(x);
+    if (dfx == 0.0 || !std::isfinite(dfx)) return std::nullopt;
+    const double next = x - fx / dfx;
+    if (!std::isfinite(next)) return std::nullopt;
+    if (std::fabs(next - x) <= opts.x_tol) return next;
+    x = next;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> fixed_point(const std::function<double(double)>& g,
+                                  double x0, double damping,
+                                  const RootOptions& opts) {
+  if (damping <= 0.0 || damping > 1.0)
+    throw std::invalid_argument("fixed_point: damping must be in (0, 1]");
+  double x = x0;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double gx = g(x);
+    if (!std::isfinite(gx)) return std::nullopt;
+    const double next = (1.0 - damping) * x + damping * gx;
+    if (std::fabs(next - x) <= opts.x_tol) return next;
+    x = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,92 @@
+#include "numeric/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <limits>
+#include <stdexcept>
+
+namespace ssnkit::numeric {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / double(xs.size());
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / double(xs.size()));
+}
+
+double max_abs(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+double min_value(std::span<const double> xs) {
+  double acc = std::numeric_limits<double>::infinity();
+  for (double x : xs) acc = std::min(acc, x);
+  return acc;
+}
+
+double max_value(std::span<const double> xs) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double x : xs) acc = std::max(acc, x);
+  return acc;
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / double(xs.size() - 1));
+}
+
+double relative_error(double a, double b, double floor) {
+  if (floor <= 0.0) throw std::invalid_argument("relative_error: floor must be > 0");
+  return std::fabs(a - b) / std::max(std::fabs(b), floor);
+}
+
+double max_relative_error(std::span<const double> got,
+                          std::span<const double> want, double floor) {
+  if (got.size() != want.size())
+    throw std::invalid_argument("max_relative_error: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    acc = std::max(acc, relative_error(got[i], want[i], floor));
+  return acc;
+}
+
+double rms_relative_error(std::span<const double> got,
+                          std::span<const double> want, double floor) {
+  if (got.size() != want.size())
+    throw std::invalid_argument("rms_relative_error: size mismatch");
+  if (got.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double e = relative_error(got[i], want[i], floor);
+    acc += e * e;
+  }
+  return std::sqrt(acc / double(got.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * double(sorted.size() - 1);
+  const std::size_t lo = std::size_t(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double w = pos - double(lo);
+  return (1.0 - w) * sorted[lo] + w * sorted[hi];
+}
+
+}  // namespace ssnkit::numeric

@@ -1,0 +1,36 @@
+#include "process/package.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::process {
+
+void Package::validate() const {
+  if (!(inductance > 0.0)) throw std::invalid_argument("Package: inductance must be > 0");
+  if (capacitance < 0.0) throw std::invalid_argument("Package: capacitance must be >= 0");
+  if (resistance < 0.0) throw std::invalid_argument("Package: resistance must be >= 0");
+}
+
+Package Package::with_ground_pads(int n) const {
+  if (n < 1) throw std::invalid_argument("Package::with_ground_pads: n must be >= 1");
+  Package p = *this;
+  p.name = name + "x" + std::to_string(n);
+  p.inductance /= double(n);
+  p.capacitance *= double(n);
+  p.resistance /= double(n);
+  return p;
+}
+
+Package package_pga() { return {"pga", 5e-9, 1e-12, 10e-3}; }
+Package package_qfp() { return {"qfp", 8e-9, 0.8e-12, 20e-3}; }
+Package package_wire_bond() { return {"wire_bond", 3e-9, 0.5e-12, 50e-3}; }
+Package package_flip_chip() { return {"flip_chip", 0.5e-9, 0.3e-12, 5e-3}; }
+
+Package package_by_name(const std::string& name) {
+  if (name == "pga") return package_pga();
+  if (name == "qfp") return package_qfp();
+  if (name == "wire_bond") return package_wire_bond();
+  if (name == "flip_chip") return package_flip_chip();
+  throw std::invalid_argument("package_by_name: unknown package '" + name + "'");
+}
+
+}  // namespace ssnkit::process

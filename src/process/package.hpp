@@ -1,0 +1,40 @@
+// Package / bonding parasitics of the ground return path. The paper quotes
+// a pin-grid-array ground pin as L = 5 nH, C = 1 pF, R = 10 mOhm and
+// argues R is negligible while C is not (Section 4).
+#pragma once
+
+#include <string>
+
+namespace ssnkit::process {
+
+/// Lumped parasitics of the ground connection as seen by the internal
+/// ground node: series inductance + resistance to the true ground, and the
+/// pad/wire capacitance from the internal ground node to the true ground.
+struct Package {
+  std::string name;
+  double inductance = 5e-9;   ///< L [H]
+  double capacitance = 1e-12; ///< C [F]
+  double resistance = 10e-3;  ///< R [Ohm]
+
+  void validate() const;
+
+  /// Effective parasitics when `n` ground pads/pins are bonded in parallel:
+  /// L and R divide by n, C multiplies by n (the paper's Fig. 4(b)/(d)
+  /// configuration is pga().with_ground_pads(2)).
+  Package with_ground_pads(int n) const;
+};
+
+/// Pin grid array ground pin — the paper's reference package.
+Package package_pga();
+/// Quad flat pack (longer leadframe: more L, slightly less C).
+Package package_qfp();
+/// Plain bond wire + pad, chip-on-board.
+Package package_wire_bond();
+/// Flip-chip solder bump (an order of magnitude less inductance).
+Package package_flip_chip();
+
+/// Lookup by name ("pga", "qfp", "wire_bond", "flip_chip");
+/// throws std::invalid_argument for unknown names.
+Package package_by_name(const std::string& name);
+
+}  // namespace ssnkit::process

@@ -1,0 +1,126 @@
+#include "process/technology.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::process {
+
+std::unique_ptr<devices::MosfetModel> Technology::make_golden(
+    GoldenKind kind, double width_mult) const {
+  std::unique_ptr<devices::MosfetModel> base;
+  switch (kind) {
+    case GoldenKind::kAlphaPower:
+      base = std::make_unique<devices::AlphaPowerModel>(alpha_power);
+      break;
+    case GoldenKind::kBsimLite:
+      base = std::make_unique<devices::BsimLiteModel>(bsim_lite);
+      break;
+  }
+  if (width_mult == 1.0) return base;
+  return std::make_unique<devices::ScaledMosfetModel>(std::move(base), width_mult);
+}
+
+void Technology::validate() const {
+  if (!(vdd > 0.0)) throw std::invalid_argument("Technology: vdd must be > 0");
+  if (!(driver_w_um > 0.0))
+    throw std::invalid_argument("Technology: driver_w_um must be > 0");
+  if (!(load_cap > 0.0)) throw std::invalid_argument("Technology: load_cap must be > 0");
+  if (!(gate_cap > 0.0)) throw std::invalid_argument("Technology: gate_cap must be > 0");
+  alpha_power.validate();
+  bsim_lite.validate();
+}
+
+Technology tech_180nm() {
+  Technology t;
+  t.name = "180nm";
+  t.vdd = 1.8;
+  t.lmin_um = 0.18;
+  t.driver_w_um = 60.0;
+  t.load_cap = 10e-12;
+  t.gate_cap = 120e-15;
+  t.alpha_power = {.vdd = 1.8,
+                   .vt0 = 0.45,
+                   .alpha = 1.3,
+                   .id0 = 6.5e-3,
+                   .vd0 = 0.9,
+                   .gamma = 0.35,
+                   .phi2f = 0.85,
+                   .lambda_clm = 0.05,
+                   .eps_smooth = 2e-3};
+  t.bsim_lite = {.kp = 2.2e-2,
+                 .vt0 = 0.45,
+                 .gamma = 0.35,
+                 .phi2f = 0.85,
+                 .theta = 0.25,
+                 .vsat_v = 1.1,
+                 .lambda_clm = 0.06,
+                 .eps_smooth = 2e-3};
+  t.validate();
+  return t;
+}
+
+Technology tech_250nm() {
+  Technology t;
+  t.name = "250nm";
+  t.vdd = 2.5;
+  t.lmin_um = 0.25;
+  t.driver_w_um = 80.0;
+  t.load_cap = 12e-12;
+  t.gate_cap = 180e-15;
+  t.alpha_power = {.vdd = 2.5,
+                   .vt0 = 0.50,
+                   .alpha = 1.4,
+                   .id0 = 7.5e-3,
+                   .vd0 = 1.1,
+                   .gamma = 0.40,
+                   .phi2f = 0.80,
+                   .lambda_clm = 0.04,
+                   .eps_smooth = 2e-3};
+  t.bsim_lite = {.kp = 1.6e-2,
+                 .vt0 = 0.50,
+                 .gamma = 0.40,
+                 .phi2f = 0.80,
+                 .theta = 0.20,
+                 .vsat_v = 1.5,
+                 .lambda_clm = 0.05,
+                 .eps_smooth = 2e-3};
+  t.validate();
+  return t;
+}
+
+Technology tech_350nm() {
+  Technology t;
+  t.name = "350nm";
+  t.vdd = 3.3;
+  t.lmin_um = 0.35;
+  t.driver_w_um = 100.0;
+  t.load_cap = 15e-12;
+  t.gate_cap = 260e-15;
+  t.alpha_power = {.vdd = 3.3,
+                   .vt0 = 0.60,
+                   .alpha = 1.5,
+                   .id0 = 9.0e-3,
+                   .vd0 = 1.5,
+                   .gamma = 0.45,
+                   .phi2f = 0.80,
+                   .lambda_clm = 0.03,
+                   .eps_smooth = 2e-3};
+  t.bsim_lite = {.kp = 1.2e-2,
+                 .vt0 = 0.60,
+                 .gamma = 0.45,
+                 .phi2f = 0.80,
+                 .theta = 0.15,
+                 .vsat_v = 2.2,
+                 .lambda_clm = 0.04,
+                 .eps_smooth = 2e-3};
+  t.validate();
+  return t;
+}
+
+Technology technology_by_name(const std::string& name) {
+  if (name == "180nm") return tech_180nm();
+  if (name == "250nm") return tech_250nm();
+  if (name == "350nm") return tech_350nm();
+  throw std::invalid_argument("technology_by_name: unknown technology '" + name + "'");
+}
+
+}  // namespace ssnkit::process

@@ -1,0 +1,59 @@
+// Technology descriptions: supply, golden-device parameters and nominal
+// output-driver sizing for three CMOS generations matching the processes
+// the paper evaluates (0.18 um, 0.25 um, 0.35 um class).
+//
+// The numeric values are representative textbook/public-domain numbers for
+// each node, NOT foundry data (see DESIGN.md, substitutions table). The
+// reproduction only relies on the qualitative properties: V_DD, threshold
+// around 0.45-0.6 V, alpha between 1.2 and 1.6, and a real body effect.
+#pragma once
+
+#include "devices/alpha_power.hpp"
+#include "devices/bsim_lite.hpp"
+
+#include <memory>
+#include <string>
+
+namespace ssnkit::process {
+
+/// Which golden device stands in for the foundry BSIM3 model.
+enum class GoldenKind {
+  kAlphaPower,  ///< Sakurai–Newton with body effect + CLM
+  kBsimLite,    ///< mobility degradation + velocity saturation model
+};
+
+struct Technology {
+  std::string name;
+  double vdd = 1.8;          ///< nominal supply [V]
+  double lmin_um = 0.18;     ///< drawn channel length [um]
+  /// Nominal width of one output-driver pull-down finger [um]; device
+  /// parameters below are already scaled to this width.
+  double driver_w_um = 60.0;
+  /// Typical output load (pad + board trace) one driver discharges [F].
+  double load_cap = 10e-12;
+  /// Gate capacitance of one nominal-width driver device [F]; scales
+  /// linearly with the width multiplier (used by the tapered-chain bench).
+  double gate_cap = 120e-15;
+
+  devices::AlphaPowerParams alpha_power;
+  devices::BsimLiteParams bsim_lite;
+
+  /// Instantiate the golden device (width multiplier scales the current).
+  std::unique_ptr<devices::MosfetModel> make_golden(
+      GoldenKind kind = GoldenKind::kAlphaPower, double width_mult = 1.0) const;
+
+  void validate() const;
+};
+
+/// 0.18 um-class process: vdd = 1.8 V (the paper's main vehicle).
+Technology tech_180nm();
+/// 0.25 um-class process: vdd = 2.5 V.
+Technology tech_250nm();
+/// 0.35 um-class process: vdd = 3.3 V.
+Technology tech_350nm();
+
+/// Lookup by name ("180nm", "250nm", "350nm");
+/// throws std::invalid_argument for unknown names.
+Technology technology_by_name(const std::string& name);
+
+}  // namespace ssnkit::process

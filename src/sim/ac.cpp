@@ -1,0 +1,136 @@
+#include "sim/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ssnkit::sim {
+
+using circuit::AcStampContext;
+using circuit::Circuit;
+using numeric::CMatrix;
+using numeric::Complex;
+using numeric::CVector;
+
+AcResult::AcResult(std::vector<std::string> signal_names,
+                   std::vector<double> freqs)
+    : names_(std::move(signal_names)),
+      freqs_(std::move(freqs)),
+      columns_(names_.size(), std::vector<Complex>(freqs_.size())) {}
+
+void AcResult::set_point(std::size_t f_index, const CVector& x) {
+  if (x.size() != names_.size())
+    throw std::invalid_argument("AcResult::set_point: size mismatch");
+  for (std::size_t s = 0; s < names_.size(); ++s) columns_[s][f_index] = x[s];
+}
+
+std::size_t AcResult::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  throw std::out_of_range("AcResult: unknown signal '" + name + "'");
+}
+
+Complex AcResult::value(const std::string& name, std::size_t i) const {
+  return columns_[index_of(name)][i];
+}
+
+std::vector<double> AcResult::magnitude(const std::string& name) const {
+  const auto& col = columns_[index_of(name)];
+  std::vector<double> out(col.size());
+  for (std::size_t i = 0; i < col.size(); ++i) out[i] = std::abs(col[i]);
+  return out;
+}
+
+std::vector<double> AcResult::magnitude_db(const std::string& name) const {
+  auto mags = magnitude(name);
+  for (double& m : mags) m = 20.0 * std::log10(std::max(m, 1e-300));
+  return mags;
+}
+
+std::vector<double> AcResult::phase_deg(const std::string& name) const {
+  const auto& col = columns_[index_of(name)];
+  std::vector<double> out(col.size());
+  for (std::size_t i = 0; i < col.size(); ++i)
+    out[i] = std::arg(col[i]) * 180.0 / std::numbers::pi;
+  return out;
+}
+
+AcResult::Peak AcResult::peak(const std::string& name) const {
+  const auto mags = magnitude(name);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < mags.size(); ++i)
+    if (mags[i] > mags[best]) best = i;
+  return {freqs_[best], mags[best]};
+}
+
+namespace {
+
+std::vector<std::string> collect_signal_names(const Circuit& ckt) {
+  std::vector<std::string> names;
+  for (int n = 1; n < ckt.node_count(); ++n) names.push_back(ckt.node_name(n));
+  for (const auto& el : ckt.elements())
+    for (int k = 0; k < el->branch_count(); ++k)
+      names.push_back(k == 0 ? "I(" + el->name() + ")"
+                             : "I(" + el->name() + "#" + std::to_string(k + 1) +
+                                   ")");
+  return names;
+}
+
+}  // namespace
+
+AcResult run_ac(Circuit& ckt, const AcOptions& opts) {
+  if (!(opts.f_start > 0.0) || !(opts.f_stop > opts.f_start))
+    throw std::invalid_argument("run_ac: need 0 < f_start < f_stop");
+  if (opts.points_per_decade < 1)
+    throw std::invalid_argument("run_ac: points_per_decade must be >= 1");
+
+  ckt.finalize();
+  const std::size_t n = std::size_t(ckt.unknown_count());
+  const int n_nodes = ckt.node_count();
+
+  const DcResult dc = dc_operating_point(ckt, 0.0, opts.newton);
+
+  // Log frequency grid (inclusive of both endpoints).
+  std::vector<double> freqs;
+  const double decades = std::log10(opts.f_stop / opts.f_start);
+  const int total = std::max(2, int(std::ceil(decades * opts.points_per_decade)) + 1);
+  for (int i = 0; i < total; ++i)
+    freqs.push_back(opts.f_start *
+                    std::pow(10.0, decades * double(i) / double(total - 1)));
+
+  AcResult result(collect_signal_names(ckt), std::move(freqs));
+
+  CMatrix a(n, n);
+  CVector b(n);
+  for (std::size_t fi = 0; fi < result.point_count(); ++fi) {
+    a.fill({});
+    b.fill({});
+    AcStampContext ctx;
+    ctx.omega = 2.0 * std::numbers::pi * result.frequencies()[fi];
+    ctx.x_op = &dc.solution;
+    ctx.a = &a;
+    ctx.b = &b;
+    for (const auto& el : ckt.elements()) el->stamp_ac(ctx);
+    numeric::CLuFactorization lu(a);
+    if (lu.singular())
+      throw std::runtime_error("run_ac: singular AC matrix at f=" +
+                               std::to_string(result.frequencies()[fi]));
+    const CVector x = lu.solve(b);
+
+    // Reorder into the signal layout (voltages then branch currents in
+    // element order) — identical to the unknown layout here.
+    CVector row(result.signal_names().size());
+    for (int node = 1; node < n_nodes; ++node)
+      row[std::size_t(node - 1)] = x[std::size_t(node - 1)];
+    std::size_t out_idx = std::size_t(n_nodes - 1);
+    for (const auto& el : ckt.elements())
+      if (el->branch_count() > 0)
+        for (int k = 0; k < el->branch_count(); ++k)
+          row[out_idx++] =
+              x[std::size_t(n_nodes - 1 + el->branch_index() + k)];
+    result.set_point(fi, row);
+  }
+  return result;
+}
+
+}  // namespace ssnkit::sim

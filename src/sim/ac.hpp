@@ -1,0 +1,61 @@
+// Small-signal frequency sweep (.AC): linearize the circuit at its DC
+// operating point and solve (G + j*omega*C) x = b over a log-spaced
+// frequency grid. Excitations come from VoltageSource/CurrentSource
+// set_ac() calls; all other sources are quiet (shorts/opens).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "numeric/complex_la.hpp"
+#include "sim/engine.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ssnkit::sim {
+
+struct AcOptions {
+  double f_start = 1e6;        ///< [Hz], must be > 0
+  double f_stop = 100e9;       ///< [Hz], must be > f_start
+  int points_per_decade = 20;  ///< log sweep density
+  NewtonOptions newton;        ///< for the DC operating point
+};
+
+class AcResult {
+ public:
+  AcResult(std::vector<std::string> signal_names, std::vector<double> freqs);
+
+  const std::vector<std::string>& signal_names() const { return names_; }
+  const std::vector<double>& frequencies() const { return freqs_; }
+  std::size_t point_count() const { return freqs_.size(); }
+
+  void set_point(std::size_t f_index, const numeric::CVector& x);
+
+  /// Complex response of `name` at frequency index `i`.
+  numeric::Complex value(const std::string& name, std::size_t i) const;
+  /// |X(f)| for all frequencies.
+  std::vector<double> magnitude(const std::string& name) const;
+  /// 20*log10|X(f)|.
+  std::vector<double> magnitude_db(const std::string& name) const;
+  /// Phase in degrees, principal value.
+  std::vector<double> phase_deg(const std::string& name) const;
+
+  /// Frequency of the magnitude peak of a signal.
+  struct Peak {
+    double frequency = 0.0;
+    double magnitude = 0.0;
+  };
+  Peak peak(const std::string& name) const;
+
+ private:
+  std::size_t index_of(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::vector<double> freqs_;
+  std::vector<std::vector<numeric::Complex>> columns_;  // per signal
+};
+
+/// Run the sweep. Signals follow the transient convention: node names plus
+/// "I(element)" branch currents.
+AcResult run_ac(circuit::Circuit& ckt, const AcOptions& opts);
+
+}  // namespace ssnkit::sim

@@ -1,0 +1,437 @@
+#include "sim/engine.hpp"
+
+#include "numeric/lu.hpp"
+#include "numeric/sparse.hpp"
+#include "waveform/source_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::sim {
+
+using circuit::AcceptContext;
+using circuit::AnalysisMode;
+using circuit::Circuit;
+using circuit::Element;
+using circuit::IntegrationCoeffs;
+using circuit::Integrator;
+using circuit::StampContext;
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+/// Assemble the MNA system for one Newton iteration.
+void assemble(Circuit& ckt, const StampContext& base, const Vector& x, Matrix& a,
+              Vector& b) {
+  a.fill(0.0);
+  b.fill(0.0);
+  StampContext ctx = base;
+  ctx.x = &x;
+  ctx.a = &a;
+  ctx.b = &b;
+  for (const auto& el : ckt.elements()) el->stamp(ctx);
+  if (ctx.gmin > 0.0) {
+    // Homotopy conductance from every node to ground.
+    for (int n = 1; n < ckt.node_count(); ++n)
+      a(std::size_t(n - 1), std::size_t(n - 1)) += ctx.gmin;
+  }
+}
+
+struct NewtonOutcome {
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Newton–Raphson on the MNA equations; x holds the initial guess on entry
+/// and the solution on (successful) exit.
+NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
+                           const NewtonOptions& opts) {
+  const int n_nodes = ckt.node_count();
+  const std::size_t n = std::size_t(ckt.unknown_count());
+  Matrix a(n, n);
+  Vector b(n);
+  NewtonOutcome out;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    ++out.iterations;
+    assemble(ckt, base, x, a, b);
+    Vector x_new;
+    if (n > opts.sparse_threshold) {
+      numeric::SparseLu lu(numeric::SparseMatrix::from_dense(a));
+      if (lu.singular()) return out;
+      x_new = lu.solve(b);
+    } else {
+      numeric::LuFactorization lu(a);
+      if (lu.singular()) return out;
+      x_new = lu.solve(b);
+    }
+
+    // Damping: limit the largest voltage move per iteration so the device
+    // exponentials/power laws are never evaluated absurdly far out. Past
+    // half the iteration budget, also halve every step — this breaks the
+    // 2-cycles piecewise-linear devices can otherwise drive Newton into.
+    double max_dv = 0.0;
+    for (int node = 1; node < n_nodes; ++node)
+      max_dv = std::max(max_dv,
+                        std::fabs(x_new[std::size_t(node - 1)] - x[std::size_t(node - 1)]));
+    double alpha = 1.0;
+    if (max_dv > opts.max_voltage_step) alpha = opts.max_voltage_step / max_dv;
+    if (it > opts.max_iterations / 2) alpha *= 0.5;
+    if (alpha < 1.0)
+      for (std::size_t i = 0; i < n; ++i)
+        x_new[i] = x[i] + alpha * (x_new[i] - x[i]);
+
+    bool converged = max_dv <= opts.max_voltage_step;  // full step taken
+    if (converged) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool is_voltage = i < std::size_t(n_nodes - 1);
+        const double abstol = is_voltage ? opts.abstol_v : opts.abstol_i;
+        const double tol =
+            opts.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i])) + abstol;
+        if (std::fabs(x_new[i] - x[i]) > tol) {
+          converged = false;
+          break;
+        }
+      }
+    }
+    x = std::move(x_new);
+    if (converged) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Gear-2 (BDF2) coefficients for possibly unequal steps h1 = t_{n+1}-t_n,
+/// h2 = t_n - t_{n-1}:  dx/dt ~= a0*x_{n+1} + a1*x_n + a2*x_{n-1}.
+IntegrationCoeffs make_coeffs(Integrator method, double h1, double h2) {
+  IntegrationCoeffs c;
+  c.method = method;
+  c.h = h1;
+  switch (method) {
+    case Integrator::kBackwardEuler:
+      c.a0 = 1.0 / h1;
+      c.a1 = -1.0 / h1;
+      break;
+    case Integrator::kTrapezoidal:
+      c.a0 = 2.0 / h1;  // elements use the trap form with stored derivative
+      c.a1 = -2.0 / h1;
+      break;
+    case Integrator::kGear2: {
+      if (h2 > 0.0) {
+        const double r = h1 / h2;
+        c.a0 = (1.0 + 2.0 * r) / (h1 * (1.0 + r));
+        c.a1 = -(1.0 + r) / h1 * 1.0;  // -(1+r)/h1
+        c.a2 = r * r / (h1 * (1.0 + r));
+      } else {  // no history yet: BE
+        c.a0 = 1.0 / h1;
+        c.a1 = -1.0 / h1;
+      }
+      break;
+    }
+  }
+  return c;
+}
+
+std::vector<std::string> collect_signal_names(const Circuit& ckt) {
+  std::vector<std::string> names;
+  for (int n = 1; n < ckt.node_count(); ++n) names.push_back(ckt.node_name(n));
+  for (const auto& el : ckt.elements())
+    for (int k = 0; k < el->branch_count(); ++k)
+      names.push_back(k == 0 ? "I(" + el->name() + ")"
+                             : "I(" + el->name() + "#" + std::to_string(k + 1) +
+                                   ")");
+  return names;
+}
+
+std::vector<double> snapshot(const Circuit& ckt, const Vector& x) {
+  std::vector<double> row;
+  row.reserve(std::size_t(ckt.unknown_count()));
+  for (int n = 1; n < ckt.node_count(); ++n) row.push_back(x[std::size_t(n - 1)]);
+  for (const auto& el : ckt.elements())
+    for (int k = 0; k < el->branch_count(); ++k)
+      row.push_back(x[std::size_t(ckt.branch_unknown_index(*el) + k)]);
+  return row;
+}
+
+std::vector<double> collect_breakpoints(const Circuit& ckt, double t0, double t1) {
+  std::vector<double> bps;
+  for (const auto& el : ckt.elements()) {
+    const waveform::SourceSpec* spec = nullptr;
+    if (const auto* v = dynamic_cast<const circuit::VoltageSource*>(el.get()))
+      spec = &v->spec();
+    else if (const auto* i = dynamic_cast<const circuit::CurrentSource*>(el.get()))
+      spec = &i->spec();
+    if (!spec) continue;
+    for (double t : waveform::source_breakpoints(*spec, t0, t1)) bps.push_back(t);
+  }
+  std::sort(bps.begin(), bps.end());
+  bps.erase(std::unique(bps.begin(), bps.end(),
+                        [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+            bps.end());
+  return bps;
+}
+
+}  // namespace
+
+double DcResult::voltage(const Circuit& ckt, const std::string& node) const {
+  const circuit::NodeId id = ckt.find_node(node);
+  return id == circuit::kGround ? 0.0 : solution[std::size_t(id - 1)];
+}
+
+DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newton) {
+  ckt.finalize();
+  const std::size_t n = std::size_t(ckt.unknown_count());
+  DcResult out;
+  out.solution = Vector(n);
+
+  StampContext base;
+  base.mode = AnalysisMode::kDc;
+  base.time = time;
+
+  // 1. Plain Newton from zero.
+  {
+    Vector x(n);
+    const auto r = solve_newton(ckt, base, x, newton);
+    out.iterations += r.iterations;
+    if (r.converged) {
+      out.solution = std::move(x);
+      return out;
+    }
+  }
+  // 2. gmin stepping.
+  {
+    out.used_gmin_stepping = true;
+    Vector x(n);
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= 1e-12; gmin *= 1e-2) {
+      StampContext ctx = base;
+      ctx.gmin = gmin;
+      const auto r = solve_newton(ckt, ctx, x, newton);
+      out.iterations += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      const auto r = solve_newton(ckt, base, x, newton);
+      out.iterations += r.iterations;
+      if (r.converged) {
+        out.solution = std::move(x);
+        return out;
+      }
+    }
+  }
+  // 3. Source stepping.
+  {
+    out.used_source_stepping = true;
+    Vector x(n);
+    bool ok = true;
+    for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+      StampContext ctx = base;
+      ctx.source_scale = std::min(scale, 1.0);
+      const auto r = solve_newton(ckt, ctx, x, newton);
+      out.iterations += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.solution = std::move(x);
+      return out;
+    }
+  }
+  throw std::runtime_error("dc_operating_point: no convergence (plain, gmin and "
+                           "source stepping all failed)");
+}
+
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
+  if (!(opts.t_stop > opts.t_start))
+    throw std::invalid_argument("run_transient: t_stop must be > t_start");
+  ckt.finalize();
+  const std::size_t n = std::size_t(ckt.unknown_count());
+  const int n_nodes = ckt.node_count();
+  const double span = opts.t_stop - opts.t_start;
+
+  const double h_max = opts.dt_max > 0.0 ? opts.dt_max : span / 50.0;
+  const double h_min = opts.dt_min > 0.0 ? opts.dt_min : span * 1e-12;
+  double h = opts.dt_initial > 0.0 ? opts.dt_initial : span / 1000.0;
+  h = std::clamp(h, h_min, h_max);
+
+  TransientResult result(collect_signal_names(ckt));
+
+  // Initial state: DC operating point or UIC.
+  Vector x(n);
+  if (opts.use_ic) {
+    // Node voltages start at 0; elements pick up their declared ICs.
+  } else {
+    DcResult dc = dc_operating_point(ckt, opts.t_start, opts.newton);
+    result.stats.dc_iterations = dc.iterations;
+    result.stats.dc_used_gmin_stepping = dc.used_gmin_stepping;
+    result.stats.dc_used_source_stepping = dc.used_source_stepping;
+    x = std::move(dc.solution);
+  }
+  {
+    AcceptContext actx;
+    actx.x = &x;
+    actx.node_count = n_nodes;
+    for (const auto& el : ckt.elements()) el->init_state(actx);
+    // Always start the integration with a backward-Euler step: a source may
+    // have a derivative discontinuity at t_start (e.g. a ramp beginning at
+    // 0), and trapezoidal derivative history from the DC point would then
+    // ring without damping.
+    for (const auto& el : ckt.elements()) el->reset_derivative_history();
+  }
+
+  double t = opts.t_start;
+  result.append(t, snapshot(ckt, x));
+
+  const std::vector<double> breakpoints =
+      collect_breakpoints(ckt, opts.t_start, opts.t_stop);
+
+  // Accepted history for predictor + LTE divided differences.
+  std::vector<double> hist_t{t};
+  std::vector<Vector> hist_x{x};
+  const auto push_history = [&](double tt, const Vector& xx) {
+    hist_t.push_back(tt);
+    hist_x.push_back(xx);
+    if (hist_t.size() > 4) {
+      hist_t.erase(hist_t.begin());
+      hist_x.erase(hist_x.begin());
+    }
+  };
+
+  StampContext base;
+  base.mode = AnalysisMode::kTransient;
+
+  const double t_eps = span * 1e-12;
+  while (t < opts.t_stop - t_eps) {
+    // Never step across a source breakpoint.
+    double h_step = std::min({h, h_max, opts.t_stop - t});
+    for (double bp : breakpoints) {
+      if (bp > t + t_eps) {
+        h_step = std::min(h_step, bp - t);
+        break;
+      }
+    }
+    if (h_step < h_min)
+      throw std::runtime_error("run_transient: time step underflow at t=" +
+                               std::to_string(t));
+
+    const double h_prev =
+        hist_t.size() >= 2 ? hist_t.back() - hist_t[hist_t.size() - 2] : 0.0;
+    base.time = t + h_step;
+    base.coeffs = make_coeffs(opts.method, h_step, h_prev);
+
+    // Predictor: linear extrapolation of the last two accepted points.
+    Vector x_guess = x;
+    if (hist_t.size() >= 2 && h_prev > 0.0) {
+      const Vector& x1 = hist_x.back();
+      const Vector& x0 = hist_x[hist_x.size() - 2];
+      const double r = h_step / h_prev;
+      for (std::size_t i = 0; i < n; ++i)
+        x_guess[i] = x1[i] + r * (x1[i] - x0[i]);
+    }
+
+    Vector x_cand = x_guess;
+    const auto nr = solve_newton(ckt, base, x_cand, opts.newton);
+    result.stats.newton_iterations += nr.iterations;
+    if (!nr.converged) {
+      ++result.stats.newton_failures;
+      h = h_step * 0.25;
+      if (h < h_min)
+        throw std::runtime_error("run_transient: Newton failed at minimum step, t=" +
+                                 std::to_string(t));
+      continue;
+    }
+
+    // LTE control via divided differences over the last accepted points.
+    // Only node voltages participate: branch currents through very large
+    // resistances are rounding-noise-dominated, and noise divided by h^3
+    // would drive the controller to absurdly small steps.
+    double err = 0.0;
+    const bool can_lte = opts.adaptive && hist_t.size() >= 3;
+    if (can_lte) {
+      const std::size_t m = hist_t.size();
+      const double t3 = base.time, t2 = hist_t[m - 1], t1 = hist_t[m - 2],
+                   t0 = hist_t[m - 3];
+      for (std::size_t i = 0; i < std::size_t(n_nodes - 1); ++i) {
+        const double f3 = x_cand[i], f2 = hist_x[m - 1][i], f1 = hist_x[m - 2][i],
+                     f0 = hist_x[m - 3][i];
+        double lte;
+        if (opts.method == Integrator::kBackwardEuler) {
+          // LTE ~ h^2/2 * x''; x''/2 ~ f[t3,t2,t1]
+          const double dd2 =
+              ((f3 - f2) / (t3 - t2) - (f2 - f1) / (t2 - t1)) / (t3 - t1);
+          lte = h_step * h_step * std::fabs(dd2);
+        } else {
+          // LTE ~ c*h^3 * x'''; x'''/6 ~ f[t3,t2,t1,t0]
+          const double dd2a =
+              ((f3 - f2) / (t3 - t2) - (f2 - f1) / (t2 - t1)) / (t3 - t1);
+          const double dd2b =
+              ((f2 - f1) / (t2 - t1) - (f1 - f0) / (t1 - t0)) / (t2 - t0);
+          const double dd3 = (dd2a - dd2b) / (t3 - t0);
+          lte = 0.5 * h_step * h_step * h_step * std::fabs(dd3) * 6.0;
+        }
+        const double scale =
+            opts.lte_abstol_v + opts.lte_reltol * std::fabs(x_cand[i]);
+        err = std::max(err, lte / scale);
+      }
+      if (err > 1.0 && h_step > 4.0 * h_min) {
+        ++result.stats.rejected_steps;
+        const double shrink =
+            std::clamp(0.9 * std::pow(std::max(err, 1e-12), -1.0 / 3.0), 0.1, 0.5);
+        h = h_step * shrink;
+        continue;
+      }
+    }
+
+    // Accept.
+    if (result.stats.accepted_steps >= opts.max_steps)
+      throw std::runtime_error("run_transient: step budget exhausted at t=" +
+                               std::to_string(t));
+    t = base.time;
+    x = std::move(x_cand);
+    {
+      AcceptContext actx;
+      actx.x = &x;
+      actx.coeffs = base.coeffs;
+      actx.node_count = n_nodes;
+      for (const auto& el : ckt.elements()) el->accept_step(actx);
+    }
+    ++result.stats.accepted_steps;
+    result.append(t, snapshot(ckt, x));
+    push_history(t, x);
+
+    // Landed on a breakpoint: restart the integrator history (the source
+    // derivative is discontinuous there).
+    for (double bp : breakpoints) {
+      if (std::fabs(bp - t) <= t_eps) {
+        for (const auto& el : ckt.elements()) el->reset_derivative_history();
+        hist_t.assign(1, t);
+        hist_x.assign(1, x);
+        break;
+      }
+    }
+
+    // Step-size update.
+    if (opts.adaptive) {
+      double grow = 1.5;
+      if (can_lte && err > 1e-12)
+        grow = std::clamp(0.9 * std::pow(err, -1.0 / 3.0), 0.5, 2.0);
+      h = std::clamp(h_step * grow, h_min, h_max);
+    } else {
+      // Fixed-step mode: return to the nominal step (a breakpoint may have
+      // truncated this one).
+      h = opts.dt_initial > 0.0 ? opts.dt_initial : span / 1000.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace ssnkit::sim

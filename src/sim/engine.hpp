@@ -1,0 +1,68 @@
+// The nonlinear solvers: DC operating point (Newton with gmin- and
+// source-stepping homotopies) and the transient engine (companion-model
+// integration with trapezoidal / BE / Gear-2, Newton at every time point,
+// LTE-based adaptive step control and breakpoint handling).
+//
+// This engine is the repository's stand-in for the paper's HSPICE runs;
+// tests/test_sim_*.cpp validate it against closed-form RLC responses and
+// RK45 reference integrations before it is trusted as a golden reference.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "sim/result.hpp"
+
+#include <optional>
+
+namespace ssnkit::sim {
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double reltol = 1e-6;
+  double abstol_v = 1e-9;   ///< volts
+  double abstol_i = 1e-12;  ///< amperes (branch unknowns)
+  double max_voltage_step = 2.0;  ///< per-iteration damping limit [V]
+  /// Systems larger than this use the sparse LU (Gilbert–Peierls) instead
+  /// of dense factorization. Set very large to force dense.
+  std::size_t sparse_threshold = 48;
+};
+
+struct DcResult {
+  numeric::Vector solution;
+  std::size_t iterations = 0;
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+
+  /// Voltage of a named node in this solution.
+  double voltage(const circuit::Circuit& ckt, const std::string& node) const;
+};
+
+/// Solve the DC operating point (capacitors open, inductors shorted,
+/// sources evaluated at `time`). Throws std::runtime_error when all
+/// homotopies fail.
+DcResult dc_operating_point(circuit::Circuit& ckt, double time = 0.0,
+                            const NewtonOptions& newton = {});
+
+struct TransientOptions {
+  double t_start = 0.0;
+  double t_stop = 1e-9;
+  circuit::Integrator method = circuit::Integrator::kTrapezoidal;
+  double dt_initial = 0.0;  ///< 0 = auto (span/1000)
+  double dt_min = 0.0;      ///< 0 = auto (span*1e-12)
+  double dt_max = 0.0;      ///< 0 = auto (span/50)
+  bool adaptive = true;     ///< LTE step control
+  double lte_reltol = 1e-4;
+  double lte_abstol_v = 1e-6;  ///< LTE runs on node voltages only
+  /// Hard cap on accepted steps: converts pathological step-size grinding
+  /// into an error instead of an unbounded run.
+  std::size_t max_steps = 5'000'000;
+  /// Skip the DC solve and start from element initial conditions
+  /// (SPICE "UIC"); unknown node voltages start at 0.
+  bool use_ic = false;
+  NewtonOptions newton;
+};
+
+/// Run a transient analysis. Records every node voltage plus the branch
+/// current of every voltage-defined element as "I(name)".
+TransientResult run_transient(circuit::Circuit& ckt, const TransientOptions& opts);
+
+}  // namespace ssnkit::sim

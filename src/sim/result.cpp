@@ -1,0 +1,42 @@
+#include "sim/result.hpp"
+
+#include <stdexcept>
+
+namespace ssnkit::sim {
+
+TransientResult::TransientResult(std::vector<std::string> signal_names)
+    : names_(std::move(signal_names)), columns_(names_.size()) {}
+
+void TransientResult::append(double t, const std::vector<double>& values) {
+  if (values.size() != names_.size())
+    throw std::invalid_argument("TransientResult::append: value count mismatch");
+  if (!times_.empty() && !(t > times_.back()))
+    throw std::invalid_argument("TransientResult::append: time must increase");
+  times_.push_back(t);
+  for (std::size_t i = 0; i < values.size(); ++i) columns_[i].push_back(values[i]);
+}
+
+bool TransientResult::has_signal(const std::string& name) const {
+  for (const auto& n : names_)
+    if (n == name) return true;
+  return false;
+}
+
+std::size_t TransientResult::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  throw std::out_of_range("TransientResult: unknown signal '" + name + "'");
+}
+
+waveform::Waveform TransientResult::waveform(const std::string& name) const {
+  const std::size_t i = index_of(name);
+  return waveform::Waveform(times_, columns_[i]);
+}
+
+double TransientResult::final_value(const std::string& name) const {
+  const std::size_t i = index_of(name);
+  if (times_.empty()) throw std::runtime_error("TransientResult: empty result");
+  return columns_[i].back();
+}
+
+}  // namespace ssnkit::sim

@@ -1,0 +1,53 @@
+// Simulation results: named signals over time. Node voltages are recorded
+// under their node names ("vssi"), branch currents as "I(element)".
+#pragma once
+
+#include "waveform/waveform.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssnkit::sim {
+
+struct SolverStats {
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;     ///< LTE rejections
+  std::size_t newton_failures = 0;    ///< step retries due to non-convergence
+  std::size_t newton_iterations = 0;  ///< total across all steps
+  std::size_t dc_iterations = 0;
+  bool dc_used_gmin_stepping = false;
+  bool dc_used_source_stepping = false;
+};
+
+class TransientResult {
+ public:
+  TransientResult(std::vector<std::string> signal_names);
+
+  /// Append one accepted time point; values must match the signal count.
+  void append(double t, const std::vector<double>& values);
+
+  const std::vector<std::string>& signal_names() const { return names_; }
+  bool has_signal(const std::string& name) const;
+
+  std::size_t point_count() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Extract one signal as a waveform; throws std::out_of_range when the
+  /// name is unknown.
+  waveform::Waveform waveform(const std::string& name) const;
+
+  /// Value of a signal at the final time point.
+  double final_value(const std::string& name) const;
+
+  SolverStats stats;
+
+ private:
+  std::size_t index_of(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> columns_;  // one per signal
+};
+
+}  // namespace ssnkit::sim

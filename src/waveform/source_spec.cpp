@@ -1,0 +1,118 @@
+#include "waveform/source_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ssnkit::waveform {
+
+namespace {
+
+double pulse_value(const Pulse& p, double t) {
+  if (t < p.delay) return p.v0;
+  const double tp = std::fmod(t - p.delay, p.period);
+  if (tp < p.rise) return p.v0 + (p.v1 - p.v0) * tp / p.rise;
+  if (tp < p.rise + p.width) return p.v1;
+  if (tp < p.rise + p.width + p.fall)
+    return p.v1 + (p.v0 - p.v1) * (tp - p.rise - p.width) / p.fall;
+  return p.v0;
+}
+
+double pwl_value(const Pwl& p, double t) {
+  if (p.points.empty()) return 0.0;
+  if (t <= p.points.front().first) return p.points.front().second;
+  if (t >= p.points.back().first) return p.points.back().second;
+  for (std::size_t i = 1; i < p.points.size(); ++i) {
+    if (t <= p.points[i].first) {
+      const auto& [t0, v0] = p.points[i - 1];
+      const auto& [t1, v1] = p.points[i];
+      const double w = (t - t0) / (t1 - t0);
+      return (1.0 - w) * v0 + w * v1;
+    }
+  }
+  return p.points.back().second;
+}
+
+}  // namespace
+
+double source_value(const SourceSpec& spec, double t) {
+  return std::visit(
+      [t](const auto& s) -> double {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Dc>) {
+          return s.value;
+        } else if constexpr (std::is_same_v<T, Ramp>) {
+          if (t <= s.t_start) return s.v0;
+          if (t >= s.t_end()) return s.v1;
+          return s.v0 + s.slope() * (t - s.t_start);
+        } else if constexpr (std::is_same_v<T, Pulse>) {
+          return pulse_value(s, t);
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          return pwl_value(s, t);
+        } else {
+          static_assert(std::is_same_v<T, Sine>);
+          if (t < s.delay) return s.offset;
+          return s.offset + s.amplitude * std::sin(2.0 * std::numbers::pi *
+                                                   s.frequency * (t - s.delay));
+        }
+      },
+      spec);
+}
+
+std::vector<double> source_breakpoints(const SourceSpec& spec, double t0,
+                                       double t1) {
+  std::vector<double> bps;
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Ramp>) {
+          bps.push_back(s.t_start);
+          bps.push_back(s.t_end());
+        } else if constexpr (std::is_same_v<T, Pulse>) {
+          for (double base = s.delay; base <= t1; base += s.period) {
+            bps.push_back(base);
+            bps.push_back(base + s.rise);
+            bps.push_back(base + s.rise + s.width);
+            bps.push_back(base + s.rise + s.width + s.fall);
+            if (s.period <= 0.0) break;
+          }
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          for (const auto& [t, v] : s.points) bps.push_back(t);
+        } else if constexpr (std::is_same_v<T, Sine>) {
+          bps.push_back(s.delay);
+        }
+        // Dc: no breakpoints.
+      },
+      spec);
+  std::erase_if(bps, [&](double t) { return t < t0 || t > t1; });
+  std::sort(bps.begin(), bps.end());
+  bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+  return bps;
+}
+
+void validate(const SourceSpec& spec) {
+  std::visit(
+      [](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Ramp>) {
+          if (!(s.rise_time > 0.0))
+            throw std::invalid_argument("Ramp: rise_time must be > 0");
+        } else if constexpr (std::is_same_v<T, Pulse>) {
+          if (!(s.rise > 0.0) || !(s.fall > 0.0))
+            throw std::invalid_argument("Pulse: rise/fall must be > 0");
+          if (s.period < s.rise + s.width + s.fall)
+            throw std::invalid_argument("Pulse: period shorter than rise+width+fall");
+        } else if constexpr (std::is_same_v<T, Pwl>) {
+          for (std::size_t i = 1; i < s.points.size(); ++i)
+            if (!(s.points[i].first > s.points[i - 1].first))
+              throw std::invalid_argument("Pwl: times must be strictly increasing");
+        } else if constexpr (std::is_same_v<T, Sine>) {
+          if (!(s.frequency > 0.0))
+            throw std::invalid_argument("Sine: frequency must be > 0");
+        }
+      },
+      spec);
+}
+
+}  // namespace ssnkit::waveform

@@ -1,0 +1,67 @@
+// Analytic source descriptions shared by the circuit simulator (independent
+// V/I sources) and by the SSN scenario definitions (the paper's ramp input
+// V_in = S·t). Each shape can report its breakpoints so the transient
+// engine lands a time step exactly on every slope discontinuity.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+namespace ssnkit::waveform {
+
+/// Constant source.
+struct Dc {
+  double value = 0.0;
+};
+
+/// The paper's input: v(t) = v0 before t_start, then a linear ramp with
+/// slope (v1-v0)/rise_time, then v1. slope() is the paper's S.
+struct Ramp {
+  double v0 = 0.0;
+  double v1 = 1.0;
+  double t_start = 0.0;
+  double rise_time = 1e-9;  ///< must be > 0
+
+  double slope() const { return (v1 - v0) / rise_time; }
+  double t_end() const { return t_start + rise_time; }
+};
+
+/// SPICE-style PULSE(v0 v1 delay rise fall width period).
+struct Pulse {
+  double v0 = 0.0;
+  double v1 = 1.0;
+  double delay = 0.0;
+  double rise = 1e-12;
+  double fall = 1e-12;
+  double width = 1e-9;
+  double period = 2e-9;
+};
+
+/// Piecewise-linear source; points must have strictly increasing times.
+struct Pwl {
+  std::vector<std::pair<double, double>> points;  // (t, v)
+};
+
+/// v(t) = offset + amplitude * sin(2*pi*freq*(t-delay)) for t >= delay.
+struct Sine {
+  double offset = 0.0;
+  double amplitude = 1.0;
+  double frequency = 1e9;
+  double delay = 0.0;
+};
+
+using SourceSpec = std::variant<Dc, Ramp, Pulse, Pwl, Sine>;
+
+/// Value of the source at time t (t < 0 allowed; shapes clamp sensibly).
+double source_value(const SourceSpec& spec, double t);
+
+/// Times at which the source's derivative is discontinuous, within [t0, t1].
+/// Periodic shapes enumerate every period inside the window.
+std::vector<double> source_breakpoints(const SourceSpec& spec, double t0,
+                                       double t1);
+
+/// Validate invariants (rise_time > 0, PWL monotone, ...); throws
+/// std::invalid_argument with a description when violated.
+void validate(const SourceSpec& spec);
+
+}  // namespace ssnkit::waveform

@@ -1,0 +1,160 @@
+#include "waveform/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssnkit::waveform {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size())
+    throw std::invalid_argument("Waveform: times/values size mismatch");
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    if (!(times_[i] > times_[i - 1]))
+      throw std::invalid_argument("Waveform: times must be strictly increasing");
+}
+
+Waveform Waveform::from_function(const std::function<double(double)>& f,
+                                 double t0, double t1, std::size_t points) {
+  if (points < 2) throw std::invalid_argument("Waveform::from_function: need >= 2 points");
+  if (!(t1 > t0)) throw std::invalid_argument("Waveform::from_function: t1 must be > t0");
+  std::vector<double> ts(points), vs(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * double(i) / double(points - 1);
+    ts[i] = t;
+    vs[i] = f(t);
+  }
+  return Waveform(std::move(ts), std::move(vs));
+}
+
+double Waveform::t_begin() const {
+  if (empty()) throw std::runtime_error("Waveform::t_begin: empty waveform");
+  return times_.front();
+}
+
+double Waveform::t_end() const {
+  if (empty()) throw std::runtime_error("Waveform::t_end: empty waveform");
+  return times_.back();
+}
+
+void Waveform::append(double t, double v) {
+  if (!times_.empty() && !(t > times_.back()))
+    throw std::invalid_argument("Waveform::append: time must increase");
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double Waveform::sample(double t) const {
+  if (empty()) throw std::runtime_error("Waveform::sample: empty waveform");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = std::size_t(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double w = (t - times_[lo]) / span;
+  return (1.0 - w) * values_[lo] + w * values_[hi];
+}
+
+Waveform::Extremum Waveform::maximum() const {
+  if (empty()) throw std::runtime_error("Waveform::maximum: empty waveform");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < size(); ++i)
+    if (values_[i] > values_[best]) best = i;
+  return {times_[best], values_[best]};
+}
+
+Waveform::Extremum Waveform::minimum() const {
+  if (empty()) throw std::runtime_error("Waveform::minimum: empty waveform");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < size(); ++i)
+    if (values_[i] < values_[best]) best = i;
+  return {times_[best], values_[best]};
+}
+
+Waveform::Extremum Waveform::maximum_in(double t0, double t1) const {
+  if (t0 > t1) std::swap(t0, t1);
+  Extremum best{t0, sample(t0)};
+  const double at_t1 = sample(t1);
+  if (at_t1 > best.value) best = {t1, at_t1};
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (times_[i] < t0 || times_[i] > t1) continue;
+    if (values_[i] > best.value) best = {times_[i], values_[i]};
+  }
+  return best;
+}
+
+Waveform Waveform::resampled(std::size_t points) const {
+  return from_function([this](double t) { return sample(t); }, t_begin(), t_end(),
+                       points);
+}
+
+Waveform Waveform::resampled_like(const Waveform& other) const {
+  std::vector<double> ts = other.times_;
+  std::vector<double> vs(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) vs[i] = sample(ts[i]);
+  return Waveform(std::move(ts), std::move(vs));
+}
+
+Waveform Waveform::windowed(double t0, double t1) const {
+  if (t0 > t1) std::swap(t0, t1);
+  Waveform out;
+  out.append(t0, sample(t0));
+  for (std::size_t i = 0; i < size(); ++i)
+    if (times_[i] > t0 && times_[i] < t1) out.append(times_[i], values_[i]);
+  if (t1 > out.t_end()) out.append(t1, sample(t1));
+  return out;
+}
+
+Waveform Waveform::operator-(const Waveform& rhs) const {
+  Waveform out = *this;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.values_[i] -= rhs.sample(out.times_[i]);
+  return out;
+}
+
+Waveform Waveform::operator+(const Waveform& rhs) const {
+  Waveform out = *this;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.values_[i] += rhs.sample(out.times_[i]);
+  return out;
+}
+
+Waveform Waveform::scaled(double s) const {
+  Waveform out = *this;
+  for (double& v : out.values_) v *= s;
+  return out;
+}
+
+Waveform Waveform::shifted(double dv) const {
+  Waveform out = *this;
+  for (double& v : out.values_) v += dv;
+  return out;
+}
+
+Waveform Waveform::derivative() const {
+  if (size() < 2) throw std::runtime_error("Waveform::derivative: need >= 2 points");
+  Waveform out = *this;
+  const std::size_t n = size();
+  out.values_[0] = (values_[1] - values_[0]) / (times_[1] - times_[0]);
+  out.values_[n - 1] =
+      (values_[n - 1] - values_[n - 2]) / (times_[n - 1] - times_[n - 2]);
+  for (std::size_t i = 1; i + 1 < n; ++i)
+    out.values_[i] = (values_[i + 1] - values_[i - 1]) / (times_[i + 1] - times_[i - 1]);
+  return out;
+}
+
+Waveform Waveform::integral() const {
+  if (empty()) throw std::runtime_error("Waveform::integral: empty waveform");
+  Waveform out = *this;
+  double acc = 0.0;
+  out.values_[0] = 0.0;
+  for (std::size_t i = 1; i < size(); ++i) {
+    acc += 0.5 * (values_[i] + values_[i - 1]) * (times_[i] - times_[i - 1]);
+    out.values_[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace ssnkit::waveform

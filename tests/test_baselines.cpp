@@ -1,0 +1,131 @@
+// Reconstructed baseline SSN estimators (Senthinathan–Prince, Vemuru, Song).
+#include "core/baselines.hpp"
+#include "core/l_only_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace ssnkit::core;
+
+BaselineInputs typical() {
+  BaselineInputs in;
+  in.n_drivers = 8;
+  in.inductance = 5e-9;
+  in.slope = 1.8e10;
+  in.vdd = 1.8;
+  in.b = 6.5e-3 / std::pow(1.8 - 0.45, 1.3);
+  in.vt = 0.45;
+  in.alpha = 1.3;
+  return in;
+}
+
+TEST(Baselines, AllPredictPlausibleNoise) {
+  const BaselineInputs in = typical();
+  for (double v : {senthinathan_prince_vmax(in), vemuru_vmax(in), song_vmax(in)}) {
+    EXPECT_GT(v, 0.05);
+    EXPECT_LT(v, in.vdd);
+  }
+}
+
+TEST(Baselines, SelfConsistency) {
+  // Each estimate must satisfy its own implicit equation.
+  const BaselineInputs in = typical();
+  const double nl = 8.0 * 5e-9;
+  {
+    const double v = vemuru_vmax(in);
+    const double gm = in.alpha * in.b * std::pow(in.vdd - v - in.vt, in.alpha - 1);
+    const double tau = nl * gm;
+    const double rhs =
+        tau * in.slope * (1.0 - std::exp(-(in.vdd - in.vt) / (in.slope * tau)));
+    EXPECT_NEAR(v, rhs, 1e-9);
+  }
+  {
+    const double v = song_vmax(in);
+    const double gm = in.alpha * in.b * std::pow(in.vdd - v - in.vt, in.alpha - 1);
+    const double rhs = nl * gm * in.slope * (1.0 - v / (in.vdd - in.vt));
+    EXPECT_NEAR(v, rhs, 1e-9);
+  }
+}
+
+TEST(Baselines, MonotoneInDriverCount) {
+  BaselineInputs in = typical();
+  double prev_v = 0.0, prev_s = 0.0, prev_p = 0.0;
+  for (int n = 1; n <= 16; n += 3) {
+    in.n_drivers = n;
+    const double v = vemuru_vmax(in);
+    const double s = song_vmax(in);
+    const double p = senthinathan_prince_vmax(in);
+    EXPECT_GT(v, prev_v);
+    EXPECT_GT(s, prev_s);
+    EXPECT_GT(p, prev_p);
+    prev_v = v;
+    prev_s = s;
+    prev_p = p;
+  }
+}
+
+TEST(Baselines, SaturateBelowOverdrive) {
+  // The noise can never reach the full overdrive (the device would be off).
+  BaselineInputs in = typical();
+  in.n_drivers = 4096;
+  for (double v : {senthinathan_prince_vmax(in), vemuru_vmax(in), song_vmax(in)}) {
+    EXPECT_LT(v, in.vdd - in.vt);
+    EXPECT_GT(v, 0.5 * (in.vdd - in.vt));  // deep saturation
+  }
+}
+
+TEST(Baselines, SongBelowVemuru) {
+  // Song's linear-V_n assumption subtracts the dV/dt feedback term, so for
+  // identical inputs its estimate sits below Vemuru's.
+  const BaselineInputs in = typical();
+  EXPECT_LT(song_vmax(in), vemuru_vmax(in));
+}
+
+TEST(Baselines, ZeroNoiseLimit) {
+  // Vanishing inductance -> vanishing noise.
+  BaselineInputs in = typical();
+  in.inductance = 1e-15;
+  EXPECT_LT(vemuru_vmax(in), 1e-2);
+  EXPECT_LT(song_vmax(in), 1e-2);
+  EXPECT_LT(senthinathan_prince_vmax(in), 1e-2);
+}
+
+TEST(Baselines, Validation) {
+  BaselineInputs in = typical();
+  in.b = 0.0;
+  EXPECT_THROW(vemuru_vmax(in), std::invalid_argument);
+  in = typical();
+  in.alpha = 2.5;
+  EXPECT_THROW(song_vmax(in), std::invalid_argument);
+  in = typical();
+  in.vt = 2.0;
+  EXPECT_THROW(senthinathan_prince_vmax(in), std::invalid_argument);
+  in = typical();
+  in.n_drivers = 0;
+  EXPECT_THROW(vemuru_vmax(in), std::invalid_argument);
+}
+
+TEST(Baselines, VemuruNearThisWorkForLambdaOne) {
+  // With lambda -> 1 and K ~ gm the paper's model degenerates to Vemuru's
+  // form; check they are in the same neighbourhood for a mild scenario.
+  BaselineInputs in = typical();
+  in.n_drivers = 4;
+  const double v_vemuru = vemuru_vmax(in);
+
+  SsnScenario s;
+  s.n_drivers = 4;
+  s.inductance = in.inductance;
+  s.capacitance = 0.0;
+  s.slope = in.slope;
+  s.vdd = in.vdd;
+  const double gm_full =
+      in.alpha * in.b * std::pow(in.vdd - v_vemuru - in.vt, in.alpha - 1.0);
+  s.device = {.k = gm_full, .lambda = 1.0, .vx = in.vt};
+  const double v_this = LOnlyModel(s).v_max();
+  EXPECT_NEAR(v_this, v_vemuru, 0.25 * v_vemuru);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Device models: smoothing primitives, alpha-power golden, BSIM-lite
+// golden, the ASDM, and the width-scaling adapter.
+#include "devices/alpha_power.hpp"
+#include "devices/asdm.hpp"
+#include "devices/bsim_lite.hpp"
+#include "process/package.hpp"
+#include "process/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace ssnkit::devices;
+
+TEST(SmoothRelu, LimitsAndMidpoint) {
+  EXPECT_NEAR(smooth_relu(1.0, 1e-3), 1.0, 1e-5);
+  EXPECT_NEAR(smooth_relu(-1.0, 1e-3), 0.0, 1e-5);
+  EXPECT_NEAR(smooth_relu(0.0, 1e-3), 1e-3, 1e-12);
+  EXPECT_THROW(smooth_relu(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(SmoothRelu, DerivativeMatchesFiniteDifference) {
+  const double eps = 2e-3;
+  for (double x : {-0.1, -0.001, 0.0, 0.001, 0.1}) {
+    const double h = 1e-7;
+    const double fd = (smooth_relu(x + h, eps) - smooth_relu(x - h, eps)) / (2 * h);
+    EXPECT_NEAR(smooth_relu_deriv(x, eps), fd, 1e-6);
+  }
+}
+
+TEST(BodyEffect, RaisesThresholdWithSourceBias) {
+  const double vt0 = 0.45, gamma = 0.35, phi2f = 0.85;
+  EXPECT_DOUBLE_EQ(body_effect_vt(vt0, gamma, phi2f, 0.0), vt0);
+  const double vt_biased = body_effect_vt(vt0, gamma, phi2f, 0.5);
+  EXPECT_GT(vt_biased, vt0);
+  EXPECT_NEAR(vt_biased,
+              vt0 + gamma * (std::sqrt(phi2f + 0.5) - std::sqrt(phi2f)), 1e-12);
+  // gamma = 0 disables the effect entirely.
+  EXPECT_DOUBLE_EQ(body_effect_vt(vt0, 0.0, phi2f, 0.5), vt0);
+}
+
+class AlphaPowerTest : public ::testing::Test {
+ protected:
+  AlphaPowerParams params_ = ssnkit::process::tech_180nm().alpha_power;
+  AlphaPowerModel model_{params_};
+};
+
+TEST_F(AlphaPowerTest, OffBelowThreshold) {
+  EXPECT_LT(model_.ids(0.1, 1.8, 0.0), 1e-6);
+  EXPECT_LT(model_.ids(0.0, 1.8, 0.0), 1e-6);
+}
+
+TEST_F(AlphaPowerTest, Id0AtFullBias) {
+  // At vgs = vds = vdd the current equals id0 times the CLM factor.
+  const double expected = params_.id0 * (1.0 + params_.lambda_clm * params_.vdd);
+  EXPECT_NEAR(model_.ids(params_.vdd, params_.vdd, 0.0), expected,
+              0.02 * expected);
+}
+
+TEST_F(AlphaPowerTest, MonotoneInVgs) {
+  double prev = 0.0;
+  for (double vgs = 0.5; vgs <= 1.8; vgs += 0.05) {
+    const double i = model_.ids(vgs, 1.8, 0.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST_F(AlphaPowerTest, TriodeBelowSaturation) {
+  const double vgs = 1.8;
+  const double vdsat = model_.vdsat(vgs, 0.0);
+  EXPECT_GT(vdsat, 0.1);
+  EXPECT_LT(model_.ids(vgs, vdsat / 4.0, 0.0), model_.ids(vgs, vdsat, 0.0));
+  // Zero vds -> zero current.
+  EXPECT_NEAR(model_.ids(vgs, 0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST_F(AlphaPowerTest, ContinuousAcrossVdsat) {
+  const double vgs = 1.4;
+  const double vdsat = model_.vdsat(vgs, 0.0);
+  const double below = model_.ids(vgs, vdsat * (1 - 1e-9), 0.0);
+  const double above = model_.ids(vgs, vdsat * (1 + 1e-9), 0.0);
+  EXPECT_NEAR(below, above, 1e-9 * above + 1e-15);
+  // C1: derivative continuous too (compare secants on both sides).
+  const double h = 1e-6;
+  const double d_below =
+      (model_.ids(vgs, vdsat, 0.0) - model_.ids(vgs, vdsat - h, 0.0)) / h;
+  const double d_above =
+      (model_.ids(vgs, vdsat + h, 0.0) - model_.ids(vgs, vdsat, 0.0)) / h;
+  EXPECT_NEAR(d_below, d_above, 5e-3 * std::fabs(d_below) + 1e-9);
+}
+
+TEST_F(AlphaPowerTest, BodyEffectReducesCurrent) {
+  // Same vgs, source lifted above bulk (vbs < 0): current must drop.
+  EXPECT_LT(model_.ids(1.2, 1.5, -0.5), model_.ids(1.2, 1.5, 0.0));
+}
+
+TEST_F(AlphaPowerTest, EvaluateDerivativesMatchFiniteDifference) {
+  const auto eval = model_.evaluate(1.2, 1.5, -0.2);
+  const double h = 1e-6;
+  EXPECT_NEAR(eval.gm,
+              (model_.ids(1.2 + h, 1.5, -0.2) - model_.ids(1.2 - h, 1.5, -0.2)) /
+                  (2 * h),
+              1e-8);
+  EXPECT_GT(eval.gm, 0.0);
+  EXPECT_GE(eval.gds, 0.0);
+  EXPECT_GT(eval.gmb, 0.0);  // raising vbs lowers vt -> more current
+}
+
+TEST_F(AlphaPowerTest, ParamValidation) {
+  AlphaPowerParams p = params_;
+  p.alpha = 2.5;
+  EXPECT_THROW(AlphaPowerModel{p}, std::invalid_argument);
+  p = params_;
+  p.vt0 = -0.1;
+  EXPECT_THROW(AlphaPowerModel{p}, std::invalid_argument);
+  p = params_;
+  p.id0 = 0.0;
+  EXPECT_THROW(AlphaPowerModel{p}, std::invalid_argument);
+}
+
+class BsimLiteTest : public ::testing::Test {
+ protected:
+  BsimLiteParams params_ = ssnkit::process::tech_180nm().bsim_lite;
+  BsimLiteModel model_{params_};
+};
+
+TEST_F(BsimLiteTest, OffBelowThreshold) {
+  EXPECT_LT(model_.ids(0.2, 1.8, 0.0), 1e-6);
+}
+
+TEST_F(BsimLiteTest, SaturatesWithVds) {
+  const double i_half = model_.ids(1.8, 0.9, 0.0);
+  const double i_full = model_.ids(1.8, 1.8, 0.0);
+  EXPECT_GT(i_full, i_half * 0.9);
+  // Past vdsat the current rises only via CLM.
+  const double vdsat = model_.vdsat(1.8, 0.0);
+  const double i1 = model_.ids(1.8, vdsat * 2.0, 0.0);
+  const double i2 = model_.ids(1.8, vdsat * 2.5, 0.0);
+  EXPECT_LT((i2 - i1) / i1, 0.1);
+}
+
+TEST_F(BsimLiteTest, MobilityDegradationSubQuadratic) {
+  // With theta > 0 the I(vgs) curve grows slower than square law.
+  const double i1 = model_.ids(1.0, 1.8, 0.0);
+  const double i2 = model_.ids(1.8, 1.8, 0.0);
+  const double vt = params_.vt0;
+  const double square_ratio = std::pow((1.8 - vt) / (1.0 - vt), 2.0);
+  EXPECT_LT(i2 / i1, square_ratio);
+}
+
+TEST_F(BsimLiteTest, BodyEffectReducesCurrent) {
+  EXPECT_LT(model_.ids(1.2, 1.5, -0.5), model_.ids(1.2, 1.5, 0.0));
+}
+
+TEST_F(BsimLiteTest, CloneIsIndependent) {
+  const auto clone = model_.clone();
+  EXPECT_DOUBLE_EQ(clone->ids(1.5, 1.8, 0.0), model_.ids(1.5, 1.8, 0.0));
+}
+
+TEST(Asdm, PaperFormAndTurnOn) {
+  AsdmModel m({.k = 5e-3, .lambda = 1.3, .vx = 0.6});
+  EXPECT_DOUBLE_EQ(m.ids_gate_source(0.5, 0.0), 0.0);  // below vx
+  EXPECT_NEAR(m.ids_gate_source(1.6, 0.0), 5e-3 * 1.0, 1e-12);
+  // Source bounce of 0.2 V costs lambda*0.2 of gate overdrive.
+  EXPECT_NEAR(m.ids_gate_source(1.6, 0.2), 5e-3 * (1.6 - 1.3 * 0.2 - 0.6), 1e-12);
+  EXPECT_NEAR(m.turn_on_vg(0.2), 1.3 * 0.2 + 0.6, 1e-12);
+}
+
+TEST(Asdm, MosfetInterfaceMatchesPaperForm) {
+  // The simulator-facing interface smooths the paper's hard clamp with a
+  // ~1 mV width; deep in the on region the two agree to K*eps^2/overdrive.
+  AsdmModel m({.k = 5e-3, .lambda = 1.3, .vx = 0.6});
+  // vg = 1.5, vs = 0.3, bulk at true ground: vgs = 1.2, vbs = -0.3.
+  EXPECT_NEAR(m.ids(1.2, 1.5, -0.3), m.ids_gate_source(1.5, 0.3), 1e-7);
+  const auto eval = m.evaluate(1.2, 1.5, -0.3);
+  EXPECT_NEAR(eval.gm, 5e-3, 1e-7);
+  EXPECT_DOUBLE_EQ(eval.gds, 0.0);
+  EXPECT_NEAR(eval.gmb, 5e-3 * 0.3, 1e-7);
+}
+
+TEST(Asdm, NegligibleCurrentAndGainWhenOff) {
+  AsdmModel m({.k = 5e-3, .lambda = 1.3, .vx = 0.6});
+  const auto eval = m.evaluate(0.1, 1.8, 0.0);  // 0.5 V below turn-on
+  EXPECT_LT(eval.ids, 1e-8);
+  EXPECT_LT(eval.gm, 1e-7);
+  // The hard-clamped paper form is exactly zero there.
+  EXPECT_DOUBLE_EQ(m.ids_gate_source(0.1, 0.0), 0.0);
+}
+
+TEST(Asdm, ParamValidation) {
+  EXPECT_THROW(AsdmModel({.k = -1.0, .lambda = 1.3, .vx = 0.6}),
+               std::invalid_argument);
+  EXPECT_THROW(AsdmModel({.k = 1e-3, .lambda = 0.9, .vx = 0.6}),
+               std::invalid_argument);
+  EXPECT_THROW(AsdmModel({.k = 1e-3, .lambda = 1.3, .vx = -0.1}),
+               std::invalid_argument);
+}
+
+TEST(ScaledModel, ScalesCurrentAndDerivatives) {
+  auto base = std::make_unique<AsdmModel>(
+      AsdmParams{.k = 5e-3, .lambda = 1.3, .vx = 0.6});
+  ScaledMosfetModel scaled(std::move(base), 4.0);
+  EXPECT_NEAR(scaled.ids(1.2, 1.8, 0.0), 4.0 * 5e-3 * (1.2 - 0.6), 1e-12);
+  const auto eval = scaled.evaluate(1.2, 1.8, 0.0);
+  EXPECT_DOUBLE_EQ(eval.gm, 4.0 * 5e-3);
+  EXPECT_THROW(ScaledMosfetModel(nullptr, 2.0), std::invalid_argument);
+  EXPECT_THROW(ScaledMosfetModel(scaled.clone(), 0.0), std::invalid_argument);
+}
+
+TEST(Technology, PresetsAreValidAndDistinct) {
+  using namespace ssnkit::process;
+  for (const char* name : {"180nm", "250nm", "350nm"}) {
+    const Technology t = technology_by_name(name);
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_EQ(t.name, name);
+  }
+  EXPECT_GT(tech_350nm().vdd, tech_180nm().vdd);
+  EXPECT_THROW(technology_by_name("90nm"), std::invalid_argument);
+}
+
+TEST(Technology, GoldenFactoryScalesWidth) {
+  const auto tech = ssnkit::process::tech_180nm();
+  const auto unit = tech.make_golden(ssnkit::process::GoldenKind::kAlphaPower, 1.0);
+  const auto twice = tech.make_golden(ssnkit::process::GoldenKind::kAlphaPower, 2.0);
+  EXPECT_NEAR(twice->ids(1.8, 1.8, 0.0), 2.0 * unit->ids(1.8, 1.8, 0.0), 1e-12);
+}
+
+TEST(Package, PresetsAndPadScaling) {
+  using namespace ssnkit::process;
+  const Package pga = package_pga();
+  EXPECT_DOUBLE_EQ(pga.inductance, 5e-9);
+  EXPECT_DOUBLE_EQ(pga.capacitance, 1e-12);
+  EXPECT_DOUBLE_EQ(pga.resistance, 10e-3);
+  const Package doubled = pga.with_ground_pads(2);
+  EXPECT_DOUBLE_EQ(doubled.inductance, 2.5e-9);
+  EXPECT_DOUBLE_EQ(doubled.capacitance, 2e-12);
+  EXPECT_THROW(pga.with_ground_pads(0), std::invalid_argument);
+  EXPECT_THROW(package_by_name("dip"), std::invalid_argument);
+  EXPECT_LT(package_flip_chip().inductance, package_wire_bond().inductance);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Engine robustness and accuracy properties: global convergence order,
+// sparse/dense solver equivalence on a large driver bank, Gear-2 on the
+// full SSN bench, and pathological-input handling.
+#include "analysis/measure.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/testbench.hpp"
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace ssnkit;
+using namespace ssnkit::circuit;
+using namespace ssnkit::sim;
+using ssnkit::waveform::Dc;
+using ssnkit::waveform::Pwl;
+
+double rc_error_with_step(Integrator method, double h) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, Pwl{{{0.0, 0.0}, {1e-15, 1.0}}});
+  ckt.add_resistor("R1", in, out, 1e3);
+  ckt.add_capacitor("C1", out, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 4e-9;
+  opts.adaptive = false;
+  opts.dt_initial = h;
+  opts.method = method;
+  const TransientResult res = run_transient(ckt, opts);
+  double err = 0.0;
+  for (double t = 1e-9; t <= 3.5e-9; t += 0.25e-9)
+    err = std::max(err, std::fabs(res.waveform("out").sample(t) -
+                                  (1.0 - std::exp(-t / 1e-9))));
+  return err;
+}
+
+TEST(ConvergenceOrder, BackwardEulerIsFirstOrder) {
+  const double e1 = rc_error_with_step(Integrator::kBackwardEuler, 20e-12);
+  const double e2 = rc_error_with_step(Integrator::kBackwardEuler, 10e-12);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.4);
+}
+
+TEST(ConvergenceOrder, TrapezoidalIsSecondOrder) {
+  const double e1 = rc_error_with_step(Integrator::kTrapezoidal, 40e-12);
+  const double e2 = rc_error_with_step(Integrator::kTrapezoidal, 20e-12);
+  EXPECT_NEAR(e1 / e2, 4.0, 1.0);
+}
+
+TEST(ConvergenceOrder, Gear2IsSecondOrder) {
+  const double e1 = rc_error_with_step(Integrator::kGear2, 40e-12);
+  const double e2 = rc_error_with_step(Integrator::kGear2, 20e-12);
+  EXPECT_NEAR(e1 / e2, 4.0, 1.2);
+}
+
+TEST(SparsePath, LargeDriverBankMatchesDenseSolver) {
+  // 24 drivers -> ~75 unknowns: well past the sparse threshold. Force the
+  // dense path via a huge threshold and compare.
+  const auto run_with = [](std::size_t threshold) {
+    SsnBenchSpec spec;
+    spec.n_drivers = 24;
+    analysis::MeasureOptions mopts;
+    mopts.transient.newton.sparse_threshold = threshold;
+    return analysis::measure_ssn(spec, mopts).v_max;
+  };
+  const double v_sparse = run_with(8);
+  const double v_dense = run_with(1u << 20);
+  EXPECT_NEAR(v_sparse, v_dense, 1e-6 * v_dense);
+  EXPECT_GT(v_sparse, 0.5);
+}
+
+TEST(SsnBenchIntegrators, AllMethodsAgreeOnVmax) {
+  double v_ref = 0.0;
+  for (auto method : {Integrator::kTrapezoidal, Integrator::kBackwardEuler,
+                      Integrator::kGear2}) {
+    SsnBenchSpec spec;
+    spec.n_drivers = 8;
+    analysis::MeasureOptions mopts;
+    mopts.transient.method = method;
+    mopts.transient.dt_max = spec.input_rise_time / 400.0;
+    const double v = analysis::measure_ssn(spec, mopts).v_max;
+    if (v_ref == 0.0) v_ref = v;
+    EXPECT_NEAR(v, v_ref, 0.01 * v_ref);
+  }
+}
+
+TEST(Robustness, FloatingNodeReportsFailure) {
+  // A node with no DC path at all: the operating point must fail loudly,
+  // not return garbage.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("V1", a, kGround, Dc{1.0});
+  ckt.add_capacitor("C1", b, kGround, 1e-12);  // b floats
+  (void)a;
+  EXPECT_THROW(dc_operating_point(ckt), std::runtime_error);
+}
+
+TEST(Robustness, StepBudgetConvertsGrindToError) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, Dc{1.0});
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.adaptive = false;
+  opts.dt_initial = 1e-15;  // would need 1e6 steps
+  opts.max_steps = 1000;
+  EXPECT_THROW(run_transient(ckt, opts), std::runtime_error);
+}
+
+TEST(Robustness, ZeroLengthRampRejected) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add_vsource("V1", ckt.node("a"), kGround,
+                               ssnkit::waveform::Ramp{0.0, 1.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Robustness, RepeatSimulationIsIdempotent) {
+  // Running the same circuit object twice must give identical results
+  // (element history fully re-initialized each run).
+  SsnBench bench = make_ssn_testbench({});
+  TransientOptions opts;
+  opts.t_stop = 0.1e-9;
+  const auto r1 = run_transient(bench.circuit, opts);
+  const auto r2 = run_transient(bench.circuit, opts);
+  EXPECT_EQ(r1.point_count(), r2.point_count());
+  EXPECT_DOUBLE_EQ(r1.final_value("vssi"), r2.final_value("vssi"));
+}
+
+TEST(Robustness, DcAtNonzeroTimeUsesSourceValue) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround,
+                  ssnkit::waveform::Ramp{0.0, 2.0, 0.0, 1e-9});
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_NEAR(dc_operating_point(ckt, 0.5e-9).voltage(ckt, "a"), 1.0, 1e-9);
+  EXPECT_NEAR(dc_operating_point(ckt, 5e-9).voltage(ckt, "a"), 2.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Output helpers: CSV, text tables, ASCII charts, gnuplot scripts.
+#include "io/ascii_chart.hpp"
+#include "io/csv.hpp"
+#include "io/gnuplot.hpp"
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace ssnkit::io;
+using ssnkit::waveform::Waveform;
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv({"n", "vmax"});
+  csv.add_row({1.0, 0.25});
+  csv.add_row({2.0, 0.4});
+  std::ostringstream os;
+  csv.write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("n,vmax\n"), std::string::npos);
+  EXPECT_NE(text.find("1,0.25"), std::string::npos);
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, WidthValidation) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(Csv, WaveformDump) {
+  const Waveform w({0.0, 1.0}, {0.5, 1.5});
+  std::ostringstream os;
+  write_waveforms_csv(os, {"v"}, {&w});
+  EXPECT_NE(os.str().find("time,v"), std::string::npos);
+  EXPECT_NE(os.str().find("0,0.5"), std::string::npos);
+  EXPECT_THROW(write_waveforms_csv(os, {"a", "b"}, {&w}), std::invalid_argument);
+}
+
+TEST(Table, AlignedOutput) {
+  TextTable t({"case", "v_max"});
+  t.add_row({std::string("over"), std::string("0.81")});
+  t.add_row({0.5, 0.123456789}, 4);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| case"), std::string::npos);
+  EXPECT_NE(s.find("0.1235"), std::string::npos);
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(Table, SiFormat) {
+  EXPECT_EQ(si_format(5e-9), "5n");
+  EXPECT_EQ(si_format(1e-12), "1p");
+  EXPECT_EQ(si_format(1.8e10, 3), "18G");
+  EXPECT_EQ(si_format(0.0), "0");
+  EXPECT_EQ(si_format(-3e-3), "-3m");
+  EXPECT_EQ(si_format(42.0), "42");
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  const auto w = Waveform::from_function(
+      [](double t) { return t * (1.0 - t); }, 0.0, 1.0, 64);
+  ChartOptions opts;
+  opts.title = "parabola";
+  opts.y_label = "v";
+  const std::string chart = ascii_chart(w, opts);
+  EXPECT_NE(chart.find("parabola"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs) {
+  const auto a = Waveform::from_function([](double t) { return t; }, 0.0, 1.0, 32);
+  const auto b =
+      Waveform::from_function([](double t) { return 1.0 - t; }, 0.0, 1.0, 32);
+  const std::string chart = ascii_chart({&a, &b}, {"up", "down"});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("up"), std::string::npos);
+  EXPECT_NE(chart.find("down"), std::string::npos);
+}
+
+TEST(AsciiChart, XyChartAndValidation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<std::vector<double>> ys{{0.1, 0.2, 0.3}};
+  EXPECT_NO_THROW(ascii_xy_chart(x, ys, {"series"}));
+  EXPECT_THROW(ascii_xy_chart(x, {{0.1}}, {"bad"}), std::invalid_argument);
+  EXPECT_THROW(ascii_chart(std::vector<const Waveform*>{}, std::vector<std::string>{}),
+               std::invalid_argument);
+}
+
+TEST(Gnuplot, ScriptContainsDataAndTitles) {
+  const Waveform w({0.0, 1.0}, {0.0, 2.0});
+  std::ostringstream os;
+  GnuplotOptions opts;
+  opts.title = "ssn";
+  write_gnuplot_script(os, {&w}, {"vssi"}, opts);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("set title 'ssn'"), std::string::npos);
+  EXPECT_NE(s.find("with lines title 'vssi'"), std::string::npos);
+  EXPECT_NE(s.find("\ne\n"), std::string::npos);
+}
+
+TEST(Gnuplot, XyScript) {
+  std::ostringstream os;
+  write_gnuplot_xy_script(os, {1.0, 2.0}, {{0.1, 0.2}}, {"vmax"});
+  EXPECT_NE(os.str().find("linespoints"), std::string::npos);
+  EXPECT_THROW(
+      write_gnuplot_xy_script(os, {1.0}, {{0.1, 0.2}}, {"bad"}),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Monte Carlo variation analysis on the closed-form models.
+#include "analysis/design.hpp"
+#include "analysis/montecarlo.hpp"
+#include "numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ssnkit;
+using analysis::monte_carlo_vmax;
+using analysis::MonteCarloOptions;
+
+core::SsnScenario nominal() {
+  core::SsnScenario s;
+  s.n_drivers = 8;
+  s.inductance = 5e-9;
+  s.capacitance = 1e-12;
+  s.vdd = 1.8;
+  s.slope = 1.8e10;
+  s.device = {.k = 5.3e-3, .lambda = 1.17, .vx = 0.56};
+  return s;
+}
+
+TEST(Quantile, InterpolatesSorted) {
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(ssnkit::numeric::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ssnkit::numeric::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ssnkit::numeric::quantile(xs, 0.5), 2.5);
+  EXPECT_THROW(ssnkit::numeric::quantile(std::span<const double>{}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ssnkit::numeric::quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(MonteCarlo, DistributionBracketsNominal) {
+  const auto s = nominal();
+  MonteCarloOptions opts;
+  opts.samples = 500;
+  const auto result = monte_carlo_vmax(s, opts);
+  ASSERT_EQ(result.samples.size(), 500u);
+  const double v_nom = analysis::predict_vmax(s);
+  EXPECT_LT(result.min, v_nom);
+  EXPECT_GT(result.max, v_nom);
+  EXPECT_NEAR(result.mean, v_nom, 0.1 * v_nom);
+  EXPECT_GT(result.stddev, 0.0);
+  EXPECT_GE(result.p95, result.mean);
+  EXPECT_GE(result.p99, result.p95);
+  EXPECT_LE(result.p99, result.max);
+}
+
+TEST(MonteCarlo, Deterministic) {
+  const auto a = monte_carlo_vmax(nominal());
+  const auto b = monte_carlo_vmax(nominal());
+  EXPECT_EQ(a.samples, b.samples);
+  MonteCarloOptions other_seed;
+  other_seed.seed = 999;
+  const auto c = monte_carlo_vmax(nominal(), other_seed);
+  EXPECT_NE(a.samples, c.samples);
+}
+
+TEST(MonteCarlo, ZeroSigmaCollapses) {
+  MonteCarloOptions opts;
+  opts.samples = 10;
+  opts.sigma_k = opts.sigma_lambda = opts.sigma_vx = 0.0;
+  opts.sigma_l = opts.sigma_c = opts.sigma_slope = 0.0;
+  const auto result = monte_carlo_vmax(nominal(), opts);
+  EXPECT_DOUBLE_EQ(result.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(result.min, result.max);
+  EXPECT_DOUBLE_EQ(result.region_flip_fraction, 0.0);
+}
+
+TEST(MonteCarlo, WiderSigmaWiderSpread) {
+  MonteCarloOptions narrow;
+  narrow.samples = 400;
+  narrow.sigma_l = 0.02;
+  MonteCarloOptions wide = narrow;
+  wide.sigma_l = 0.20;
+  const double s_narrow = monte_carlo_vmax(nominal(), narrow).stddev;
+  const double s_wide = monte_carlo_vmax(nominal(), wide).stddev;
+  EXPECT_GT(s_wide, s_narrow);
+}
+
+TEST(MonteCarlo, RegionFlipsDetectedNearBoundary) {
+  // Put the nominal right at critical damping: variation flips the region
+  // in roughly half of the samples.
+  auto s = nominal();
+  s.capacitance = s.critical_capacitance();
+  MonteCarloOptions opts;
+  opts.samples = 400;
+  const auto result = monte_carlo_vmax(s, opts);
+  EXPECT_GT(result.region_flip_fraction, 0.3);
+  // Deep in the over-damped region, flips are rare.
+  auto far = nominal();
+  far.capacitance = far.critical_capacitance() * 0.05;
+  EXPECT_LT(monte_carlo_vmax(far, opts).region_flip_fraction, 0.05);
+}
+
+TEST(MonteCarlo, LOnlyPathWorks) {
+  auto s = nominal();
+  s.capacitance = 0.0;
+  const auto result = monte_carlo_vmax(s);
+  EXPECT_GT(result.mean, 0.0);
+  EXPECT_DOUBLE_EQ(result.region_flip_fraction, 0.0);
+}
+
+TEST(MonteCarlo, OptionValidation) {
+  MonteCarloOptions opts;
+  opts.samples = 1;
+  EXPECT_THROW(monte_carlo_vmax(nominal(), opts), std::invalid_argument);
+  opts = {};
+  opts.sigma_k = 0.9;
+  EXPECT_THROW(monte_carlo_vmax(nominal(), opts), std::invalid_argument);
+}
+
+}  // namespace

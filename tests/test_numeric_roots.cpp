@@ -1,0 +1,143 @@
+// Scalar root finding, the stable quadratic, and the statistics helpers.
+#include "numeric/polynomial.hpp"
+#include "numeric/roots.hpp"
+#include "numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace ssnkit::numeric;
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, EndpointRootReturnsImmediately) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, NoBracketThrows) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, FindsCosRoot) {
+  const double r = brent([](double x) { return std::cos(x); }, 1.0, 2.0);
+  EXPECT_NEAR(r, M_PI / 2.0, 1e-10);
+}
+
+TEST(Brent, HighMultiplicityStillConverges) {
+  const double r = brent([](double x) { return (x - 1.0) * (x - 1.0) * (x - 1.0); },
+                         0.0, 3.0);
+  EXPECT_NEAR(r, 1.0, 1e-4);
+}
+
+TEST(NewtonSafeguarded, QuadraticConvergence) {
+  const auto f = [](double x) { return x * x * x - 8.0; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  EXPECT_NEAR(newton_safeguarded(f, df, 1.0, 0.0, 10.0), 2.0, 1e-10);
+}
+
+TEST(NewtonSafeguarded, FallsBackWhenDerivativeVanishes) {
+  // f'(0) = 0 at the start point; the bracket rescues the iteration.
+  const auto f = [](double x) { return x * x * x - 1.0; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  EXPECT_NEAR(newton_safeguarded(f, df, 0.0, -1.0, 2.0), 1.0, 1e-9);
+}
+
+TEST(Newton, PlainNewtonConverges) {
+  const auto r = newton([](double x) { return x * x - 4.0; },
+                        [](double x) { return 2.0 * x; }, 3.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 2.0, 1e-10);
+}
+
+TEST(Newton, ZeroDerivativeFails) {
+  const auto r = newton([](double) { return 1.0; }, [](double) { return 0.0; }, 0.0);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(FixedPoint, ConvergesToCosineFixedPoint) {
+  const auto r = fixed_point([](double x) { return std::cos(x); }, 1.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 0.7390851332, 1e-6);
+}
+
+TEST(FixedPoint, BadDampingThrows) {
+  EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Quadratic, SimpleRoots) {
+  const auto r = quadratic_real_roots(1.0, -3.0, 2.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR((*r)[0], 1.0, 1e-14);
+  EXPECT_NEAR((*r)[1], 2.0, 1e-14);
+}
+
+TEST(Quadratic, ComplexRootsReturnNullopt) {
+  EXPECT_FALSE(quadratic_real_roots(1.0, 0.0, 1.0).has_value());
+}
+
+TEST(Quadratic, LinearDegenerate) {
+  const auto r = quadratic_real_roots(0.0, 2.0, -4.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ((*r)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*r)[1], 2.0);
+}
+
+TEST(Quadratic, CancellationResistant) {
+  // Roots 1e-8 and 1e8: the naive formula loses the small root entirely.
+  const double a = 1.0, b = -(1e8 + 1e-8), c = 1.0;
+  const auto r = quadratic_real_roots(a, b, c);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR((*r)[0] / 1e-8, 1.0, 1e-9);
+  EXPECT_NEAR((*r)[1] / 1e8, 1.0, 1e-9);
+}
+
+TEST(Quadratic, ComplexPairConjugate) {
+  const auto roots = quadratic_complex_roots(1.0, 2.0, 5.0);  // -1 ± 2i
+  EXPECT_NEAR(roots[0].real(), -1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(roots[0].imag()), 2.0, 1e-12);
+  EXPECT_NEAR(roots[0].imag(), -roots[1].imag(), 1e-12);
+}
+
+TEST(Polyval, HornerMatchesDirect) {
+  const double coeffs[] = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(polyval(coeffs, 3, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(polyval(coeffs, 0, 2.0), 0.0);
+}
+
+TEST(Stats, BasicReductions) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(max_value(xs), 4.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+  EXPECT_NEAR(rms(xs), std::sqrt(30.0 / 4.0), 1e-14);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-14);
+  const double ys[] = {-5.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_abs(ys), 5.0);
+}
+
+TEST(Stats, RelativeErrorFloorGuardsZeroReference) {
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 2.0), 0.5);
+  EXPECT_LE(relative_error(1e-15, 0.0, 1e-12), 1e-3 + 1e-12);
+  EXPECT_THROW(relative_error(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, VectorRelativeErrors) {
+  const double got[] = {1.1, 2.0};
+  const double want[] = {1.0, 2.0};
+  EXPECT_NEAR(max_relative_error(got, want), 0.1, 1e-12);
+  EXPECT_NEAR(rms_relative_error(got, want), 0.1 / std::sqrt(2.0), 1e-12);
+  const double short_ref[] = {1.0};
+  EXPECT_THROW(max_relative_error(got, short_ref), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+// The ssnkit command-line tool; all logic lives in src/cli (testable).
+#include "cli/commands.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ssnkit::cli::run_cli(args, std::cout, std::cerr);
+}
