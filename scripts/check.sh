@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Local mirror of the CI gate: configure, build, ctest (which includes the
+# ssnlint.src lint gate), then clang-tidy on changed files. Run before
+# pushing; CI runs the same steps plus the ASan+UBSan leg.
+#
+# Usage: scripts/check.sh [--preset NAME] [--all-tidy]
+#   --preset NAME  CMake preset to use (default: release)
+#   --all-tidy     clang-tidy every src/ file instead of only changed ones
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET=release
+ALL_TIDY=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --preset) PRESET="$2"; shift 2 ;;
+    --all-tidy) ALL_TIDY=1; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+BUILD_DIR=build
+case "$PRESET" in
+  asan-ubsan) BUILD_DIR=build-asan ;;
+  tsan) BUILD_DIR=build-tsan ;;
+esac
+
+echo "=== configure ($PRESET) ==="
+cmake --preset "$PRESET" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "=== build ==="
+cmake --build --preset "$PRESET" -j
+
+echo "=== ctest (includes ssnlint gate) ==="
+ctest --preset "$PRESET"
+
+echo "=== ssnlint (standalone, full tree) ==="
+"$BUILD_DIR"/tools/ssnlint src
+
+echo "=== clang-tidy ==="
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+if [ "$ALL_TIDY" = 1 ]; then
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+else
+  # Changed files vs. the merge base with main (fall back to HEAD for a
+  # detached or single-branch checkout).
+  base=$(git merge-base HEAD origin/main 2> /dev/null \
+      || git merge-base HEAD main 2> /dev/null || echo HEAD)
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$base" -- 'src/*.cpp' | sort -u)
+fi
+
+if [ "${#files[@]}" = 0 ]; then
+  echo "no changed src/*.cpp files; nothing to tidy"
+else
+  clang-tidy -p "$BUILD_DIR" --quiet "${files[@]}"
+fi
+
+echo "check.sh: all gates passed"

@@ -15,6 +15,9 @@ namespace ssnkit::analysis {
 /// defaults are representative process/assembly spreads.
 struct MonteCarloOptions {
   int samples = 1000;
+  /// PRNG seed (std::mt19937). Fixed default so every run of the same build
+  /// reproduces the same sample set bit-for-bit; vary it explicitly to get
+  /// independent replicates. Identical seed + options => identical samples.
   unsigned seed = 12345;
   double sigma_k = 0.05;       ///< transconductance K
   double sigma_lambda = 0.02;  ///< source-coupling factor

@@ -1,6 +1,7 @@
 #include "analysis/sweeps.hpp"
 
 #include "numeric/stats.hpp"
+#include "support/contracts.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -36,8 +37,8 @@ circuit::SsnBenchSpec bench_spec_for(const process::Technology& tech,
 }  // namespace
 
 DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
-  if (config.driver_counts.empty())
-    throw std::invalid_argument("run_driver_sweep: no driver counts");
+  SSN_REQUIRE(!config.driver_counts.empty(),
+              "run_driver_sweep: no driver counts");
 
   DriverSweepResult out;
   out.calibration = calibrate(config.tech, config.golden);
@@ -129,8 +130,7 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
                                            const sim::TransientOptions& topts) {
-  if (rise_times.empty())
-    throw std::invalid_argument("run_slope_sweep: no rise times");
+  SSN_REQUIRE(!rise_times.empty(), "run_slope_sweep: no rise times");
   std::vector<SlopeSweepRow> rows;
   for (double tr : rise_times) {
     SlopeSweepRow row;

@@ -1,5 +1,7 @@
 #include "circuit/driver_chain.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -8,16 +10,13 @@ namespace ssnkit::circuit {
 void TaperedDriverSpec::validate() const {
   tech.validate();
   package.validate();
-  if (n_drivers < 1)
-    throw std::invalid_argument("TaperedDriverSpec: n_drivers must be >= 1");
-  if (stages < 1) throw std::invalid_argument("TaperedDriverSpec: stages must be >= 1");
-  if (!(taper > 1.0)) throw std::invalid_argument("TaperedDriverSpec: taper must be > 1");
-  if (!(final_width > 0.0))
-    throw std::invalid_argument("TaperedDriverSpec: final_width must be > 0");
-  if (!(input_rise_time > 0.0))
-    throw std::invalid_argument("TaperedDriverSpec: input_rise_time must be > 0");
-  if (load_cap < 0.0)
-    throw std::invalid_argument("TaperedDriverSpec: load_cap must be >= 0");
+  SSN_REQUIRE(n_drivers >= 1, "TaperedDriverSpec: n_drivers must be >= 1");
+  SSN_REQUIRE(stages >= 1, "TaperedDriverSpec: stages must be >= 1");
+  SSN_REQUIRE(taper > 1.0, "TaperedDriverSpec: taper must be > 1");
+  SSN_REQUIRE(final_width > 0.0, "TaperedDriverSpec: final_width must be > 0");
+  SSN_REQUIRE(input_rise_time > 0.0,
+              "TaperedDriverSpec: input_rise_time must be > 0");
+  SSN_REQUIRE(load_cap >= 0.0, "TaperedDriverSpec: load_cap must be >= 0");
 }
 
 TaperedDriverBench make_tapered_driver_bench(const TaperedDriverSpec& spec) {

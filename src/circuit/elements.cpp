@@ -1,5 +1,7 @@
 #include "circuit/elements.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <complex>
 #include <numbers>
@@ -17,7 +19,7 @@ void Element::stamp_ac(const AcStampContext& ctx) const {
 
 Resistor::Resistor(std::string name, NodeId n1, NodeId n2, double ohms)
     : Element(std::move(name)), n1_(n1), n2_(n2), ohms_(ohms) {
-  if (!(ohms_ > 0.0)) throw std::invalid_argument("Resistor: ohms must be > 0");
+  SSN_REQUIRE(ohms_ > 0.0, "Resistor: ohms must be > 0");
 }
 
 void Resistor::stamp(const StampContext& ctx) const {
@@ -33,7 +35,7 @@ void Resistor::stamp_ac(const AcStampContext& ctx) const {
 Capacitor::Capacitor(std::string name, NodeId n1, NodeId n2, double farads,
                      std::optional<double> ic)
     : Element(std::move(name)), n1_(n1), n2_(n2), farads_(farads), ic_(ic) {
-  if (!(farads_ > 0.0)) throw std::invalid_argument("Capacitor: farads must be > 0");
+  SSN_REQUIRE(farads_ > 0.0, "Capacitor: farads must be > 0");
 }
 
 void Capacitor::stamp(const StampContext& ctx) const {
@@ -96,7 +98,7 @@ void Capacitor::reset_derivative_history() {
 Inductor::Inductor(std::string name, NodeId n1, NodeId n2, double henries,
                    std::optional<double> ic)
     : Element(std::move(name)), n1_(n1), n2_(n2), henries_(henries), ic_(ic) {
-  if (!(henries_ > 0.0)) throw std::invalid_argument("Inductor: henries must be > 0");
+  SSN_REQUIRE(henries_ > 0.0, "Inductor: henries must be > 0");
 }
 
 void Inductor::stamp(const StampContext& ctx) const {
@@ -167,10 +169,9 @@ CoupledInductors::CoupledInductors(std::string name, NodeId n1a, NodeId n1b,
       l2_(l2),
       k_(k),
       m_(k * std::sqrt(l1 * l2)) {
-  if (!(l1_ > 0.0) || !(l2_ > 0.0))
-    throw std::invalid_argument("CoupledInductors: inductances must be > 0");
-  if (!(std::fabs(k_) < 1.0))
-    throw std::invalid_argument("CoupledInductors: |k| must be < 1");
+  SSN_REQUIRE(l1_ > 0.0 && l2_ > 0.0,
+              "CoupledInductors: inductances must be > 0");
+  SSN_REQUIRE(std::fabs(k_) < 1.0, "CoupledInductors: |k| must be < 1");
 }
 
 void CoupledInductors::stamp(const StampContext& ctx) const {
@@ -267,8 +268,8 @@ VoltageSource::VoltageSource(std::string name, NodeId p, NodeId m,
 }
 
 void VoltageSource::set_ac(double magnitude, double phase_deg) {
-  if (magnitude < 0.0)
-    throw std::invalid_argument("VoltageSource::set_ac: magnitude must be >= 0");
+  SSN_REQUIRE(magnitude >= 0.0,
+              "VoltageSource::set_ac: magnitude must be >= 0");
   ac_mag_ = magnitude;
   ac_phase_deg_ = phase_deg;
 }
@@ -297,8 +298,8 @@ CurrentSource::CurrentSource(std::string name, NodeId p, NodeId m,
 }
 
 void CurrentSource::set_ac(double magnitude, double phase_deg) {
-  if (magnitude < 0.0)
-    throw std::invalid_argument("CurrentSource::set_ac: magnitude must be >= 0");
+  SSN_REQUIRE(magnitude >= 0.0,
+              "CurrentSource::set_ac: magnitude must be >= 0");
   ac_mag_ = magnitude;
   ac_phase_deg_ = phase_deg;
 }
@@ -336,8 +337,8 @@ void Vccs::stamp_ac(const AcStampContext& ctx) const {
 
 Diode::Diode(std::string name, NodeId anode, NodeId cathode, double is, double n)
     : Element(std::move(name)), a_(anode), c_(cathode), is_(is), n_(n) {
-  if (!(is_ > 0.0)) throw std::invalid_argument("Diode: is must be > 0");
-  if (!(n_ > 0.0)) throw std::invalid_argument("Diode: n must be > 0");
+  SSN_REQUIRE(is_ > 0.0, "Diode: is must be > 0");
+  SSN_REQUIRE(n_ > 0.0, "Diode: n must be > 0");
 }
 
 void Diode::iv(double v, double& i, double& g) const {
@@ -386,7 +387,7 @@ Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
       b_(b),
       model_(std::move(model)),
       polarity_(polarity) {
-  if (!model_) throw std::invalid_argument("Mosfet: model must not be null");
+  SSN_REQUIRE(model_ != nullptr, "Mosfet: model must not be null");
 }
 
 double Mosfet::terminal_current(double vd, double vg, double vs, double vb) const {

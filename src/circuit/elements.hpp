@@ -258,7 +258,7 @@ class Mosfet final : public Element {
   double terminal_current(double vd, double vg, double vs, double vb) const;
   /// Current and the four terminal conductances at a bias point.
   struct SmallSignal {
-    double i0, gd, gg, gs, gb;
+    double i0 = 0.0, gd = 0.0, gg = 0.0, gs = 0.0, gb = 0.0;
   };
   SmallSignal small_signal(double vd, double vg, double vs, double vb) const;
 

@@ -282,7 +282,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
   // "0"/gnd is always global.
   struct KCard {
     std::string name, l1, l2;
-    double k;
+    double k = 0.0;
     int line_no;
   };
   std::vector<KCard> k_cards;
@@ -370,7 +370,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
           fail(line_no, "unknown model '" + tokens[5] + "'");
         auto model = build_model(it->second, line_no);
         auto kv = parse_kv(tokens, 6, line_no);
-        if (kv.count("W") && kv["W"] != 1.0) {
+        if (kv.count("W") && kv["W"] != 1.0) {  // ssnlint-ignore(SSN-L001)
           model = std::make_shared<devices::ScaledMosfetModel>(model->clone(),
                                                                kv["W"]);
         }

@@ -1,5 +1,7 @@
 #include "circuit/testbench.hpp"
 
+#include "support/contracts.hpp"
+
 #include <stdexcept>
 
 namespace ssnkit::circuit {
@@ -7,19 +9,16 @@ namespace ssnkit::circuit {
 void SsnBenchSpec::validate() const {
   tech.validate();
   package.validate();
-  if (n_drivers < 1)
-    throw std::invalid_argument("SsnBenchSpec: n_drivers must be >= 1");
-  if (n_quiet < 0) throw std::invalid_argument("SsnBenchSpec: n_quiet must be >= 0");
-  if (!(input_rise_time > 0.0))
-    throw std::invalid_argument("SsnBenchSpec: input_rise_time must be > 0");
-  if (load_cap < 0.0) throw std::invalid_argument("SsnBenchSpec: load_cap must be >= 0");
-  if (!(driver_width_mult > 0.0))
-    throw std::invalid_argument("SsnBenchSpec: driver_width_mult must be > 0");
-  if (!stagger.empty() && int(stagger.size()) != n_drivers)
-    throw std::invalid_argument(
-        "SsnBenchSpec: stagger must be empty or have n_drivers entries");
+  SSN_REQUIRE(n_drivers >= 1, "SsnBenchSpec: n_drivers must be >= 1");
+  SSN_REQUIRE(n_quiet >= 0, "SsnBenchSpec: n_quiet must be >= 0");
+  SSN_REQUIRE(input_rise_time > 0.0, "SsnBenchSpec: input_rise_time must be > 0");
+  SSN_REQUIRE(load_cap >= 0.0, "SsnBenchSpec: load_cap must be >= 0");
+  SSN_REQUIRE(driver_width_mult > 0.0,
+              "SsnBenchSpec: driver_width_mult must be > 0");
+  SSN_REQUIRE(stagger.empty() || int(stagger.size()) == n_drivers,
+              "SsnBenchSpec: stagger must be empty or have n_drivers entries");
   for (double s : stagger)
-    if (s < 0.0) throw std::invalid_argument("SsnBenchSpec: stagger must be >= 0");
+    SSN_REQUIRE(s >= 0.0, "SsnBenchSpec: stagger must be >= 0");
 }
 
 SsnBench make_ssn_testbench(const SsnBenchSpec& spec) {
@@ -53,7 +52,7 @@ SsnBench make_ssn_testbench(const SsnBenchSpec& spec) {
   // Shared device models: one instance serves all identical drivers.
   std::shared_ptr<const devices::MosfetModel> nmos;
   if (spec.pulldown_override) {
-    nmos = spec.driver_width_mult == 1.0
+    nmos = spec.driver_width_mult == 1.0  // ssnlint-ignore(SSN-L001)
                ? spec.pulldown_override
                : std::make_shared<devices::ScaledMosfetModel>(
                      spec.pulldown_override->clone(), spec.driver_width_mult);

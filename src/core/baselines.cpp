@@ -1,6 +1,7 @@
 #include "core/baselines.hpp"
 
 #include "numeric/roots.hpp"
+#include "support/contracts.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -14,6 +15,7 @@ namespace {
 /// brackets a unique root.
 double solve_self_consistent(const std::function<double(double)>& rhs,
                              double vdd, double vt) {
+  SSN_REQUIRE(vdd > vt, "solve_self_consistent: need vdd > vt");
   const double hi = vdd - vt - 1e-12;
   const auto f = [&](double v) { return v - rhs(v); };
   if (f(0.0) >= 0.0) return 0.0;  // rhs(0) <= 0: no noise predicted

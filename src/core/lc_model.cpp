@@ -260,7 +260,7 @@ LcModel::ExtendedMax LcModel::v_max_extended(double horizon) const {
       const double h = (horizon - tr) * 1e-7;
       const double dd = (vn_dot_extended(t + h) - vn_dot_extended(t - h)) /
                         (2.0 * h);
-      if (dd == 0.0) break;
+      if (dd == 0.0) break;  // ssnlint-ignore(SSN-L001)
       const double next = t - d / dd;
       if (!(next > tr && next < horizon) || std::fabs(next - t) < 1e-18) break;
       t = next;

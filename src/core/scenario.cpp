@@ -1,20 +1,17 @@
 #include "core/scenario.hpp"
 
-#include <stdexcept>
+#include "support/contracts.hpp"
 
 namespace ssnkit::core {
 
 void SsnScenario::validate() const {
-  if (n_drivers < 1) throw std::invalid_argument("SsnScenario: n_drivers must be >= 1");
-  if (!(inductance > 0.0))
-    throw std::invalid_argument("SsnScenario: inductance must be > 0");
-  if (capacitance < 0.0)
-    throw std::invalid_argument("SsnScenario: capacitance must be >= 0");
-  if (!(slope > 0.0)) throw std::invalid_argument("SsnScenario: slope must be > 0");
-  if (!(vdd > 0.0)) throw std::invalid_argument("SsnScenario: vdd must be > 0");
+  SSN_REQUIRE(n_drivers >= 1, "SsnScenario: n_drivers must be >= 1");
+  SSN_REQUIRE(inductance > 0.0, "SsnScenario: inductance must be > 0");
+  SSN_REQUIRE(capacitance >= 0.0, "SsnScenario: capacitance must be >= 0");
+  SSN_REQUIRE(slope > 0.0, "SsnScenario: slope must be > 0");
+  SSN_REQUIRE(vdd > 0.0, "SsnScenario: vdd must be > 0");
   device.validate();
-  if (!(device.vx < vdd))
-    throw std::invalid_argument("SsnScenario: device V_x must be below vdd");
+  SSN_REQUIRE(device.vx < vdd, "SsnScenario: device V_x must be below vdd");
 }
 
 double SsnScenario::critical_capacitance() const {

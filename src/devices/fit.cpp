@@ -29,7 +29,7 @@ AsdmFitResult fit_asdm(const MosfetModel& golden, const AsdmFitRegion& region,
   // Sample the golden surface over the SSN region: vds = vd - vs,
   // vgs = vg - vs, vbs = -vs (bulk at true ground).
   struct Sample {
-    double vg, vs, id;
+    double vg = 0.0, vs = 0.0, id = 0.0;
   };
   std::vector<Sample> samples;
   samples.reserve(std::size_t(region.n_vg) * std::size_t(region.n_vs));

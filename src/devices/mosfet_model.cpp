@@ -69,7 +69,7 @@ double softplus_deriv(double x, double eps) {
 }
 
 double body_effect_vt(double vt0, double gamma, double phi2f, double vsb) {
-  if (gamma == 0.0) return vt0;
+  if (gamma == 0.0) return vt0;  // ssnlint-ignore(SSN-L001)
   if (phi2f <= 0.0) throw std::invalid_argument("body_effect_vt: phi2f must be > 0");
   const double vsb_clamped = std::max(vsb, -0.5 * phi2f);
   return vt0 + gamma * (std::sqrt(phi2f + vsb_clamped) - std::sqrt(phi2f));

@@ -59,9 +59,9 @@ std::string TextTable::to_string() const {
 }
 
 std::string si_format(double value, int digits) {
-  if (value == 0.0) return "0";
+  if (value == 0.0) return "0";  // ssnlint-ignore(SSN-L001)
   static constexpr struct {
-    double scale;
+    double scale = 0.0;
     const char* suffix;
   } kScales[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
                  {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}};

@@ -1,5 +1,7 @@
 #include "numeric/complex_la.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -33,8 +35,8 @@ CVector CMatrix::mul(const CVector& x) const {
 }
 
 CLuFactorization::CLuFactorization(CMatrix a) : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols())
-    throw std::invalid_argument("CLuFactorization: matrix must be square");
+  SSN_REQUIRE(lu_.rows() == lu_.cols(),
+              "CLuFactorization: matrix must be square");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -69,7 +71,7 @@ CLuFactorization::CLuFactorization(CMatrix a) : lu_(std::move(a)) {
 
 CVector CLuFactorization::solve(const CVector& b) const {
   const std::size_t n = size();
-  if (b.size() != n) throw std::invalid_argument("CLuFactorization::solve: size");
+  SSN_REQUIRE(b.size() == n, "CLuFactorization::solve: size");
   if (singular_) throw std::runtime_error("CLuFactorization::solve: singular");
   CVector y(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
@@ -83,6 +85,7 @@ CVector CLuFactorization::solve(const CVector& b) const {
 }
 
 CVector solve_linear(CMatrix a, const CVector& b) {
+  SSN_REQUIRE(a.rows() == b.size(), "solve_linear: shape mismatch");
   return CLuFactorization(std::move(a)).solve(b);
 }
 

@@ -1,6 +1,7 @@
 #include "numeric/least_squares.hpp"
 
 #include "numeric/qr.hpp"
+#include "support/contracts.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -8,8 +9,7 @@
 namespace ssnkit::numeric {
 
 LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b) {
-  if (a.rows() != b.size())
-    throw std::invalid_argument("solve_least_squares: row count mismatch");
+  SSN_REQUIRE(a.rows() == b.size(), "solve_least_squares: row count mismatch");
   QrFactorization qr(a);
   LeastSquaresResult result;
   result.coefficients = qr.solve(b);
@@ -21,13 +21,12 @@ LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b) {
 
 LeastSquaresResult solve_least_squares(const Matrix& a, const Vector& b,
                                        const Vector& weights) {
-  if (a.rows() != b.size() || a.rows() != weights.size())
-    throw std::invalid_argument("solve_least_squares: row count mismatch");
+  SSN_REQUIRE(a.rows() == b.size() && a.rows() == weights.size(),
+              "solve_least_squares: row count mismatch");
   Matrix wa = a;
   Vector wb = b;
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    if (weights[r] < 0.0)
-      throw std::invalid_argument("solve_least_squares: negative weight");
+    SSN_REQUIRE(weights[r] >= 0.0, "solve_least_squares: negative weight");
     const double s = std::sqrt(weights[r]);
     for (std::size_t c = 0; c < a.cols(); ++c) wa(r, c) *= s;
     wb[r] *= s;

@@ -8,8 +8,8 @@ namespace ssnkit::numeric {
 /// Result of a linear least-squares solve.
 struct LeastSquaresResult {
   Vector coefficients;     ///< fitted parameter vector
-  double residual_norm;    ///< ||A x − b||_2
-  double residual_rms;     ///< residual_norm / sqrt(#rows)
+  double residual_norm = 0.0;  ///< ||A x − b||_2
+  double residual_rms = 0.0;   ///< residual_norm / sqrt(#rows)
 };
 
 /// Minimize ||A x − b||_2. A must have rows >= cols and full column rank.

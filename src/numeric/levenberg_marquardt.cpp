@@ -1,6 +1,7 @@
 #include "numeric/levenberg_marquardt.hpp"
 
 #include "numeric/lu.hpp"
+#include "support/contracts.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -24,12 +25,12 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
                              std::size_t residual_size, const LmOptions& opts) {
   const std::size_t n = p0.size();
   const std::size_t m = residual_size;
-  if (m < n)
-    throw std::invalid_argument("levenberg_marquardt: fewer residuals than parameters");
-  if (!opts.lower_bounds.empty() && opts.lower_bounds.size() != n)
-    throw std::invalid_argument("levenberg_marquardt: lower bound size mismatch");
-  if (!opts.upper_bounds.empty() && opts.upper_bounds.size() != n)
-    throw std::invalid_argument("levenberg_marquardt: upper bound size mismatch");
+  SSN_REQUIRE(m >= n, "levenberg_marquardt: fewer residuals than parameters");
+  SSN_REQUIRE(opts.lower_bounds.empty() || opts.lower_bounds.size() == n,
+              "levenberg_marquardt: lower bound size mismatch");
+  SSN_REQUIRE(opts.upper_bounds.empty() || opts.upper_bounds.size() == n,
+              "levenberg_marquardt: upper bound size mismatch");
+  SSN_ASSERT_FINITE(p0);
 
   LmResult out;
   Vector p = std::move(p0);
@@ -38,6 +39,12 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
   Vector r(m), r_trial(m), rp(m);
   residual(p, r);
   double cost = r.dot(r);
+  // Fail fast on a poisoned starting point: with a non-finite initial cost
+  // every trial comparison below is false, the damping loop runs dry, and
+  // the fit would exit with converged=true while p never moved.
+  SSN_REQUIRE(std::isfinite(cost),
+              "levenberg_marquardt: residual is non-finite at the initial "
+              "parameters (NaN/Inf cost)");
   double lambda = opts.initial_lambda;
   Matrix jac(m, n);
 
@@ -49,14 +56,14 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
       pj[j] += h;
       clamp_to_bounds(pj, opts);
       const double hj = pj[j] - p[j];
-      if (hj == 0.0) {  // pinned at a bound: step downward instead
+      if (hj == 0.0) {  // pinned at a bound: step downward instead  ssnlint-ignore(SSN-L001)
         pj = p;
         pj[j] -= h;
         clamp_to_bounds(pj, opts);
       }
       const double dh = pj[j] - p[j];
       residual(pj, rp);
-      const double inv = dh != 0.0 ? 1.0 / dh : 0.0;
+      const double inv = dh != 0.0 ? 1.0 / dh : 0.0;  // ssnlint-ignore(SSN-L001)
       for (std::size_t i = 0; i < m; ++i) jac(i, j) = (rp[i] - r[i]) * inv;
     }
 
@@ -105,6 +112,7 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
         p = p_trial;
         r = r_trial;
         cost = cost_trial;
+        SSN_ASSERT_FINITE(cost);
         lambda = std::max(lambda * 0.3, 1e-14);
         improved = true;
         if (step_norm < opts.step_tol) {
@@ -124,6 +132,9 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
 done:
   out.parameters = std::move(p);
   out.residual_norm = std::sqrt(cost);
+  SSN_ENSURE(std::isfinite(out.residual_norm),
+             "levenberg_marquardt: non-finite residual norm at exit");
+  SSN_ASSERT_FINITE(out.parameters);
   return out;
 }
 

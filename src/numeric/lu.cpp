@@ -1,5 +1,7 @@
 #include "numeric/lu.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -8,8 +10,7 @@
 namespace ssnkit::numeric {
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols())
-    throw std::invalid_argument("LuFactorization: matrix must be square");
+  SSN_REQUIRE(lu_.rows() == lu_.cols(), "LuFactorization: matrix must be square");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -38,7 +39,7 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
     for (std::size_t r = k + 1; r < n; ++r) {
       const double m = lu_(r, k) * inv_pivot;
       lu_(r, k) = m;
-      if (m == 0.0) continue;
+      if (m == 0.0) continue;  // ssnlint-ignore(SSN-L001)
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
@@ -46,7 +47,7 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 
 Vector LuFactorization::solve(const Vector& b) const {
   const std::size_t n = size();
-  if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
+  SSN_REQUIRE(b.size() == n, "LuFactorization::solve: size mismatch");
   if (singular_) throw std::runtime_error("LuFactorization::solve: singular matrix");
 
   // Apply permutation, then forward/backward substitution.
@@ -58,6 +59,9 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) y[ii] -= lu_(ii, j) * y[j];
     y[ii] /= lu_(ii, ii);
   }
+  // Back-substitution postcondition: a NaN/Inf in b (or catastrophic growth
+  // from a near-singular pivot) must surface here, not downstream in Newton.
+  SSN_ASSERT_FINITE(y);
   return y;
 }
 
@@ -77,10 +81,11 @@ double LuFactorization::pivot_ratio() const {
     lo = std::min(lo, p);
     hi = std::max(hi, p);
   }
-  return hi == 0.0 ? 0.0 : lo / hi;
+  return hi == 0.0 ? 0.0 : lo / hi;  // ssnlint-ignore(SSN-L001)
 }
 
 Vector solve_linear(Matrix a, const Vector& b) {
+  SSN_REQUIRE(a.rows() == b.size(), "solve_linear: shape mismatch");
   return LuFactorization(std::move(a)).solve(b);
 }
 

@@ -140,7 +140,7 @@ Matrix Matrix::mul(const Matrix& rhs) const {
   for (std::size_t r = 0; r < rows_; ++r)
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);
-      if (a == 0.0) continue;
+      if (a == 0.0) continue;  // ssnlint-ignore(SSN-L001)
       for (std::size_t c = 0; c < rhs.cols_; ++c) y(r, c) += a * rhs(k, c);
     }
   return y;

@@ -1,5 +1,7 @@
 #include "numeric/ode.hpp"
 
+#include "support/contracts.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -20,7 +22,8 @@ double OdeSolution::sample(double time, std::size_t k) const {
 
 OdeSolution rk4(const OdeRhs& f, double t0, double t1, Vector y0,
                 std::size_t steps) {
-  if (steps == 0) throw std::invalid_argument("rk4: steps must be > 0");
+  SSN_REQUIRE(steps > 0, "rk4: steps must be > 0");
+  SSN_ASSERT_FINITE(y0);
   OdeSolution sol;
   sol.t.reserve(steps + 1);
   sol.y.reserve(steps + 1);
@@ -36,6 +39,10 @@ OdeSolution rk4(const OdeRhs& f, double t0, double t1, Vector y0,
     const Vector k4 = f(t + h, y + h * k3);
     Vector dy = k1 + 2.0 * k2 + 2.0 * k3 + k4;
     y += (h / 6.0) * dy;
+    // Step-acceptance contract: a non-finite state means the RHS blew up
+    // (or was handed garbage); stop here instead of filling the solution
+    // with NaNs that later look like a plausible waveform of zeros.
+    SSN_ASSERT_FINITE(y);
     t = t0 + double(i + 1) * h;
     sol.t.push_back(t);
     sol.y.push_back(y);
@@ -67,7 +74,8 @@ constexpr double kB4[7] = {5179.0 / 57600,  0.0,           7571.0 / 16695,
 OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
                  const Rk45Options& opts) {
   const double span = t1 - t0;
-  if (span <= 0.0) throw std::invalid_argument("rk45: t1 must be > t0");
+  SSN_REQUIRE(span > 0.0, "rk45: t1 must be > t0");
+  SSN_ASSERT_FINITE(y0);
   const std::size_t dim = y0.size();
 
   OdeSolution sol;
@@ -89,13 +97,13 @@ OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
     for (int s = 1; s < 7; ++s) {
       Vector ys = y;
       for (int j = 0; j < s; ++j)
-        if (kA[s][j] != 0.0) ys += (h * kA[s][j]) * k[j];
+        if (kA[s][j] != 0.0) ys += (h * kA[s][j]) * k[j];  // ssnlint-ignore(SSN-L001)
       k[s] = f(t + kC[s] * h, ys);
     }
     Vector y5 = y, y4 = y;
     for (int s = 0; s < 7; ++s) {
-      if (kB5[s] != 0.0) y5 += (h * kB5[s]) * k[s];
-      if (kB4[s] != 0.0) y4 += (h * kB4[s]) * k[s];
+      if (kB5[s] != 0.0) y5 += (h * kB5[s]) * k[s];  // ssnlint-ignore(SSN-L001)
+      if (kB4[s] != 0.0) y4 += (h * kB4[s]) * k[s];  // ssnlint-ignore(SSN-L001)
     }
     // Error norm scaled by tolerance.
     double err = 0.0;
@@ -104,9 +112,15 @@ OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
           opts.abs_tol + opts.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
       err = std::max(err, std::fabs(y5[i] - y4[i]) / scale);
     }
+    // A NaN error estimate would fail every comparison below: the step would
+    // be rejected with factor 5.0 (the err > 0 test is false for NaN), h
+    // would grow, and the loop would spin to the step budget. Fail fast.
+    SSN_REQUIRE(std::isfinite(err),
+                "rk45: non-finite error estimate (RHS returned NaN/Inf)");
     if (err <= 1.0) {
       t += h;
       y = std::move(y5);
+      SSN_ASSERT_FINITE(y);
       sol.t.push_back(t);
       sol.y.push_back(y);
       ++sol.steps_taken;

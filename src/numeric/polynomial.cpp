@@ -15,8 +15,8 @@ double quadratic_discriminant(double a, double b, double c) {
 
 std::optional<std::array<double, 2>> quadratic_real_roots(double a, double b,
                                                           double c) {
-  if (a == 0.0) {
-    if (b == 0.0) return std::nullopt;  // degenerate: c == 0 everywhere or never
+  if (a == 0.0) {  // ssnlint-ignore(SSN-L001)
+    if (b == 0.0) return std::nullopt;  // degenerate: c == 0 everywhere or never  ssnlint-ignore(SSN-L001)
     const double r = -c / b;
     return std::array<double, 2>{r, r};
   }
@@ -26,7 +26,7 @@ std::optional<std::array<double, 2>> quadratic_real_roots(double a, double b,
   // q has the same sign as b to avoid cancellation in -b ± sq.
   const double q = -0.5 * (b + std::copysign(sq, b));
   double r1, r2;
-  if (q == 0.0) {
+  if (q == 0.0) {  // ssnlint-ignore(SSN-L001)
     r1 = 0.0;
     r2 = 0.0;
   } else {

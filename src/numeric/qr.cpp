@@ -1,5 +1,7 @@
 #include "numeric/qr.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -9,7 +11,7 @@ namespace ssnkit::numeric {
 QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
-  if (m < n) throw std::invalid_argument("QrFactorization: need rows >= cols");
+  SSN_REQUIRE(m >= n, "QrFactorization: need rows >= cols");
   beta_.resize(n);
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -17,7 +19,7 @@ QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
     double norm = 0.0;
     for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
     norm = std::sqrt(norm);
-    if (norm == 0.0) {
+    if (norm == 0.0) {  // ssnlint-ignore(SSN-L001)
       beta_[k] = 0.0;
       rank_deficient_ = true;
       continue;
@@ -48,10 +50,10 @@ QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
 Vector QrFactorization::apply_qt(const Vector& b) const {
   const std::size_t m = rows();
   const std::size_t n = cols();
-  if (b.size() != m) throw std::invalid_argument("QrFactorization: rhs size mismatch");
+  SSN_REQUIRE(b.size() == m, "QrFactorization: rhs size mismatch");
   Vector y = b;
   for (std::size_t k = 0; k < n; ++k) {
-    if (beta_[k] == 0.0) continue;
+    if (beta_[k] == 0.0) continue;  // ssnlint-ignore(SSN-L001)
     double s = y[k];
     for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
     s *= beta_[k];
@@ -72,6 +74,7 @@ Vector QrFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
     x[ii] = s / qr_(ii, ii);
   }
+  SSN_ASSERT_FINITE(x);
   return x;
 }
 

@@ -21,8 +21,8 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
   if (lo > hi) std::swap(lo, hi);
   double flo = f(lo);
   double fhi = f(hi);
-  if (flo == 0.0) return lo;
-  if (fhi == 0.0) return hi;
+  if (flo == 0.0) return lo;  // ssnlint-ignore(SSN-L001)
+  if (fhi == 0.0) return hi;  // ssnlint-ignore(SSN-L001)
   require_bracket(flo, fhi);
   for (int i = 0; i < opts.max_iterations; ++i) {
     const double mid = 0.5 * (lo + hi);
@@ -42,8 +42,8 @@ double brent(const std::function<double(double)>& f, double lo, double hi,
              const RootOptions& opts) {
   double a = lo, b = hi;
   double fa = f(a), fb = f(b);
-  if (fa == 0.0) return a;
-  if (fb == 0.0) return b;
+  if (fa == 0.0) return a;  // ssnlint-ignore(SSN-L001)
+  if (fb == 0.0) return b;  // ssnlint-ignore(SSN-L001)
   require_bracket(fa, fb);
   if (std::fabs(fa) < std::fabs(fb)) {
     std::swap(a, b);
@@ -100,8 +100,8 @@ double newton_safeguarded(const std::function<double(double)>& f,
   if (lo > hi) std::swap(lo, hi);
   double flo = f(lo);
   double fhi = f(hi);
-  if (flo == 0.0) return lo;
-  if (fhi == 0.0) return hi;
+  if (flo == 0.0) return lo;  // ssnlint-ignore(SSN-L001)
+  if (fhi == 0.0) return hi;  // ssnlint-ignore(SSN-L001)
   require_bracket(flo, fhi);
   double x = std::clamp(x0, lo, hi);
   for (int i = 0; i < opts.max_iterations; ++i) {
@@ -115,7 +115,7 @@ double newton_safeguarded(const std::function<double(double)>& f,
       hi = x;
     }
     const double dfx = df(x);
-    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection
+    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection  ssnlint-ignore(SSN-L001)
     if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
     if (std::fabs(next - x) <= opts.x_tol) return next;
     x = next;
@@ -131,7 +131,7 @@ std::optional<double> newton(const std::function<double(double)>& f,
     const double fx = f(x);
     if (std::fabs(fx) <= opts.f_tol) return x;
     const double dfx = df(x);
-    if (dfx == 0.0 || !std::isfinite(dfx)) return std::nullopt;
+    if (dfx == 0.0 || !std::isfinite(dfx)) return std::nullopt;  // ssnlint-ignore(SSN-L001)
     const double next = x - fx / dfx;
     if (!std::isfinite(next)) return std::nullopt;
     if (std::fabs(next - x) <= opts.x_tol) return next;

@@ -1,5 +1,7 @@
 #include "numeric/sparse.hpp"
 
+#include "support/contracts.hpp"
+
 #include "numeric/lu.hpp"
 
 #include <algorithm>
@@ -106,8 +108,7 @@ const std::vector<double>& SparseMatrix::values() const {
 // --- SparseLu ----------------------------------------------------------------
 
 SparseLu::SparseLu(const SparseMatrix& a) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("SparseLu: matrix must be square");
+  SSN_REQUIRE(a.rows() == a.cols(), "SparseLu: matrix must be square");
   n_ = a.rows();
   a.compile();
 
@@ -186,7 +187,7 @@ SparseLu::SparseLu(const SparseMatrix& a) {
       const std::size_t k = pinv[t];
       if (k == kNone) continue;
       const double xt = x[t];
-      if (xt == 0.0) continue;
+      if (xt == 0.0) continue;  // ssnlint-ignore(SSN-L001)
       for (std::size_t q = 0; q < l_rows_[k].size(); ++q)
         x[l_rows_[k][q]] -= l_vals_[k][q] * xt;
     }
@@ -220,7 +221,7 @@ SparseLu::SparseLu(const SparseMatrix& a) {
       }
       const double v = x[t];
       x[t] = 0.0;
-      if (v == 0.0) continue;
+      if (v == 0.0) continue;  // ssnlint-ignore(SSN-L001)
       if (pinv[t] != kNone) {  // above the diagonal: U entry (permuted row)
         u_rows_[j].push_back(pinv[t]);
         u_vals_[j].push_back(v);
@@ -239,7 +240,7 @@ std::size_t SparseLu::factor_nonzeros() const {
 }
 
 Vector SparseLu::solve(const Vector& b) const {
-  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: size mismatch");
+  SSN_REQUIRE(b.size() == n_, "SparseLu::solve: size mismatch");
   if (singular_) throw std::runtime_error("SparseLu::solve: singular matrix");
 
   // Forward solve L y = P b (L unit-diagonal, stored column-wise with
@@ -252,7 +253,7 @@ Vector SparseLu::solve(const Vector& b) const {
   for (std::size_t k = 0; k < n_; ++k) pinv[perm_[k]] = k;
   for (std::size_t k = 0; k < n_; ++k) {
     const double yk = y[k];
-    if (yk == 0.0) continue;
+    if (yk == 0.0) continue;  // ssnlint-ignore(SSN-L001)
     for (std::size_t q = 0; q < l_rows_[k].size(); ++q)
       y[pinv[l_rows_[k][q]]] -= l_vals_[k][q] * yk;
   }
@@ -260,7 +261,7 @@ Vector SparseLu::solve(const Vector& b) const {
   for (std::size_t jj = n_; jj-- > 0;) {
     y[jj] /= u_diag_[jj];
     const double yj = y[jj];
-    if (yj == 0.0) continue;
+    if (yj == 0.0) continue;  // ssnlint-ignore(SSN-L001)
     for (std::size_t q = 0; q < u_rows_[jj].size(); ++q)
       y[u_rows_[jj][q]] -= u_vals_[jj][q] * yj;
   }
@@ -269,6 +270,7 @@ Vector SparseLu::solve(const Vector& b) const {
 
 Vector solve_linear_auto(const Matrix& a, const Vector& b,
                          std::size_t sparse_threshold) {
+  SSN_REQUIRE(a.rows() == b.size(), "solve_linear_auto: shape mismatch");
   if (a.rows() > sparse_threshold) {
     SparseLu lu(SparseMatrix::from_dense(a));
     if (!lu.singular()) return lu.solve(b);

@@ -47,7 +47,7 @@ class SparseMatrix {
  private:
   struct Triplet {
     std::size_t r, c;
-    double v;
+    double v = 0.0;
   };
 
   std::size_t rows_, cols_;

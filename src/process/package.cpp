@@ -1,17 +1,19 @@
 #include "process/package.hpp"
 
+#include "support/contracts.hpp"
+
 #include <stdexcept>
 
 namespace ssnkit::process {
 
 void Package::validate() const {
-  if (!(inductance > 0.0)) throw std::invalid_argument("Package: inductance must be > 0");
-  if (capacitance < 0.0) throw std::invalid_argument("Package: capacitance must be >= 0");
-  if (resistance < 0.0) throw std::invalid_argument("Package: resistance must be >= 0");
+  SSN_REQUIRE(inductance > 0.0, "Package: inductance must be > 0");
+  SSN_REQUIRE(capacitance >= 0.0, "Package: capacitance must be >= 0");
+  SSN_REQUIRE(resistance >= 0.0, "Package: resistance must be >= 0");
 }
 
 Package Package::with_ground_pads(int n) const {
-  if (n < 1) throw std::invalid_argument("Package::with_ground_pads: n must be >= 1");
+  SSN_REQUIRE(n >= 1, "Package::with_ground_pads: n must be >= 1");
   Package p = *this;
   p.name = name + "x" + std::to_string(n);
   p.inductance /= double(n);

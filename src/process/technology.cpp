@@ -1,5 +1,7 @@
 #include "process/technology.hpp"
 
+#include "support/contracts.hpp"
+
 #include <stdexcept>
 
 namespace ssnkit::process {
@@ -15,16 +17,15 @@ std::unique_ptr<devices::MosfetModel> Technology::make_golden(
       base = std::make_unique<devices::BsimLiteModel>(bsim_lite);
       break;
   }
-  if (width_mult == 1.0) return base;
+  if (width_mult == 1.0) return base;  // ssnlint-ignore(SSN-L001)
   return std::make_unique<devices::ScaledMosfetModel>(std::move(base), width_mult);
 }
 
 void Technology::validate() const {
-  if (!(vdd > 0.0)) throw std::invalid_argument("Technology: vdd must be > 0");
-  if (!(driver_w_um > 0.0))
-    throw std::invalid_argument("Technology: driver_w_um must be > 0");
-  if (!(load_cap > 0.0)) throw std::invalid_argument("Technology: load_cap must be > 0");
-  if (!(gate_cap > 0.0)) throw std::invalid_argument("Technology: gate_cap must be > 0");
+  SSN_REQUIRE(vdd > 0.0, "Technology: vdd must be > 0");
+  SSN_REQUIRE(driver_w_um > 0.0, "Technology: driver_w_um must be > 0");
+  SSN_REQUIRE(load_cap > 0.0, "Technology: load_cap must be > 0");
+  SSN_REQUIRE(gate_cap > 0.0, "Technology: gate_cap must be > 0");
   alpha_power.validate();
   bsim_lite.validate();
 }

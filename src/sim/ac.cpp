@@ -1,5 +1,7 @@
 #include "sim/ac.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -19,8 +21,7 @@ AcResult::AcResult(std::vector<std::string> signal_names,
       columns_(names_.size(), std::vector<Complex>(freqs_.size())) {}
 
 void AcResult::set_point(std::size_t f_index, const CVector& x) {
-  if (x.size() != names_.size())
-    throw std::invalid_argument("AcResult::set_point: size mismatch");
+  SSN_REQUIRE(x.size() == names_.size(), "AcResult::set_point: size mismatch");
   for (std::size_t s = 0; s < names_.size(); ++s) columns_[s][f_index] = x[s];
 }
 
@@ -79,10 +80,10 @@ std::vector<std::string> collect_signal_names(const Circuit& ckt) {
 }  // namespace
 
 AcResult run_ac(Circuit& ckt, const AcOptions& opts) {
-  if (!(opts.f_start > 0.0) || !(opts.f_stop > opts.f_start))
-    throw std::invalid_argument("run_ac: need 0 < f_start < f_stop");
-  if (opts.points_per_decade < 1)
-    throw std::invalid_argument("run_ac: points_per_decade must be >= 1");
+  SSN_REQUIRE(opts.f_start > 0.0 && opts.f_stop > opts.f_start,
+              "run_ac: need 0 < f_start < f_stop");
+  SSN_REQUIRE(opts.points_per_decade >= 1,
+              "run_ac: points_per_decade must be >= 1");
 
   ckt.finalize();
   const std::size_t n = std::size_t(ckt.unknown_count());

@@ -2,6 +2,7 @@
 
 #include "numeric/lu.hpp"
 #include "numeric/sparse.hpp"
+#include "support/contracts.hpp"
 #include "waveform/source_spec.hpp"
 
 #include <algorithm>
@@ -98,6 +99,11 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
     }
     x = std::move(x_new);
     if (converged) {
+      // Convergence contract: the LU solves keep each iterate finite, but a
+      // device model returning NaN conductances can still corrupt the final
+      // state between solves — never report a non-finite solution as
+      // converged.
+      SSN_ASSERT_FINITE(x);
       out.converged = true;
       return out;
     }
@@ -199,6 +205,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
     out.iterations += r.iterations;
     if (r.converged) {
       out.solution = std::move(x);
+      SSN_ASSERT_FINITE(out.solution);
       return out;
     }
   }
@@ -222,6 +229,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
       out.iterations += r.iterations;
       if (r.converged) {
         out.solution = std::move(x);
+        SSN_ASSERT_FINITE(out.solution);
         return out;
       }
     }
@@ -243,6 +251,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
     }
     if (ok) {
       out.solution = std::move(x);
+      SSN_ASSERT_FINITE(out.solution);
       return out;
     }
   }
@@ -251,8 +260,8 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
 }
 
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
-  if (!(opts.t_stop > opts.t_start))
-    throw std::invalid_argument("run_transient: t_stop must be > t_start");
+  SSN_REQUIRE(opts.t_stop > opts.t_start,
+              "run_transient: t_stop must be > t_start");
   ckt.finalize();
   const std::size_t n = std::size_t(ckt.unknown_count());
   const int n_nodes = ckt.node_count();

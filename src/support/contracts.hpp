@@ -1,0 +1,92 @@
+// Lightweight contract macros for the solver kernels and model builders.
+//
+// The ASDM value proposition (restricted-region accuracy, Eqn 3) only holds
+// while the solvers stay inside their valid region: a NaN that slips through
+// the LM fit or the MNA Newton loop produces plausible-looking but wrong
+// K / lambda / V_x and therefore a wrong V_max (Eqn 7). Preconditions guard
+// the region entry, postconditions guard the region exit.
+//
+//   SSN_REQUIRE(cond, msg)   precondition  — argument/state validation
+//   SSN_ENSURE(cond, msg)    postcondition — result validation
+//   SSN_ASSERT_FINITE(x)     finite-value check on a double or a range of
+//                            doubles (Vector, std::vector<double>, ...)
+//
+// All three throw ssnkit::ContractViolation carrying file:line and the
+// failed condition. ContractViolation derives from std::invalid_argument so
+// callers that already catch the pre-contract exception types keep working.
+//
+// Defining SSNKIT_NO_CONTRACTS compiles every macro down to a no-op with
+// zero argument evaluation, for benchmarking the raw kernel cost.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace ssnkit {
+
+/// Thrown when an SSN_REQUIRE / SSN_ENSURE / SSN_ASSERT_FINITE contract
+/// fails. The what() string is "<kind> failed at <file>:<line>: <message>".
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* kind, const char* file, long line,
+                    const std::string& message)
+      : std::invalid_argument(std::string(kind) + " failed at " + file + ":" +
+                              std::to_string(line) + ": " + message) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* file,
+                                       long line, const std::string& message) {
+  throw ContractViolation(kind, file, line, message);
+}
+
+/// True when every element of `x` is finite; accepts a double (or anything
+/// convertible to one) or any range of doubles.
+template <class T>
+bool contract_all_finite(const T& x) {
+  if constexpr (std::is_convertible_v<const T&, double>) {
+    return std::isfinite(static_cast<double>(x));
+  } else {
+    for (const double v : x)
+      if (!std::isfinite(v)) return false;
+    return true;
+  }
+}
+
+}  // namespace detail
+}  // namespace ssnkit
+
+#if defined(SSNKIT_NO_CONTRACTS)
+
+#define SSN_REQUIRE(cond, msg) static_cast<void>(0)
+#define SSN_ENSURE(cond, msg) static_cast<void>(0)
+#define SSN_ASSERT_FINITE(x) static_cast<void>(0)
+
+#else
+
+#define SSN_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ssnkit::detail::contract_fail("precondition", __FILE__, __LINE__,   \
+                                      (msg));                               \
+  } while (false)
+
+#define SSN_ENSURE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ssnkit::detail::contract_fail("postcondition", __FILE__, __LINE__,  \
+                                      (msg));                               \
+  } while (false)
+
+#define SSN_ASSERT_FINITE(x)                                                \
+  do {                                                                      \
+    if (!::ssnkit::detail::contract_all_finite(x))                          \
+      ::ssnkit::detail::contract_fail(                                      \
+          "finite-value contract", __FILE__, __LINE__,                      \
+          "non-finite value in '" #x "'");                                  \
+  } while (false)
+
+#endif  // SSNKIT_NO_CONTRACTS

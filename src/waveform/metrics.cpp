@@ -1,5 +1,7 @@
 #include "waveform/metrics.hpp"
 
+#include "support/contracts.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -42,8 +44,7 @@ double peak_to_peak(const Waveform& w) {
 }
 
 WaveformError compare(const Waveform& model, const Waveform& reference) {
-  if (model.empty() || reference.empty())
-    throw std::invalid_argument("compare: empty waveform");
+  SSN_REQUIRE(!model.empty() && !reference.empty(), "compare: empty waveform");
   return compare(model, reference,
                  std::max(model.t_begin(), reference.t_begin()),
                  std::min(model.t_end(), reference.t_end()));
@@ -51,9 +52,8 @@ WaveformError compare(const Waveform& model, const Waveform& reference) {
 
 WaveformError compare(const Waveform& model, const Waveform& reference,
                       double t0, double t1) {
-  if (model.empty() || reference.empty())
-    throw std::invalid_argument("compare: empty waveform");
-  if (!(t1 > t0)) throw std::invalid_argument("compare: empty window");
+  SSN_REQUIRE(!model.empty() && !reference.empty(), "compare: empty waveform");
+  SSN_REQUIRE(t1 > t0, "compare: empty window");
 
   WaveformError err;
   double ref_peak = 0.0;
@@ -72,7 +72,7 @@ WaveformError compare(const Waveform& model, const Waveform& reference,
     ref_peak = std::max(ref_peak, std::fabs(r));
     model_peak = std::max(model_peak, std::fabs(m));
   }
-  if (count == 0) throw std::invalid_argument("compare: no reference samples in window");
+  SSN_REQUIRE(count > 0, "compare: no reference samples in window");
   err.rms_abs = std::sqrt(sum_sq / double(count));
   err.peak_rel =
       ref_peak > 0.0 ? std::fabs(model_peak - ref_peak) / ref_peak : 0.0;

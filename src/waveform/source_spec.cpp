@@ -1,5 +1,7 @@
 #include "waveform/source_spec.hpp"
 
+#include "support/contracts.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numbers>
@@ -96,20 +98,18 @@ void validate(const SourceSpec& spec) {
       [](const auto& s) {
         using T = std::decay_t<decltype(s)>;
         if constexpr (std::is_same_v<T, Ramp>) {
-          if (!(s.rise_time > 0.0))
-            throw std::invalid_argument("Ramp: rise_time must be > 0");
+          SSN_REQUIRE(s.rise_time > 0.0, "Ramp: rise_time must be > 0");
         } else if constexpr (std::is_same_v<T, Pulse>) {
-          if (!(s.rise > 0.0) || !(s.fall > 0.0))
-            throw std::invalid_argument("Pulse: rise/fall must be > 0");
-          if (s.period < s.rise + s.width + s.fall)
-            throw std::invalid_argument("Pulse: period shorter than rise+width+fall");
+          SSN_REQUIRE(s.rise > 0.0 && s.fall > 0.0,
+                      "Pulse: rise/fall must be > 0");
+          SSN_REQUIRE(s.period >= s.rise + s.width + s.fall,
+                      "Pulse: period shorter than rise+width+fall");
         } else if constexpr (std::is_same_v<T, Pwl>) {
           for (std::size_t i = 1; i < s.points.size(); ++i)
-            if (!(s.points[i].first > s.points[i - 1].first))
-              throw std::invalid_argument("Pwl: times must be strictly increasing");
+            SSN_REQUIRE(s.points[i].first > s.points[i - 1].first,
+                        "Pwl: times must be strictly increasing");
         } else if constexpr (std::is_same_v<T, Sine>) {
-          if (!(s.frequency > 0.0))
-            throw std::invalid_argument("Sine: frequency must be > 0");
+          SSN_REQUIRE(s.frequency > 0.0, "Sine: frequency must be > 0");
         }
       },
       spec);

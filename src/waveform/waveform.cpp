@@ -1,5 +1,7 @@
 #include "waveform/waveform.hpp"
 
+#include "support/contracts.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -8,17 +10,17 @@ namespace ssnkit::waveform {
 
 Waveform::Waveform(std::vector<double> times, std::vector<double> values)
     : times_(std::move(times)), values_(std::move(values)) {
-  if (times_.size() != values_.size())
-    throw std::invalid_argument("Waveform: times/values size mismatch");
+  SSN_REQUIRE(times_.size() == values_.size(),
+              "Waveform: times/values size mismatch");
   for (std::size_t i = 1; i < times_.size(); ++i)
-    if (!(times_[i] > times_[i - 1]))
-      throw std::invalid_argument("Waveform: times must be strictly increasing");
+    SSN_REQUIRE(times_[i] > times_[i - 1],
+                "Waveform: times must be strictly increasing");
 }
 
 Waveform Waveform::from_function(const std::function<double(double)>& f,
                                  double t0, double t1, std::size_t points) {
-  if (points < 2) throw std::invalid_argument("Waveform::from_function: need >= 2 points");
-  if (!(t1 > t0)) throw std::invalid_argument("Waveform::from_function: t1 must be > t0");
+  SSN_REQUIRE(points >= 2, "Waveform::from_function: need >= 2 points");
+  SSN_REQUIRE(t1 > t0, "Waveform::from_function: t1 must be > t0");
   std::vector<double> ts(points), vs(points);
   for (std::size_t i = 0; i < points; ++i) {
     const double t = t0 + (t1 - t0) * double(i) / double(points - 1);
@@ -39,8 +41,8 @@ double Waveform::t_end() const {
 }
 
 void Waveform::append(double t, double v) {
-  if (!times_.empty() && !(t > times_.back()))
-    throw std::invalid_argument("Waveform::append: time must increase");
+  SSN_REQUIRE(times_.empty() || t > times_.back(),
+              "Waveform::append: time must increase");
   times_.push_back(t);
   values_.push_back(v);
 }

@@ -56,6 +56,13 @@ TEST(MonteCarlo, Deterministic) {
   other_seed.seed = 999;
   const auto c = monte_carlo_vmax(nominal(), other_seed);
   EXPECT_NE(a.samples, c.samples);
+  // Regression: an explicitly set seed reproduces bit-for-bit across fresh
+  // options objects, not just the default-constructed path.
+  MonteCarloOptions same_seed;
+  same_seed.seed = 999;
+  const auto d = monte_carlo_vmax(nominal(), same_seed);
+  EXPECT_EQ(c.samples, d.samples);
+  EXPECT_DOUBLE_EQ(c.p95, d.p95);
 }
 
 TEST(MonteCarlo, ZeroSigmaCollapses) {

@@ -1,0 +1,192 @@
+// Unit tests for the ssnlint rule engine: every rule class is demonstrated
+// against fixture snippets, both firing and staying quiet, plus the
+// suppression syntax and the comment/string stripper.
+#include "ssnlint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using ssnlint::Diagnostic;
+using ssnlint::lint_source;
+
+std::vector<Diagnostic> lint(const std::string& src) {
+  return lint_source("fixture.cpp", src);
+}
+
+int count_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return int(std::count_if(diags.begin(), diags.end(),
+                           [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// --- SSN-L001: exact floating-point comparison ------------------------------
+
+TEST(SsnlintL001, FlagsExactFloatLiteralComparison) {
+  const auto d = lint("bool f(double x) { return x == 0.3; }\n");
+  ASSERT_EQ(count_rule(d, "SSN-L001"), 1);
+  EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(SsnlintL001, FlagsBothSidesAndNotEquals) {
+  EXPECT_EQ(count_rule(lint("bool f(double x) { return 1.5 != x; }\n"), "SSN-L001"), 1);
+  EXPECT_EQ(count_rule(lint("bool f(double x) { return x == 1e-6; }\n"), "SSN-L001"), 1);
+  EXPECT_EQ(count_rule(lint("bool f(double x) { return x == -0.5; }\n"), "SSN-L001"), 1);
+  EXPECT_EQ(count_rule(lint("bool f(float x) { return x == 2.0f; }\n"), "SSN-L001"), 1);
+}
+
+TEST(SsnlintL001, IgnoresIntegerAndRelationalComparisons) {
+  EXPECT_EQ(count_rule(lint("bool f(int i) { return i == 3; }\n"), "SSN-L001"), 0);
+  EXPECT_EQ(count_rule(lint("bool f(double x) { return x <= 0.5; }\n"), "SSN-L001"), 0);
+  EXPECT_EQ(count_rule(lint("bool f(unsigned u) { return u == 0x10; }\n"), "SSN-L001"), 0);
+  EXPECT_EQ(count_rule(lint("bool f(double a, double b) { return a == b; }\n"),
+                       "SSN-L001"), 0);  // literal-free compares are out of scope
+}
+
+TEST(SsnlintL001, SuppressionOnSameLineAndLineAbove) {
+  EXPECT_EQ(count_rule(lint("bool f(double x) {\n"
+                            "  return x == 0.0;  // ssnlint-ignore(SSN-L001)\n"
+                            "}\n"),
+                       "SSN-L001"), 0);
+  EXPECT_EQ(count_rule(lint("bool f(double x) {\n"
+                            "  // exact-zero skip is intentional\n"
+                            "  // ssnlint-ignore(SSN-L001)\n"
+                            "  return x == 0.0;\n"
+                            "}\n"),
+                       "SSN-L001"), 0);
+  // A suppression for a different rule does not hide the violation.
+  EXPECT_EQ(count_rule(lint("bool f(double x) {\n"
+                            "  return x == 0.0;  // ssnlint-ignore(SSN-L002)\n"
+                            "}\n"),
+                       "SSN-L001"), 1);
+  // Comma-separated rule lists work.
+  EXPECT_EQ(count_rule(lint("bool f(double x) {\n"
+                            "  return x == 0.0;  // ssnlint-ignore(SSN-L002, SSN-L001)\n"
+                            "}\n"),
+                       "SSN-L001"), 0);
+}
+
+// --- SSN-L002: std::rand / srand --------------------------------------------
+
+TEST(SsnlintL002, FlagsRandAndSrand) {
+  const auto d = lint("#include <cstdlib>\n"
+                      "int f() { srand(42); return std::rand(); }\n");
+  EXPECT_EQ(count_rule(d, "SSN-L002"), 2);
+}
+
+TEST(SsnlintL002, IgnoresMemberNamedRandAndMt19937) {
+  EXPECT_EQ(count_rule(lint("int f(Gen& g) { return g.rand(); }\n"), "SSN-L002"), 0);
+  EXPECT_EQ(count_rule(lint("double f() { std::mt19937 rng(7); return 0.5; }\n"),
+                       "SSN-L002"), 0);
+}
+
+// --- SSN-L003: unguarded solver entry points --------------------------------
+
+TEST(SsnlintL003, FlagsUnguardedSolver) {
+  const auto d = lint("Vector solve_system(const Matrix& a, const Vector& b) {\n"
+                      "  return lu(a).back_substitute(b);\n"
+                      "}\n");
+  ASSERT_EQ(count_rule(d, "SSN-L003"), 1);
+  EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(SsnlintL003, GuardedSolverIsClean) {
+  EXPECT_EQ(count_rule(lint("Vector solve_system(const Matrix& a, const Vector& b) {\n"
+                            "  SSN_REQUIRE(a.rows() == b.size(), \"shape\");\n"
+                            "  return lu(a).back_substitute(b);\n"
+                            "}\n"),
+                       "SSN-L003"), 0);
+  EXPECT_EQ(count_rule(lint("Vector rk45(const Rhs& f, Vector y0) {\n"
+                            "  SSN_ASSERT_FINITE(y0);\n"
+                            "  return y0;\n"
+                            "}\n"),
+                       "SSN-L003"), 0);
+}
+
+TEST(SsnlintL003, PrototypesAndCallsAreNotDefinitions) {
+  EXPECT_EQ(count_rule(lint("Vector solve_system(const Matrix&, const Vector&);\n"),
+                       "SSN-L003"), 0);
+  EXPECT_EQ(count_rule(lint("void g() { auto x = solve_system(a, b); }\n"),
+                       "SSN-L003"), 0);
+  EXPECT_EQ(count_rule(lint("void g() { auto x = lu.solve(b); }\n"), "SSN-L003"), 0);
+}
+
+TEST(SsnlintL003, NonSolverNamesAreNotFlagged) {
+  EXPECT_EQ(count_rule(lint("int frobnicate(int x) { return x; }\n"), "SSN-L003"), 0);
+  EXPECT_EQ(count_rule(lint("int run_cli(int argc) { return argc; }\n"), "SSN-L003"), 0);
+}
+
+// --- SSN-L004: uninitialized double members ---------------------------------
+
+TEST(SsnlintL004, FlagsBareDoubleMember) {
+  const auto d = lint("struct Point {\n  double x;\n  double y = 0.0;\n  int n;\n};\n");
+  ASSERT_EQ(count_rule(d, "SSN-L004"), 1);
+  EXPECT_EQ(d[0].line, 2);
+  EXPECT_NE(d[0].message.find("'double x'"), std::string::npos);
+}
+
+TEST(SsnlintL004, FlagsEachNameInCommaList) {
+  EXPECT_EQ(count_rule(lint("struct Q { double a, b; };\n"), "SSN-L004"), 2);
+  EXPECT_EQ(count_rule(lint("struct Q { double a = 1.0, b; };\n"), "SSN-L004"), 1);
+}
+
+TEST(SsnlintL004, InitializedAndNonMemberDoublesAreClean) {
+  EXPECT_EQ(count_rule(lint("struct P { double x = 0.0; double y{1.0}; };\n"),
+                       "SSN-L004"), 0);
+  // Function parameters and locals inside member functions are not members.
+  EXPECT_EQ(count_rule(lint("struct P {\n"
+                            "  double f(double v) const { double t = v; return t; }\n"
+                            "  double z = 0.0;\n"
+                            "};\n"),
+                       "SSN-L004"), 0);
+  // Free functions are not structs.
+  EXPECT_EQ(count_rule(lint("double f() { double local; return local; }\n"),
+                       "SSN-L004"), 0);
+}
+
+// --- SSN-L005: catch (...) swallowing ---------------------------------------
+
+TEST(SsnlintL005, FlagsSwallowingCatchAll) {
+  const auto d = lint("void f() {\n  try { g(); } catch (...) { count++; }\n}\n");
+  ASSERT_EQ(count_rule(d, "SSN-L005"), 1);
+  EXPECT_EQ(d[0].line, 2);
+}
+
+TEST(SsnlintL005, RethrowingCatchAllIsClean) {
+  EXPECT_EQ(count_rule(lint("void f() {\n"
+                            "  try { g(); } catch (...) { cleanup(); throw; }\n"
+                            "}\n"),
+                       "SSN-L005"), 0);
+  EXPECT_EQ(count_rule(lint("void f() {\n"
+                            "  try { g(); } catch (const std::exception& e) { log(e); }\n"
+                            "}\n"),
+                       "SSN-L005"), 0);
+}
+
+// --- stripper ---------------------------------------------------------------
+
+TEST(SsnlintStrip, CommentsAndStringsDoNotTrigger) {
+  EXPECT_TRUE(lint("// bool f(double x) { return x == 0.3; }\n").empty());
+  EXPECT_TRUE(lint("/* x == 0.3 and rand() live here */ int f();\n").empty());
+  EXPECT_TRUE(lint("const char* s = \"x == 0.3 rand()\";\n").empty());
+  EXPECT_TRUE(lint("const char* s = R\"(x == 0.3)\";\n").empty());
+}
+
+TEST(SsnlintStrip, LineNumbersSurviveMultilineComments) {
+  const auto d = lint("/* a\n   b\n   c */\nbool f(double x) { return x == 0.3; }\n");
+  ASSERT_EQ(int(d.size()), 1);
+  EXPECT_EQ(d[0].line, 4);
+}
+
+TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
+  const auto d = lint("struct P { double x; };\n"
+                      "bool f(double v) { return v == 0.25; }\n");
+  ASSERT_EQ(int(d.size()), 2);
+  EXPECT_LE(d[0].line, d[1].line);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 5);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+// ssnlint command-line driver. See ssnlint_core.hpp for the rule engine.
+//
+// Usage: ssnlint [--list-rules] [path...]
+//   path   file or directory (recursed for .hpp/.cpp); defaults to ./src
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+#include "ssnlint_core.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ssnlint [--list-rules] [path...]\n"
+                   "Scans .hpp/.cpp files for ssnkit numeric-hygiene "
+                   "violations.\nSuppress with // ssnlint-ignore(RULE) on the "
+                   "offending line or the line above.\n";
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& [id, text] : ssnlint::rule_catalog())
+        std::cout << id << "  " << text << "\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ssnlint: unknown option '" << arg << "'\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  for (const std::string& p : paths) {
+    if (!std::filesystem::exists(p)) {
+      std::cerr << "ssnlint: no such path '" << p << "'\n";
+      return 2;
+    }
+  }
+
+  std::size_t files = 0;
+  const std::vector<ssnlint::Diagnostic> diags = ssnlint::lint_paths(paths, &files);
+  for (const auto& d : diags)
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+              << "\n";
+  std::cout << "ssnlint: " << files << " files scanned, " << diags.size()
+            << " violation" << (diags.size() == 1 ? "" : "s") << "\n";
+  return diags.empty() ? 0 : 1;
+}

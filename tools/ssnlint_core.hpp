@@ -1,0 +1,552 @@
+// ssnlint — project-specific numeric-hygiene checker for ssnkit.
+//
+// A deliberately small, dependency-free static checker for the handful of
+// mistakes that matter most in this codebase: silent NaN propagation and
+// numeric-comparison bugs that a general linter does not know to look for.
+// It lexes (it does not parse) C++, which keeps it fast and predictable;
+// every rule is a token-pattern with a documented rationale.
+//
+// Rule catalog (see docs/STATIC_ANALYSIS.md for examples):
+//   SSN-L001  exact ==/!= comparison against a floating-point literal
+//   SSN-L002  use of std::rand/srand (non-deterministic across platforms)
+//   SSN-L003  solver entry point without an SSN_REQUIRE/SSN_ASSERT_FINITE/
+//             SSN_ENSURE contract guard
+//   SSN-L004  uninitialized double member in a struct
+//   SSN-L005  catch (...) that swallows the exception (no rethrow)
+//
+// Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
+// allowed) on the offending line or the line directly above it.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ssnlint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
+  static const std::vector<std::pair<std::string, std::string>> kRules = {
+      {"SSN-L001", "exact ==/!= comparison against a floating-point literal"},
+      {"SSN-L002", "std::rand/srand is banned; use <random> engines"},
+      {"SSN-L003", "solver entry point lacks a contract guard"},
+      {"SSN-L004", "uninitialized double member in a struct"},
+      {"SSN-L005", "catch (...) swallows the exception"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and string/character literals (preserving line
+// structure) and harvest `ssnlint-ignore(...)` suppressions from comments.
+// ---------------------------------------------------------------------------
+
+struct StrippedSource {
+  std::string code;  // same length/line structure as the input
+  // line number (1-based) -> rule IDs suppressed on that line and the next
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+namespace detail {
+
+inline void harvest_suppressions(const std::string& comment, int line,
+                                 std::map<int, std::set<std::string>>& out) {
+  const std::string kTag = "ssnlint-ignore(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inner = comment.substr(open, close - open);
+    std::stringstream ss(inner);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 rule.end());
+      if (!rule.empty()) out[line].insert(rule);
+    }
+    pos = close;
+  }
+}
+
+}  // namespace detail
+
+inline StrippedSource strip_source(const std::string& src) {
+  StrippedSource out;
+  out.code.assign(src.size(), ' ');
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  int line = 1;
+  std::string comment_text;    // accumulated text of the current comment
+  int comment_line = 1;        // line the current comment chunk lives on
+  std::string raw_delim;       // )delim" terminator for raw strings
+
+  const auto flush_comment = [&]() {
+    if (!comment_text.empty())
+      detail::harvest_suppressions(comment_text, comment_line, out.suppressions);
+    comment_text.clear();
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      // A comment spanning lines registers its directive per line chunk.
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      } else if (state == State::kBlockComment) {
+        flush_comment();
+        comment_line = line + 1;
+      }
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R (possibly u8R etc.).
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < src.size() && src[j] != '(') delim += src[j++];
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            out.code[i] = '"';
+          } else {
+            state = State::kString;
+            out.code[i] = '"';
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of numbers, not chars.
+          const bool digit_sep = i > 0 && std::isalnum(unsigned(src[i - 1])) &&
+                                 i + 1 < src.size() &&
+                                 std::isalnum(unsigned(src[i + 1]));
+          out.code[i] = '\'';
+          if (!digit_sep) state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        comment_text += c;
+        break;
+      case State::kBlockComment:
+        comment_text += c;
+        if (c == '*' && next == '/') {
+          flush_comment();
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char (newline escapes are not expected here)
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_delim[0] && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  flush_comment();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: lex the stripped code into identifier / number / punctuation tokens.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+namespace detail {
+
+inline bool ident_start(char c) {
+  return std::isalpha(unsigned(c)) || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(unsigned(c)) || c == '_';
+}
+
+}  // namespace detail
+
+inline std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(unsigned(c))) {
+      ++i;
+      continue;
+    }
+    if (detail::ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && detail::ident_char(code[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(unsigned(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(unsigned(code[i + 1])))) {
+      // pp-number: digits, letters, dots, quotes-as-separators, and exponent
+      // signs when preceded by e/E/p/P.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = code[j];
+        if (detail::ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                    code[j - 1] == 'p' || code[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      toks.push_back({Token::Kind::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: greedily take the few multi-char tokens the rules need.
+    static const std::vector<std::string> kMulti = {
+        "...", "->*", "<<=", ">>=", "::", "->", "==", "!=", "<=", ">=",
+        "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "<<", ">>"};
+    std::string text(1, c);
+    for (const auto& m : kMulti) {
+      if (code.compare(i, m.size(), m) == 0) {
+        text = m;
+        break;
+      }
+    }
+    toks.push_back({Token::Kind::kPunct, text, line});
+    i += text.size();
+  }
+  return toks;
+}
+
+inline bool is_float_literal(const std::string& t) {
+  if (t.size() >= 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) return false;
+  return t.find('.') != std::string::npos || t.find('e') != std::string::npos ||
+         t.find('E') != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each takes the token stream (and emits diagnostics); suppressions
+// are applied afterwards by lint_source().
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline void add(std::vector<Diagnostic>& out, const std::string& file, int line,
+                const char* rule, std::string message) {
+  out.push_back({file, line, rule, std::move(message)});
+}
+
+/// Index of the matching closer for the opener at `open` (e.g. '(' -> ')'),
+/// or toks.size() when unbalanced.
+inline std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                                 const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    if (toks[i].text == opener) ++depth;
+    if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// SSN-L001: `x == 0.3`-style comparisons. Exact equality on doubles is almost
+// always a rounding bug; the rare intentional exact-zero skip gets an
+// ssnlint-ignore.
+inline void rule_float_compare(const std::vector<Token>& toks,
+                               const std::string& file,
+                               std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kPunct || (t.text != "==" && t.text != "!="))
+      continue;
+    bool flagged = false;
+    if (i > 0 && toks[i - 1].kind == Token::Kind::kNumber &&
+        is_float_literal(toks[i - 1].text))
+      flagged = true;
+    std::size_t r = i + 1;
+    if (r < toks.size() && toks[r].kind == Token::Kind::kPunct &&
+        (toks[r].text == "+" || toks[r].text == "-"))
+      ++r;  // unary sign
+    if (r < toks.size() && toks[r].kind == Token::Kind::kNumber &&
+        is_float_literal(toks[r].text))
+      flagged = true;
+    if (flagged)
+      add(out, file, t.line, "SSN-L001",
+          "exact '" + t.text +
+              "' comparison against a floating-point literal; compare with a "
+              "tolerance (or ssnlint-ignore an intentional exact-zero check)");
+  }
+}
+
+// SSN-L002: std::rand/srand. The C PRNG is low-quality and its sequence is
+// implementation-defined, which breaks Monte Carlo reproducibility.
+inline void rule_banned_rand(const std::vector<Token>& toks,
+                             const std::string& file,
+                             std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || (t.text != "rand" && t.text != "srand"))
+      continue;
+    // Must look like a call (next token '('), not e.g. a member named rand.
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) continue;
+    add(out, file, t.line, "SSN-L002",
+        "'" + t.text + "' is banned; use a seeded <random> engine");
+  }
+}
+
+// SSN-L003: solver entry points must carry at least one contract guard so a
+// NaN cannot cross a solver boundary silently.
+inline bool is_solver_entry_name(const std::string& name) {
+  if (name.rfind("solve", 0) == 0) return true;
+  static const std::set<std::string> kExact = {
+      "rk4",      "rk45",   "levenberg_marquardt", "dc_operating_point",
+      "lu_solve", "run_dc", "run_transient",       "run_ac"};
+  return kExact.count(name) > 0;
+}
+
+inline void rule_unguarded_solver(const std::vector<Token>& toks,
+                                  const std::string& file,
+                                  std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kGuards = {"SSN_REQUIRE", "SSN_ENSURE",
+                                                "SSN_ASSERT_FINITE"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || !is_solver_entry_name(t.text)) continue;
+    if (toks[i + 1].text != "(") continue;
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member call, not a definition
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // A definition: optional qualifiers, then the body brace.
+    std::size_t j = close + 1;
+    while (j < toks.size() && toks[j].kind == Token::Kind::kIdent &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override" || toks[j].text == "final"))
+      ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;  // call or prototype
+    const std::size_t body_end = match_forward(toks, j, "{", "}");
+    bool guarded = false;
+    for (std::size_t k = j; k < body_end && !guarded; ++k)
+      if (toks[k].kind == Token::Kind::kIdent && kGuards.count(toks[k].text))
+        guarded = true;
+    if (!guarded)
+      add(out, file, t.line, "SSN-L003",
+          "solver entry point '" + t.text +
+              "' has no SSN_REQUIRE/SSN_ENSURE/SSN_ASSERT_FINITE guard");
+  }
+}
+
+// SSN-L004: `double x;` members in structs start as garbage; an aggregate
+// someone forgets to brace-init then feeds indeterminate values into the
+// solvers (UB, and exactly the kind of bug ASan/MSan only catch at runtime).
+inline void rule_uninitialized_double_member(const std::vector<Token>& toks,
+                                             const std::string& file,
+                                             std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "struct") continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) ++j;  // name
+    // Skip a base-clause up to the opening brace; stop at ';' (fwd decl).
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    const std::size_t body_end = match_forward(toks, j, "{", "}");
+    int depth = 0;
+    for (std::size_t k = j + 1; k < body_end; ++k) {
+      if (toks[k].kind == Token::Kind::kPunct) {
+        if (toks[k].text == "{") ++depth;
+        if (toks[k].text == "}") --depth;
+        continue;
+      }
+      if (depth != 0) continue;  // inside a member function / nested scope
+      if (toks[k].kind != Token::Kind::kIdent || toks[k].text != "double")
+        continue;
+      if (k > 0 && (toks[k - 1].text == "static" || toks[k - 1].text == "constexpr" ||
+                    toks[k - 1].text == "," || toks[k - 1].text == "("))
+        continue;  // statics handled elsewhere; ',' / '(' => parameter list
+      // Parse: double name [, name...] terminated by ';'. Any declarator not
+      // followed by '=' or '{' is uninitialized. Bail on functions/pointers.
+      std::size_t p = k + 1;
+      while (p < body_end) {
+        if (toks[p].kind != Token::Kind::kIdent) break;  // e.g. '*', '&'
+        const std::string member = toks[p].text;
+        ++p;
+        if (p >= body_end) break;
+        const std::string& d = toks[p].text;
+        if (d == "=" || d == "{") {
+          // initialized: skip to ',' or ';' at depth 0
+          int br = 0;
+          while (p < body_end) {
+            if (toks[p].text == "{" || toks[p].text == "(") ++br;
+            if (toks[p].text == "}" || toks[p].text == ")") --br;
+            if (br == 0 && (toks[p].text == ";" || toks[p].text == ",")) break;
+            ++p;
+          }
+        } else if (d == ";" || d == ",") {
+          add(out, file, toks[k].line, "SSN-L004",
+              "struct member 'double " + member +
+                  "' has no initializer; default it (e.g. '= 0.0')");
+        } else {
+          break;  // function, array, bitfield... out of scope for this rule
+        }
+        if (p < body_end && toks[p].text == ",") {
+          ++p;
+          continue;
+        }
+        break;
+      }
+    }
+  }
+}
+
+// SSN-L005: a catch-all that neither rethrows nor converts hides solver
+// failures as silently-wrong results.
+inline void rule_catch_all_swallow(const std::vector<Token>& toks,
+                                   const std::string& file,
+                                   std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "catch") continue;
+    if (toks[i + 1].text != "(" || toks[i + 2].text != "..." ||
+        toks[i + 3].text != ")" || toks[i + 4].text != "{")
+      continue;
+    const std::size_t body_end = match_forward(toks, i + 4, "{", "}");
+    bool rethrows = false;
+    for (std::size_t k = i + 5; k < body_end && !rethrows; ++k)
+      if (toks[k].kind == Token::Kind::kIdent && toks[k].text == "throw")
+        rethrows = true;
+    if (!rethrows)
+      add(out, file, toks[i].line, "SSN-L005",
+          "catch (...) swallows the exception; rethrow or catch a concrete "
+          "type");
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+inline std::vector<Diagnostic> lint_source(const std::string& file,
+                                           const std::string& source) {
+  const StrippedSource stripped = strip_source(source);
+  const std::vector<Token> toks = tokenize(stripped.code);
+  std::vector<Diagnostic> all;
+  detail::rule_float_compare(toks, file, all);
+  detail::rule_banned_rand(toks, file, all);
+  detail::rule_unguarded_solver(toks, file, all);
+  detail::rule_uninitialized_double_member(toks, file, all);
+  detail::rule_catch_all_swallow(toks, file, all);
+
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : all) {
+    bool suppressed = false;
+    for (int l : {d.line, d.line - 1}) {
+      const auto it = stripped.suppressions.find(l);
+      if (it != stripped.suppressions.end() &&
+          (it->second.count(d.rule) || it->second.count("all")))
+        suppressed = true;
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+inline std::vector<Diagnostic> lint_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {{path.string(), 0, "SSN-L000", "cannot open file"}};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path.string(), ss.str());
+}
+
+inline bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Lint every .hpp/.cpp under each path (file or directory, recursive).
+inline std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
+                                          std::size_t* files_scanned = nullptr) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& p : paths) {
+    const std::filesystem::path root(p);
+    if (std::filesystem::is_directory(root)) {
+      for (const auto& e : std::filesystem::recursive_directory_iterator(root))
+        if (e.is_regular_file() && lintable_extension(e.path()))
+          files.push_back(e.path());
+    } else {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_scanned) *files_scanned = files.size();
+  std::vector<Diagnostic> out;
+  for (const auto& f : files) {
+    std::vector<Diagnostic> d = lint_file(f);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+}  // namespace ssnlint
