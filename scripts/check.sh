@@ -23,6 +23,7 @@ BUILD_DIR=build
 case "$PRESET" in
   asan-ubsan) BUILD_DIR=build-asan ;;
   tsan) BUILD_DIR=build-tsan ;;
+  fault-injection) BUILD_DIR=build-fi ;;
 esac
 
 echo "=== configure ($PRESET) ==="

@@ -63,4 +63,89 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
   return out;
 }
 
+void SimMonteCarloOptions::validate() const {
+  if (samples < 1)
+    throw std::invalid_argument("SimMonteCarloOptions: samples must be >= 1");
+  for (double s : {sigma_l, sigma_c, sigma_rise, sigma_width})
+    if (s < 0.0 || s > 0.5)
+      throw std::invalid_argument(
+          "SimMonteCarloOptions: sigmas must be in [0, 0.5] (relative)");
+}
+
+SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
+                                         const process::Package& package,
+                                         int n_drivers, double rise_time,
+                                         bool include_c,
+                                         const SimMonteCarloOptions& opts) {
+  opts.validate();
+  package.validate();
+  if (!(rise_time > 0.0))
+    throw std::invalid_argument("monte_carlo_vmax_sim: rise_time must be > 0");
+
+  // Draw every sample's factors up front, in a fixed order, so the sample
+  // set never depends on which simulations later fail (or get injected
+  // faults): survivors stay bit-for-bit comparable across runs.
+  std::mt19937 rng(opts.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const auto vary = [&](double sigma) {
+    return std::clamp(1.0 + sigma * gauss(rng), 0.2, 1.8);
+  };
+  SimMonteCarloResult out;
+  out.samples.resize(std::size_t(opts.samples));
+  for (int i = 0; i < opts.samples; ++i) {
+    SimMcSample& s = out.samples[std::size_t(i)];
+    s.index = i;
+    s.l_factor = vary(opts.sigma_l);
+    s.c_factor = vary(opts.sigma_c);
+    s.rise_factor = vary(opts.sigma_rise);
+    s.width_factor = vary(opts.sigma_width);
+  }
+
+  std::vector<double> survivors;
+  survivors.reserve(out.samples.size());
+  for (SimMcSample& s : out.samples) {
+    process::Package pkg = package;
+    pkg.inductance *= s.l_factor;
+    pkg.capacitance *= s.c_factor;
+    const double tr = rise_time * s.rise_factor;
+
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.package = pkg;
+    spec.golden = cal.golden;
+    spec.n_drivers = n_drivers;
+    spec.input_rise_time = tr;
+    spec.driver_width_mult = s.width_factor;
+    spec.include_package_c = include_c;
+
+    MeasureOptions mopts = opts.measure;
+    if (mopts.transient.dt_max <= 0.0) mopts.transient.dt_max = tr / 200.0;
+
+    // The calibrated closed form for this sample: K scales with the driver
+    // width, everything else comes from the perturbed package and edge.
+    core::SsnScenario scenario =
+        make_scenario(cal, pkg, n_drivers, tr, include_c);
+    scenario.device.k *= s.width_factor;
+
+    const ResilientMeasurement rm = measure_ssn_resilient(
+        spec, mopts, opts.recovery,
+        opts.analytic_fallback ? &scenario : nullptr);
+    out.summary.record("sample=" + std::to_string(s.index), rm.fidelity,
+                       rm.error);
+    s.fidelity = rm.fidelity;
+    if (!rm.ok()) continue;
+    s.v_max = rm.measurement.v_max;
+    survivors.push_back(s.v_max);
+  }
+
+  out.surviving = survivors.size();
+  if (!survivors.empty()) {
+    out.mean = numeric::mean(survivors);
+    out.stddev = survivors.size() > 1 ? numeric::stddev(survivors) : 0.0;
+    out.min = numeric::min_value(survivors);
+    out.max = numeric::max_value(survivors);
+  }
+  return out;
+}
+
 }  // namespace ssnkit::analysis

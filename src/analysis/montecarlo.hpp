@@ -5,8 +5,13 @@
 // payoff of the paper's closed-form approach.
 #pragma once
 
+#include "analysis/calibrate.hpp"
+#include "analysis/measure.hpp"
+#include "analysis/resilience.hpp"
 #include "core/scenario.hpp"
+#include "sim/recovery.hpp"
 
+#include <cstddef>
 #include <vector>
 
 namespace ssnkit::analysis {
@@ -46,5 +51,61 @@ struct MonteCarloResult {
 /// scenario has capacitance, LOnlyModel otherwise.
 MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
                                   const MonteCarloOptions& opts = {});
+
+// --- simulation-level Monte Carlo (failure tolerant) -------------------------
+
+/// Options for the simulator-backed Monte Carlo. Each sample perturbs the
+/// package parasitics, the input edge and the driver width and runs the full
+/// MNA transient under the recovery ladder; per-sample failures degrade (to
+/// a recovery rung or the calibrated closed form) or are dropped, never
+/// abort the batch.
+struct SimMonteCarloOptions {
+  int samples = 16;  ///< full transients are costly; keep batches small
+  unsigned seed = 12345;
+  double sigma_l = 0.10;      ///< package inductance
+  double sigma_c = 0.10;      ///< pad capacitance
+  double sigma_rise = 0.05;   ///< input rise time
+  double sigma_width = 0.05;  ///< driver width (scales the fitted K)
+  /// Degrade samples whose whole simulation ladder failed to the calibrated
+  /// closed-form estimate (tagged kAnalytic) instead of dropping them.
+  bool analytic_fallback = true;
+  sim::RecoveryPolicy recovery;
+  MeasureOptions measure;
+
+  void validate() const;
+};
+
+/// One Monte Carlo sample: the drawn variation factors and the outcome.
+/// Factors are drawn for every sample up front in a fixed order, so the
+/// sample set is identical whether or not any sample later fails — surviving
+/// samples are bit-for-bit reproducible under fault injection.
+struct SimMcSample {
+  int index = 0;
+  double l_factor = 1.0;
+  double c_factor = 1.0;
+  double rise_factor = 1.0;
+  double width_factor = 1.0;
+  double v_max = 0.0;  ///< meaningful only when fidelity != kFailed
+  sim::Fidelity fidelity = sim::Fidelity::kFailed;
+};
+
+struct SimMonteCarloResult {
+  std::vector<SimMcSample> samples;  ///< one entry per drawn sample
+  std::size_t surviving = 0;         ///< samples with fidelity != kFailed
+  /// Statistics over the surviving samples' V_max.
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  BatchSummary summary;
+};
+
+/// Simulator-backed Monte Carlo over (L, C, rise time, driver width) for the
+/// standard SSN bench at `n_drivers`/`rise_time`, resilient per sample.
+SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
+                                         const process::Package& package,
+                                         int n_drivers, double rise_time,
+                                         bool include_c,
+                                         const SimMonteCarloOptions& opts = {});
 
 }  // namespace ssnkit::analysis

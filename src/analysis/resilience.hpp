@@ -1,0 +1,72 @@
+// Failure-tolerant SSN measurement: the analysis-layer end of the recovery
+// ladder. The engine-level rungs (sim/recovery.hpp) retry the transient with
+// progressively cheaper numerics; this layer adds the final rung the engine
+// cannot reach — degrading to the paper's closed-form LC / L-only models,
+// which need the calibrated SsnScenario known only here — and the batch
+// bookkeeping (per-fidelity / per-failure summaries) that sweeps and Monte
+// Carlo runs report.
+#pragma once
+
+#include "analysis/measure.hpp"
+#include "core/scenario.hpp"
+#include "sim/recovery.hpp"
+#include "support/diagnostics.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ssnkit::analysis {
+
+/// A measurement tagged with the solver fidelity that produced it. When the
+/// whole ladder (including the analytic rung, if a scenario was supplied)
+/// failed, `fidelity` is kFailed and `error` carries the typed diagnostic.
+struct ResilientMeasurement {
+  SsnMeasurement measurement;
+  sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
+  /// Every recovery rung attempted, in order, with its outcome.
+  std::vector<support::RecoveryAttempt> attempts;
+  /// Populated when every simulation rung failed. The analytic rung, when
+  /// taken, leaves it set so callers can still see why simulation degraded.
+  std::optional<support::SolverError> error;
+
+  bool ok() const { return fidelity != sim::Fidelity::kFailed; }
+  bool degraded() const { return fidelity != sim::Fidelity::kFullDevice; }
+};
+
+/// measure_ssn with the recovery ladder underneath. Never throws on solver
+/// failure. When `analytic_fallback` is non-null and every simulation rung
+/// fails, the measurement is evaluated on the closed forms (LcModel when the
+/// scenario carries capacitance, LOnlyModel otherwise) and tagged kAnalytic.
+ResilientMeasurement measure_ssn_resilient(
+    const circuit::SsnBenchSpec& spec, const MeasureOptions& opts = {},
+    const sim::RecoveryPolicy& policy = {},
+    const core::SsnScenario* analytic_fallback = nullptr);
+
+/// Evaluate the closed-form measurement directly (the analytic rung on its
+/// own). Used by batch drivers that already failed simulation elsewhere.
+SsnMeasurement analytic_measurement(const core::SsnScenario& scenario,
+                                    std::size_t points = 512);
+
+/// Aggregated outcome of a batch of resilient runs (a sweep or a Monte
+/// Carlo population): how many items landed at each fidelity and which
+/// error kinds were seen.
+struct BatchSummary {
+  std::size_t total = 0;
+  std::size_t full_fidelity = 0;  ///< fidelity == kFullDevice
+  std::size_t recovered = 0;      ///< simulation rungs 1-4
+  std::size_t analytic = 0;       ///< degraded to the closed forms
+  std::size_t failed = 0;         ///< no rung succeeded
+  std::map<std::string, std::size_t> by_fidelity;  ///< fidelity name -> count
+  std::map<std::string, std::size_t> by_error;     ///< error kind -> count
+  /// One line per degraded or failed item ("label: fidelity [error]").
+  std::vector<std::string> notes;
+
+  void record(const std::string& label, sim::Fidelity fidelity,
+              const std::optional<support::SolverError>& error);
+  bool all_full_fidelity() const { return full_fidelity == total; }
+  std::string to_string() const;
+};
+
+}  // namespace ssnkit::analysis

@@ -4,7 +4,9 @@
 #include "support/contracts.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace ssnkit::analysis {
 
@@ -16,6 +18,27 @@ sim::TransientOptions tuned_transient(const sim::TransientOptions& base,
   // Resolve the ramp well regardless of the adaptive controller's mood.
   if (t.dt_max <= 0.0) t.dt_max = rise_time / 200.0;
   return t;
+}
+
+// Measure one sweep point, resiliently when asked. Returns false when the
+// point failed even after the recovery ladder — the caller skips the row;
+// the summary (always updated when `resilient`) carries the account.
+bool measure_point(const circuit::SsnBenchSpec& spec,
+                   const MeasureOptions& mopts, bool resilient,
+                   const sim::RecoveryPolicy& policy, const std::string& label,
+                   BatchSummary& summary, double& v_max_out,
+                   sim::Fidelity& fidelity_out) {
+  if (!resilient) {
+    v_max_out = measure_ssn(spec, mopts).v_max;
+    fidelity_out = sim::Fidelity::kFullDevice;
+    return true;
+  }
+  const ResilientMeasurement rm = measure_ssn_resilient(spec, mopts, policy);
+  summary.record(label, rm.fidelity, rm.error);
+  if (!rm.ok()) return false;
+  v_max_out = rm.measurement.v_max;
+  fidelity_out = rm.fidelity;
+  return true;
 }
 
 circuit::SsnBenchSpec bench_spec_for(const process::Technology& tech,
@@ -54,7 +77,10 @@ DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
         bench_spec_for(config.tech, config.package, config.golden, n,
                        config.input_rise_time, config.include_package_c,
                        config.include_pullup);
-    row.sim = measure_ssn(spec, mopts).v_max;
+    if (!measure_point(spec, mopts, config.resilient, config.recovery,
+                       "n=" + std::to_string(n), out.summary, row.sim,
+                       row.fidelity))
+      continue;
 
     const core::SsnScenario scenario = make_scenario(
         out.calibration, config.package, n, config.input_rise_time,
@@ -109,7 +135,11 @@ CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& confi
         bench_spec_for(config.tech, pkg, config.golden, config.n_drivers,
                        config.input_rise_time, /*include_c=*/true,
                        config.include_pullup);
-    row.sim = measure_ssn(spec, mopts).v_max;
+    char label[32];
+    std::snprintf(label, sizeof(label), "c=%.3gF", c);
+    if (!measure_point(spec, mopts, config.resilient, config.recovery, label,
+                       out.summary, row.sim, row.fidelity))
+      continue;
 
     const core::LcModel lc(base_scenario.with_capacitance(c));
     row.lc_model = lc.v_max();
@@ -129,9 +159,11 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            int n_drivers,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
-                                           const sim::TransientOptions& topts) {
+                                           const sim::TransientOptions& topts,
+                                           BatchSummary* summary) {
   SSN_REQUIRE(!rise_times.empty(), "run_slope_sweep: no rise times");
   std::vector<SlopeSweepRow> rows;
+  BatchSummary local;  // discarded when the caller did not ask for one
   for (double tr : rise_times) {
     SlopeSweepRow row;
     row.rise_time = tr;
@@ -146,7 +178,12 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
     spec.include_package_c = include_c;
     MeasureOptions mopts;
     mopts.transient = tuned_transient(topts, tr);
-    row.sim = measure_ssn(spec, mopts).v_max;
+    char label[32];
+    std::snprintf(label, sizeof(label), "tr=%.3gs", tr);
+    if (!measure_point(spec, mopts, /*resilient=*/summary != nullptr, {},
+                       label, summary ? *summary : local, row.sim,
+                       row.fidelity))
+      continue;
 
     const core::SsnScenario scenario =
         make_scenario(cal, package, n_drivers, tr, include_c);

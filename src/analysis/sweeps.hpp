@@ -5,8 +5,10 @@
 
 #include "analysis/calibrate.hpp"
 #include "analysis/measure.hpp"
+#include "analysis/resilience.hpp"
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
+#include "sim/recovery.hpp"
 
 #include <vector>
 
@@ -23,6 +25,11 @@ struct DriverSweepConfig {
   bool include_package_c = false;  ///< Fig. 3 compares L-only models
   bool include_pullup = true;
   sim::TransientOptions transient;
+  /// When set, a failing simulation point climbs the recovery ladder and a
+  /// still-failing point is skipped (and reported in the summary) instead of
+  /// aborting the whole sweep.
+  bool resilient = true;
+  sim::RecoveryPolicy recovery;
 };
 
 struct DriverSweepRow {
@@ -36,11 +43,17 @@ struct DriverSweepRow {
   double err_vemuru = 0.0;
   double err_song = 0.0;
   double err_senthinathan = 0.0;
+  /// Solver fidelity of the `sim` reference (kFullDevice unless a recovery
+  /// rung had to engage for this point).
+  sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
 };
 
 struct DriverSweepResult {
   Calibration calibration;
   std::vector<DriverSweepRow> rows;
+  /// Per-fidelity / per-failure accounting; failed points appear here (and
+  /// in `notes`) rather than as rows.
+  BatchSummary summary;
 };
 
 DriverSweepResult run_driver_sweep(const DriverSweepConfig& config);
@@ -56,6 +69,8 @@ struct CapacitanceSweepConfig {
   std::vector<double> capacitances;  ///< [F]; empty = log sweep 0.1..20 pF
   bool include_pullup = true;
   sim::TransientOptions transient;
+  bool resilient = true;  ///< see DriverSweepConfig::resilient
+  sim::RecoveryPolicy recovery;
 };
 
 struct CapacitanceSweepRow {
@@ -67,12 +82,14 @@ struct CapacitanceSweepRow {
   double err_l_only = 0.0;
   double zeta = 0.0;           ///< damping ratio at this C
   core::MaxSsnCase lc_case = core::MaxSsnCase::kOverDamped;
+  sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
 };
 
 struct CapacitanceSweepResult {
   Calibration calibration;
   double critical_capacitance = 0.0;
   std::vector<CapacitanceSweepRow> rows;
+  BatchSummary summary;
 };
 
 CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& config);
@@ -86,13 +103,17 @@ struct SlopeSweepRow {
   double sim = 0.0;
   double model = 0.0;
   double err = 0.0;
+  sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
 };
+/// When `summary` is non-null the sweep runs resiliently: failing points are
+/// skipped and accounted there instead of throwing.
 std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const process::Package& package,
                                            int n_drivers,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
-                                           const sim::TransientOptions& topts = {});
+                                           const sim::TransientOptions& topts = {},
+                                           BatchSummary* summary = nullptr);
 
 /// The paper's beta-equivalence claim (Eqn 9/10): configurations with equal
 /// beta = N*L*S have equal predicted V_max. For each driver count in `ns`

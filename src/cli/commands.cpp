@@ -74,6 +74,8 @@ common options:
   --tr 0.1n                    input rise time
   --no-c                       drop the pad capacitance (Section 3 model)
   --extended                   also report the post-ramp (true) peak
+  --sim                        (mc) simulator-backed samples with the
+                               recovery ladder instead of the closed forms
 )";
 }
 
@@ -174,6 +176,8 @@ int cmd_sweep_n(const Args& args, std::ostream& os) {
   for (const auto& r : result.rows)
     os << r.n << ',' << r.sim << ',' << r.this_work << ',' << r.vemuru << ','
        << r.song << ',' << r.senthinathan << '\n';
+  if (!result.summary.all_full_fidelity())
+    os << "# resilience: " << result.summary.to_string() << '\n';
   warn_unused(args, os);
   return 0;
 }
@@ -190,6 +194,8 @@ int cmd_sweep_c(const Args& args, std::ostream& os) {
   for (const auto& r : result.rows)
     os << r.c << ',' << r.zeta << ',' << r.sim << ',' << r.lc_model << ','
        << r.l_only << ',' << r.err_lc << ',' << r.err_l_only << '\n';
+  if (!result.summary.all_full_fidelity())
+    os << "# resilience: " << result.summary.to_string() << '\n';
   warn_unused(args, os);
   return 0;
 }
@@ -234,9 +240,33 @@ int cmd_mc(const Args& args, std::ostream& os) {
   const auto tech = tech_from(args);
   const auto pkg = package_from(args);
   const auto cal = analysis::calibrate(tech, golden_from(args));
-  const auto scenario = analysis::make_scenario(
-      cal, pkg, args.get_int("n", 8), args.get_double("tr", 0.1e-9),
-      !args.flag("no-c"));
+  const int n = args.get_int("n", 8);
+  const double tr = args.get_double("tr", 0.1e-9);
+  const bool with_c = !args.flag("no-c");
+
+  if (args.flag("sim")) {
+    // Simulator-backed Monte Carlo: each sample is a full MNA transient run
+    // under the recovery ladder; failures degrade instead of aborting.
+    analysis::SimMonteCarloOptions opts;
+    opts.samples = args.get_int("samples", 16);
+    opts.seed = unsigned(args.get_int("seed", 12345));
+    const auto mc = analysis::monte_carlo_vmax_sim(cal, pkg, n, tr, with_c, opts);
+    io::TextTable t({"statistic", "V_max [V]"});
+    t.add_row({std::string("samples (surviving/total)"),
+               std::to_string(mc.surviving) + "/" +
+                   std::to_string(mc.samples.size())});
+    t.add_row({std::string("mean"), io::si_format(mc.mean, 4)});
+    t.add_row({std::string("sigma"), io::si_format(mc.stddev, 4)});
+    t.add_row({std::string("min / max"),
+               io::si_format(mc.min, 4) + " / " + io::si_format(mc.max, 4)});
+    os << t.to_string();
+    os << "resilience: " << mc.summary.to_string() << '\n';
+    for (const auto& note : mc.summary.notes) os << "  " << note << '\n';
+    warn_unused(args, os);
+    return 0;
+  }
+
+  const auto scenario = analysis::make_scenario(cal, pkg, n, tr, with_c);
 
   analysis::MonteCarloOptions opts;
   opts.samples = args.get_int("samples", 1000);
@@ -357,7 +387,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& os,
   const std::string command = argv.front();
   const std::vector<std::string> rest(argv.begin() + 1, argv.end());
   try {
-    const Args args = Args::parse(rest, {"no-c", "verify", "extended"});
+    const Args args = Args::parse(rest, {"no-c", "verify", "extended", "sim"});
     if (command == "calibrate") return cmd_calibrate(args, os);
     if (command == "estimate") return cmd_estimate(args, os);
     if (command == "sweep-n") return cmd_sweep_n(args, os);

@@ -1,6 +1,7 @@
 #include "numeric/complex_la.hpp"
 
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
 
 #include <cmath>
 #include <limits>
@@ -72,7 +73,12 @@ CLuFactorization::CLuFactorization(CMatrix a) : lu_(std::move(a)) {
 CVector CLuFactorization::solve(const CVector& b) const {
   const std::size_t n = size();
   SSN_REQUIRE(b.size() == n, "CLuFactorization::solve: size");
-  if (singular_) throw std::runtime_error("CLuFactorization::solve: singular");
+  if (singular_) {
+    support::SolverDiagnostics diag;
+    diag.where = "CLuFactorization::solve";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "singular matrix", std::move(diag));
+  }
   CVector y(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
   for (std::size_t i = 0; i < n; ++i)

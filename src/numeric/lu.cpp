@@ -1,6 +1,7 @@
 #include "numeric/lu.hpp"
 
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
 
 #include <cmath>
 #include <limits>
@@ -48,7 +49,12 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 Vector LuFactorization::solve(const Vector& b) const {
   const std::size_t n = size();
   SSN_REQUIRE(b.size() == n, "LuFactorization::solve: size mismatch");
-  if (singular_) throw std::runtime_error("LuFactorization::solve: singular matrix");
+  if (singular_) {
+    support::SolverDiagnostics diag;
+    diag.where = "LuFactorization::solve";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "singular matrix", std::move(diag));
+  }
 
   // Apply permutation, then forward/backward substitution.
   Vector y(n);

@@ -8,8 +8,17 @@
 
 namespace ssnkit::numeric {
 
+const char* to_string(OdeStatus status) {
+  switch (status) {
+    case OdeStatus::kOk: return "ok";
+    case OdeStatus::kStepBudgetExhausted: return "step-budget-exhausted";
+    case OdeStatus::kStepUnderflow: return "step-underflow";
+  }
+  return "unknown";
+}
+
 double OdeSolution::sample(double time, std::size_t k) const {
-  if (t.empty()) throw std::runtime_error("OdeSolution::sample: empty solution");
+  SSN_REQUIRE(!t.empty(), "OdeSolution::sample: empty solution");
   if (time <= t.front()) return y.front()[k];
   if (time >= t.back()) return y.back()[k];
   const auto it = std::upper_bound(t.begin(), t.end(), time);
@@ -89,8 +98,12 @@ OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
 
   Vector k[7];
   while (t < t1) {
-    if (sol.steps_taken + sol.steps_rejected > opts.max_steps)
-      throw std::runtime_error("rk45: step budget exhausted");
+    if (sol.steps_taken + sol.steps_rejected > opts.max_steps) {
+      // Keep the accepted prefix usable instead of discarding it: callers
+      // inspect `status` and can still sample() everything up to sol.t.back().
+      sol.status = OdeStatus::kStepBudgetExhausted;
+      return sol;
+    }
     h = std::min(h, t1 - t);
 
     k[0] = f(t, y);
@@ -129,7 +142,10 @@ OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
     }
     const double factor = err > 0.0 ? 0.9 * std::pow(err, -0.2) : 5.0;
     h *= std::clamp(factor, 0.2, 5.0);
-    if (h < h_min) throw std::runtime_error("rk45: step size underflow");
+    if (h < h_min) {
+      sol.status = OdeStatus::kStepUnderflow;
+      return sol;
+    }
   }
   return sol;
 }

@@ -15,12 +15,24 @@ namespace ssnkit::numeric {
 /// Right-hand side dy/dt = f(t, y).
 using OdeRhs = std::function<Vector(double t, const Vector& y)>;
 
+/// Why an adaptive integration ended where it did.
+enum class OdeStatus {
+  kOk = 0,                   ///< reached t1
+  kStepBudgetExhausted = 1,  ///< max_steps hit; solution truncated
+  kStepUnderflow = 2,        ///< step size fell below min_step; truncated
+};
+
+const char* to_string(OdeStatus status);
+
 /// A sampled ODE trajectory.
 struct OdeSolution {
   std::vector<double> t;
   std::vector<Vector> y;
   std::size_t steps_taken = 0;
   std::size_t steps_rejected = 0;
+  OdeStatus status = OdeStatus::kOk;
+
+  bool ok() const { return status == OdeStatus::kOk; }
 
   /// Linear interpolation of component `k` at time `time` (clamped).
   double sample(double time, std::size_t k = 0) const;
@@ -38,8 +50,10 @@ struct Rk45Options {
   std::size_t max_steps = 2'000'000;
 };
 
-/// Adaptive Dormand–Prince RK5(4). Throws std::runtime_error when the step
-/// size underflows or the step budget is exhausted.
+/// Adaptive Dormand–Prince RK5(4). When the step size underflows or the
+/// step budget is exhausted the solution computed so far is returned with
+/// `status` set accordingly — the sampled prefix stays usable. Non-finite
+/// inputs or RHS blow-ups still throw (contract violations).
 OdeSolution rk45(const OdeRhs& f, double t0, double t1, Vector y0,
                  const Rk45Options& opts = {});
 

@@ -1,6 +1,7 @@
 #include "numeric/qr.hpp"
 
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -64,8 +65,12 @@ Vector QrFactorization::apply_qt(const Vector& b) const {
 }
 
 Vector QrFactorization::solve(const Vector& b) const {
-  if (rank_deficient_)
-    throw std::runtime_error("QrFactorization::solve: rank-deficient system");
+  if (rank_deficient_) {
+    support::SolverDiagnostics diag;
+    diag.where = "QrFactorization::solve";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "rank-deficient system", std::move(diag));
+  }
   const std::size_t n = cols();
   Vector y = apply_qt(b);
   Vector x(n);

@@ -1,6 +1,7 @@
 #include "numeric/sparse.hpp"
 
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
 
 #include "numeric/lu.hpp"
 
@@ -241,7 +242,12 @@ std::size_t SparseLu::factor_nonzeros() const {
 
 Vector SparseLu::solve(const Vector& b) const {
   SSN_REQUIRE(b.size() == n_, "SparseLu::solve: size mismatch");
-  if (singular_) throw std::runtime_error("SparseLu::solve: singular matrix");
+  if (singular_) {
+    support::SolverDiagnostics diag;
+    diag.where = "SparseLu::solve";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "singular matrix", std::move(diag));
+  }
 
   // Forward solve L y = P b (L unit-diagonal, stored column-wise with
   // original row indices; pinv maps them to solve order = their own pivot

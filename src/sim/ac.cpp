@@ -1,6 +1,7 @@
 #include "sim/ac.hpp"
 
 #include "support/contracts.hpp"
+#include "support/diagnostics.hpp"
 
 #include <cmath>
 #include <numbers>
@@ -113,9 +114,15 @@ AcResult run_ac(Circuit& ckt, const AcOptions& opts) {
     ctx.b = &b;
     for (const auto& el : ckt.elements()) el->stamp_ac(ctx);
     numeric::CLuFactorization lu(a);
-    if (lu.singular())
-      throw std::runtime_error("run_ac: singular AC matrix at f=" +
-                               std::to_string(result.frequencies()[fi]));
+    if (lu.singular()) {
+      support::SolverDiagnostics diag;
+      diag.where = "run_ac";
+      throw support::SolverError(
+          support::SolverErrorKind::kSingularMatrix,
+          "singular AC matrix at f=" +
+              std::to_string(result.frequencies()[fi]),
+          std::move(diag));
+    }
     const CVector x = lu.solve(b);
 
     // Reorder into the signal layout (voltages then branch currents in

@@ -3,11 +3,13 @@
 #include "numeric/lu.hpp"
 #include "numeric/sparse.hpp"
 #include "support/contracts.hpp"
+#include "support/faultinject.hpp"
 #include "waveform/source_spec.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+#include <cstdio>
+#include <utility>
 
 namespace ssnkit::sim {
 
@@ -20,6 +22,11 @@ using circuit::Integrator;
 using circuit::StampContext;
 using numeric::Matrix;
 using numeric::Vector;
+using support::FaultKind;
+using support::HomotopyStage;
+using support::SolverDiagnostics;
+using support::SolverError;
+using support::SolverErrorKind;
 
 namespace {
 
@@ -40,9 +47,28 @@ void assemble(Circuit& ckt, const StampContext& base, const Vector& x, Matrix& a
   }
 }
 
+/// KCL mismatch ||A*x - b||_inf of the linearized system assembled at x —
+/// the residual reported in diagnostics when a solve stalls.
+double kcl_residual(const Matrix& a, const Vector& b, const Vector& x) {
+  const std::size_t n = b.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = -b[i];
+    for (std::size_t j = 0; j < n; ++j) row += a(i, j) * x[j];
+    if (std::isfinite(row)) worst = std::max(worst, std::fabs(row));
+  }
+  return worst;
+}
+
 struct NewtonOutcome {
   bool converged = false;
   std::size_t iterations = 0;
+  bool singular = false;    ///< LU reported a singular system
+  bool non_finite = false;  ///< NaN/Inf appeared in the Newton update
+  bool injected = false;    ///< a fault-injection hook forced this failure
+  double max_dv = 0.0;      ///< last iteration's largest voltage update
+  double residual = 0.0;    ///< ||A*x - b||_inf at the failure point
+  int worst_node = -1;      ///< node (NodeId) with the largest update
 };
 
 /// Newton–Raphson on the MNA equations; x holds the initial guess on entry
@@ -58,15 +84,42 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
   for (int it = 0; it < opts.max_iterations; ++it) {
     ++out.iterations;
     assemble(ckt, base, x, a, b);
+    if (SSN_FAULT_POINT(FaultKind::kNewtonDivergence)) {
+      out.injected = true;
+      out.residual = kcl_residual(a, b, x);
+      return out;
+    }
+    const bool forced_singular = SSN_FAULT_POINT(FaultKind::kSingularLu);
     Vector x_new;
     if (n > opts.sparse_threshold) {
       numeric::SparseLu lu(numeric::SparseMatrix::from_dense(a));
-      if (lu.singular()) return out;
+      if (lu.singular() || forced_singular) {
+        out.singular = true;
+        out.injected = forced_singular;
+        out.residual = kcl_residual(a, b, x);
+        return out;
+      }
       x_new = lu.solve(b);
     } else {
       numeric::LuFactorization lu(a);
-      if (lu.singular()) return out;
+      if (lu.singular() || forced_singular) {
+        out.singular = true;
+        out.injected = forced_singular;
+        out.residual = kcl_residual(a, b, x);
+        return out;
+      }
       x_new = lu.solve(b);
+    }
+    const bool forced_nan = SSN_FAULT_POINT(FaultKind::kNanResidual);
+    if (forced_nan && n > 0) x_new[0] = std::nan("");
+    if (!ssnkit::detail::contract_all_finite(x_new)) {
+      // A device model returning NaN conductances (or an injected fault)
+      // corrupted the update: report it as a typed failure instead of
+      // letting the NaN masquerade as a converged point downstream.
+      out.non_finite = true;
+      out.injected = forced_nan;
+      out.residual = kcl_residual(a, b, x);
+      return out;
     }
 
     // Damping: limit the largest voltage move per iteration so the device
@@ -74,9 +127,17 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
     // half the iteration budget, also halve every step — this breaks the
     // 2-cycles piecewise-linear devices can otherwise drive Newton into.
     double max_dv = 0.0;
-    for (int node = 1; node < n_nodes; ++node)
-      max_dv = std::max(max_dv,
-                        std::fabs(x_new[std::size_t(node - 1)] - x[std::size_t(node - 1)]));
+    int worst = -1;
+    for (int node = 1; node < n_nodes; ++node) {
+      const double dv =
+          std::fabs(x_new[std::size_t(node - 1)] - x[std::size_t(node - 1)]);
+      if (dv > max_dv) {
+        max_dv = dv;
+        worst = node;
+      }
+    }
+    out.max_dv = max_dv;
+    out.worst_node = worst;
     double alpha = 1.0;
     if (max_dv > opts.max_voltage_step) alpha = opts.max_voltage_step / max_dv;
     if (it > opts.max_iterations / 2) alpha *= 0.5;
@@ -108,7 +169,30 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
       return out;
     }
   }
+  // Out of iterations: reassemble at the final iterate so the diagnostic
+  // carries the true KCL mismatch the iteration stalled at.
+  assemble(ckt, base, x, a, b);
+  out.residual = kcl_residual(a, b, x);
   return out;
+}
+
+/// Classify a failed Newton outcome for the SolverError taxonomy.
+SolverErrorKind classify(const NewtonOutcome& nr) {
+  if (nr.singular) return SolverErrorKind::kSingularMatrix;
+  if (nr.non_finite) return SolverErrorKind::kNonFiniteValue;
+  return SolverErrorKind::kNewtonDivergence;
+}
+
+/// Fill the location/residual diagnostics shared by every failure path.
+void fill_newton_diag(SolverDiagnostics& diag, const Circuit& ckt,
+                      const NewtonOutcome& nr) {
+  diag.residual = nr.residual;
+  diag.max_dv = nr.max_dv;
+  diag.injected = nr.injected;
+  if (nr.worst_node > 0) {
+    diag.node = nr.worst_node;
+    diag.node_name = ckt.node_name(nr.worst_node);
+  }
 }
 
 /// Gear-2 (BDF2) coefficients for possibly unequal steps h1 = t_{n+1}-t_n,
@@ -181,6 +265,12 @@ std::vector<double> collect_breakpoints(const Circuit& ckt, double t0, double t1
   return bps;
 }
 
+std::string format_scale(const char* prefix, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%.0e", prefix, value);
+  return std::string(buf);
+}
+
 }  // namespace
 
 double DcResult::voltage(const Circuit& ckt, const std::string& node) const {
@@ -198,11 +288,28 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
   base.mode = AnalysisMode::kDc;
   base.time = time;
 
+  // Failure bookkeeping: the trail records every stage; the last failed
+  // outcome classifies the error and locates the stall.
+  NewtonOutcome last_fail;
+  bool any_injected = false;
+  const auto record = [&](std::string name, const NewtonOutcome& r) {
+    HomotopyStage st;
+    st.name = std::move(name);
+    st.converged = r.converged;
+    st.iterations = r.iterations;
+    st.residual = r.residual;
+    st.max_dv = r.max_dv;
+    out.homotopy_trail.push_back(std::move(st));
+    if (!r.converged) last_fail = r;
+    if (r.injected) any_injected = true;
+  };
+
   // 1. Plain Newton from zero.
   {
     Vector x(n);
     const auto r = solve_newton(ckt, base, x, newton);
     out.iterations += r.iterations;
+    record("plain-newton", r);
     if (r.converged) {
       out.solution = std::move(x);
       SSN_ASSERT_FINITE(out.solution);
@@ -219,6 +326,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
       ctx.gmin = gmin;
       const auto r = solve_newton(ckt, ctx, x, newton);
       out.iterations += r.iterations;
+      record(format_scale("gmin=", gmin), r);
       if (!r.converged) {
         ok = false;
         break;
@@ -227,6 +335,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
     if (ok) {
       const auto r = solve_newton(ckt, base, x, newton);
       out.iterations += r.iterations;
+      record("gmin-final", r);
       if (r.converged) {
         out.solution = std::move(x);
         SSN_ASSERT_FINITE(out.solution);
@@ -244,6 +353,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
       ctx.source_scale = std::min(scale, 1.0);
       const auto r = solve_newton(ckt, ctx, x, newton);
       out.iterations += r.iterations;
+      record(format_scale("source=", std::min(scale, 1.0)), r);
       if (!r.converged) {
         ok = false;
         break;
@@ -255,11 +365,20 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
       return out;
     }
   }
-  throw std::runtime_error("dc_operating_point: no convergence (plain, gmin and "
-                           "source stepping all failed)");
+
+  SolverDiagnostics diag;
+  diag.where = "dc_operating_point";
+  diag.time = time;
+  diag.newton_iterations = out.iterations;
+  fill_newton_diag(diag, ckt, last_fail);
+  diag.injected = any_injected || last_fail.injected;
+  diag.homotopy_trail = out.homotopy_trail;
+  throw SolverError(
+      classify(last_fail),
+      "no convergence (plain, gmin and source stepping all failed)", diag);
 }
 
-TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
+TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
   SSN_REQUIRE(opts.t_stop > opts.t_start,
               "run_transient: t_stop must be > t_start");
   ckt.finalize();
@@ -272,18 +391,27 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
   double h = opts.dt_initial > 0.0 ? opts.dt_initial : span / 1000.0;
   h = std::clamp(h, h_min, h_max);
 
-  TransientResult result(collect_signal_names(ckt));
+  TransientRun run{TransientResult(collect_signal_names(ckt)), std::nullopt};
+  TransientResult& result = run.result;
 
   // Initial state: DC operating point or UIC.
   Vector x(n);
   if (opts.use_ic) {
     // Node voltages start at 0; elements pick up their declared ICs.
   } else {
-    DcResult dc = dc_operating_point(ckt, opts.t_start, opts.newton);
-    result.stats.dc_iterations = dc.iterations;
-    result.stats.dc_used_gmin_stepping = dc.used_gmin_stepping;
-    result.stats.dc_used_source_stepping = dc.used_source_stepping;
-    x = std::move(dc.solution);
+    try {
+      DcResult dc = dc_operating_point(ckt, opts.t_start, opts.newton);
+      result.stats.dc_iterations = dc.iterations;
+      result.stats.dc_used_gmin_stepping = dc.used_gmin_stepping;
+      result.stats.dc_used_source_stepping = dc.used_source_stepping;
+      x = std::move(dc.solution);
+    } catch (const SolverError& e) {
+      SolverDiagnostics diag = e.diagnostics();
+      diag.where = "run_transient (initial operating point)";
+      run.error.emplace(e.kind(), "initial operating point failed",
+                        std::move(diag));
+      return run;
+    }
   }
   {
     AcceptContext actx;
@@ -318,6 +446,13 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
   StampContext base;
   base.mode = AnalysisMode::kTransient;
 
+  const auto fail = [&](SolverErrorKind kind, const std::string& message,
+                        SolverDiagnostics diag) {
+    diag.where = "run_transient";
+    diag.newton_iterations = result.stats.newton_iterations;
+    run.error.emplace(kind, message, std::move(diag));
+  };
+
   const double t_eps = span * 1e-12;
   while (t < opts.t_stop - t_eps) {
     // Never step across a source breakpoint.
@@ -328,9 +463,15 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
         break;
       }
     }
-    if (h_step < h_min)
-      throw std::runtime_error("run_transient: time step underflow at t=" +
-                               std::to_string(t));
+    const bool forced_underflow = SSN_FAULT_POINT(FaultKind::kStepUnderflow);
+    if (h_step < h_min || forced_underflow) {
+      SolverDiagnostics diag;
+      diag.time = t;
+      diag.injected = forced_underflow && h_step >= h_min;
+      fail(SolverErrorKind::kStepUnderflow, "time step underflow",
+           std::move(diag));
+      return run;
+    }
 
     const double h_prev =
         hist_t.size() >= 2 ? hist_t.back() - hist_t[hist_t.size() - 2] : 0.0;
@@ -350,13 +491,50 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
     Vector x_cand = x_guess;
     const auto nr = solve_newton(ckt, base, x_cand, opts.newton);
     result.stats.newton_iterations += nr.iterations;
+    if (nr.non_finite) ++result.stats.nonfinite_rejections;
     if (!nr.converged) {
       ++result.stats.newton_failures;
-      h = h_step * 0.25;
-      if (h < h_min)
-        throw std::runtime_error("run_transient: Newton failed at minimum step, t=" +
-                                 std::to_string(t));
-      continue;
+      const double h_next = h_step * 0.25;
+      if (h_next >= h_min) {
+        h = h_next;
+        continue;
+      }
+      // The step cannot shrink further. Optionally rescue the timepoint
+      // with a gmin ramp (the transient analogue of DC gmin stepping)
+      // before surfacing the failure.
+      bool rescued = false;
+      if (opts.newton_gmin_recovery) {
+        Vector xg = x;
+        bool ramp_ok = true;
+        std::size_t rescue_iters = 0;
+        for (double gmin = 1e-3; gmin >= 1e-12; gmin *= 1e-2) {
+          StampContext ctx = base;
+          ctx.gmin = gmin;
+          const auto rg = solve_newton(ckt, ctx, xg, opts.newton);
+          rescue_iters += rg.iterations;
+          if (!rg.converged) {
+            ramp_ok = false;
+            break;
+          }
+        }
+        if (ramp_ok) {
+          const auto rf = solve_newton(ckt, base, xg, opts.newton);
+          rescue_iters += rf.iterations;
+          if (rf.converged) {
+            x_cand = std::move(xg);
+            rescued = true;
+          }
+        }
+        result.stats.newton_iterations += rescue_iters;
+        if (rescued) ++result.stats.gmin_rescues;
+      }
+      if (!rescued) {
+        SolverDiagnostics diag;
+        diag.time = base.time;
+        fill_newton_diag(diag, ckt, nr);
+        fail(classify(nr), "Newton failed at minimum step", std::move(diag));
+        return run;
+      }
     }
 
     // LTE control via divided differences over the last accepted points.
@@ -401,9 +579,13 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
     }
 
     // Accept.
-    if (result.stats.accepted_steps >= opts.max_steps)
-      throw std::runtime_error("run_transient: step budget exhausted at t=" +
-                               std::to_string(t));
+    if (result.stats.accepted_steps >= opts.max_steps) {
+      SolverDiagnostics diag;
+      diag.time = t;
+      fail(SolverErrorKind::kStepBudgetExhausted, "step budget exhausted",
+           std::move(diag));
+      return run;
+    }
     t = base.time;
     x = std::move(x_cand);
     {
@@ -440,7 +622,15 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
       h = opts.dt_initial > 0.0 ? opts.dt_initial : span / 1000.0;
     }
   }
-  return result;
+  return run;
+}
+
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opts) {
+  SSN_REQUIRE(opts.t_stop > opts.t_start,
+              "run_transient: t_stop must be > t_start");
+  TransientRun run = run_transient_ex(ckt, opts);
+  if (run.error) throw *run.error;
+  return std::move(run.result);
 }
 
 }  // namespace ssnkit::sim

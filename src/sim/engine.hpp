@@ -6,10 +6,17 @@
 // This engine is the repository's stand-in for the paper's HSPICE runs;
 // tests/test_sim_*.cpp validate it against closed-form RLC responses and
 // RK45 reference integrations before it is trusted as a golden reference.
+//
+// Failure reporting: every solver failure surfaces as a typed
+// support::SolverError (see support/diagnostics.hpp) carrying the failure
+// kind, location and the homotopy/recovery trail. run_transient_ex() is the
+// non-throwing variant batch drivers use: it returns the partial waveform
+// computed before the failure instead of discarding it.
 #pragma once
 
 #include "circuit/circuit.hpp"
 #include "sim/result.hpp"
+#include "support/diagnostics.hpp"
 
 #include <optional>
 
@@ -31,14 +38,17 @@ struct DcResult {
   std::size_t iterations = 0;
   bool used_gmin_stepping = false;
   bool used_source_stepping = false;
+  /// Every homotopy stage that ran (plain Newton, each gmin value, each
+  /// source scale) with its convergence status and final residual.
+  std::vector<support::HomotopyStage> homotopy_trail;
 
   /// Voltage of a named node in this solution.
   double voltage(const circuit::Circuit& ckt, const std::string& node) const;
 };
 
 /// Solve the DC operating point (capacitors open, inductors shorted,
-/// sources evaluated at `time`). Throws std::runtime_error when all
-/// homotopies fail.
+/// sources evaluated at `time`). Throws support::SolverError (a
+/// std::runtime_error) carrying the homotopy trail when all homotopies fail.
 DcResult dc_operating_point(circuit::Circuit& ckt, double time = 0.0,
                             const NewtonOptions& newton = {});
 
@@ -58,11 +68,32 @@ struct TransientOptions {
   /// Skip the DC solve and start from element initial conditions
   /// (SPICE "UIC"); unknown node voltages start at 0.
   bool use_ic = false;
+  /// Last-ditch per-timepoint rescue: when Newton still fails at the
+  /// minimum step, retry the point with a gmin ramp (1e-3 -> 0) before
+  /// giving up. Off by default; the RecoveryPolicy ladder enables it on
+  /// its gmin rung.
+  bool newton_gmin_recovery = false;
   NewtonOptions newton;
 };
 
+/// Outcome of a transient run that never throws on solver failure: the
+/// result holds every accepted point up to the failure (the high-fidelity
+/// prefix), and `error` is engaged with the typed diagnostic.
+struct TransientRun {
+  TransientResult result;
+  std::optional<support::SolverError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+/// Run a transient analysis without throwing on solver failure; the partial
+/// waveform computed before the failure is preserved in `result`.
+TransientRun run_transient_ex(circuit::Circuit& ckt,
+                              const TransientOptions& opts);
+
 /// Run a transient analysis. Records every node voltage plus the branch
-/// current of every voltage-defined element as "I(name)".
+/// current of every voltage-defined element as "I(name)". Throws
+/// support::SolverError on solver failure (the partial waveform is
+/// discarded; use run_transient_ex to keep it).
 TransientResult run_transient(circuit::Circuit& ckt, const TransientOptions& opts);
 
 }  // namespace ssnkit::sim

@@ -1,0 +1,105 @@
+#include "sim/recovery.hpp"
+
+#include <utility>
+
+namespace ssnkit::sim {
+
+using support::RecoveryAttempt;
+using support::SolverDiagnostics;
+using support::SolverError;
+
+const char* to_string(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::kFullDevice: return "full-device";
+    case Fidelity::kTightenedDamping: return "tighten-damping";
+    case Fidelity::kAlternateIntegrator: return "alternate-integrator";
+    case Fidelity::kGminRecovery: return "gmin-recovery";
+    case Fidelity::kReducedTimestep: return "reduced-timestep";
+    case Fidelity::kAnalytic: return "analytic";
+    case Fidelity::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string describe(const TransientRun& run) {
+  if (run.ok())
+    return "accepted " + std::to_string(run.result.stats.accepted_steps) +
+           " steps, " + std::to_string(run.result.stats.newton_failures) +
+           " newton failures";
+  return run.error->what();
+}
+
+}  // namespace
+
+RecoveryOutcome run_transient_resilient(circuit::Circuit& ckt,
+                                        const TransientOptions& opts,
+                                        const RecoveryPolicy& policy) {
+  RecoveryOutcome out;
+  TransientOptions current = opts;
+  std::optional<SolverError> last_error;
+
+  // Try one rung; returns true when the ladder can stop climbing.
+  const auto attempt = [&](const char* rung, Fidelity fidelity) -> bool {
+    TransientRun run = run_transient_ex(ckt, current);
+    out.attempts.push_back(RecoveryAttempt{rung, run.ok(), describe(run)});
+    if (fidelity == Fidelity::kFullDevice && !run.ok())
+      out.partial_full_fidelity = run.result;
+    if (run.ok()) {
+      out.result = std::move(run.result);
+      out.fidelity = fidelity;
+      return true;
+    }
+    last_error = std::move(run.error);
+    return false;
+  };
+
+  if (attempt("full-device", Fidelity::kFullDevice)) return out;
+  if (!policy.enabled || (last_error && !last_error->retryable())) {
+    // Non-retryable (structurally singular circuits): climbing the ladder
+    // would re-run the identical DC failure four more times for nothing.
+    // The analytic rung in analysis/resilience.hpp can still apply.
+    out.fidelity = Fidelity::kFailed;
+  } else {
+    if (policy.try_tighten_damping) {
+      current.newton.max_voltage_step =
+          opts.newton.max_voltage_step * policy.damping_factor;
+      current.newton.max_iterations =
+          opts.newton.max_iterations * policy.iteration_boost;
+      if (attempt("tighten-damping", Fidelity::kTightenedDamping)) return out;
+    }
+    if (policy.try_alternate_integrator) {
+      current.method = opts.method == policy.fallback_integrator
+                           ? circuit::Integrator::kBackwardEuler
+                           : policy.fallback_integrator;
+      if (attempt("alternate-integrator", Fidelity::kAlternateIntegrator))
+        return out;
+    }
+    if (policy.try_gmin_recovery) {
+      current.newton_gmin_recovery = true;
+      if (attempt("gmin-recovery", Fidelity::kGminRecovery)) return out;
+    }
+    if (policy.try_reduced_timestep) {
+      const double span = opts.t_stop - opts.t_start;
+      const double base_dt_max = opts.dt_max > 0.0 ? opts.dt_max : span / 50.0;
+      current.dt_max = base_dt_max * policy.dt_max_shrink;
+      if (current.dt_initial > current.dt_max)
+        current.dt_initial = current.dt_max;
+      if (attempt("reduced-timestep", Fidelity::kReducedTimestep)) return out;
+    }
+    out.fidelity = Fidelity::kFailed;
+  }
+
+  // Re-wrap the last error with the full recovery trail attached so the
+  // caller (or the analytic fallback layer) sees what was already tried.
+  if (last_error) {
+    SolverDiagnostics diag = last_error->diagnostics();
+    diag.recovery_trail = out.attempts;
+    out.error.emplace(last_error->kind(), "recovery ladder exhausted",
+                      std::move(diag));
+  }
+  return out;
+}
+
+}  // namespace ssnkit::sim

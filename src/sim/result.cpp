@@ -1,5 +1,7 @@
 #include "sim/result.hpp"
 
+#include "support/contracts.hpp"
+
 #include <stdexcept>
 
 namespace ssnkit::sim {
@@ -35,7 +37,7 @@ waveform::Waveform TransientResult::waveform(const std::string& name) const {
 
 double TransientResult::final_value(const std::string& name) const {
   const std::size_t i = index_of(name);
-  if (times_.empty()) throw std::runtime_error("TransientResult: empty result");
+  SSN_REQUIRE(!times_.empty(), "TransientResult: empty result");
   return columns_[i].back();
 }
 

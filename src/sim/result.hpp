@@ -15,6 +15,8 @@ struct SolverStats {
   std::size_t rejected_steps = 0;     ///< LTE rejections
   std::size_t newton_failures = 0;    ///< step retries due to non-convergence
   std::size_t newton_iterations = 0;  ///< total across all steps
+  std::size_t nonfinite_rejections = 0;  ///< Newton updates rejected for NaN/Inf
+  std::size_t gmin_rescues = 0;       ///< timepoints saved by the gmin ramp
   std::size_t dc_iterations = 0;
   bool dc_used_gmin_stepping = false;
   bool dc_used_source_stepping = false;
@@ -22,6 +24,8 @@ struct SolverStats {
 
 class TransientResult {
  public:
+  /// An empty result with no signals (placeholder for failed runs).
+  TransientResult() = default;
   TransientResult(std::vector<std::string> signal_names);
 
   /// Append one accepted time point; values must match the signal count.

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the solver kernels.
+//
+// The resilience layer (sim/recovery.hpp) claims that every solver failure
+// either recovers up the ladder or surfaces as a typed SolverError — never a
+// crash, hang, or silent NaN. That claim is only testable if failures can be
+// produced on demand. This header plants seeded, per-site hooks at the four
+// failure classes the engine can hit:
+//
+//   kNewtonDivergence  force solve_newton to report non-convergence
+//   kSingularLu        force the (dense or sparse) LU to report singularity
+//   kNanResidual       poison one entry of the Newton update with NaN
+//   kStepUnderflow     force the adaptive timestep below dt_min
+//
+// The hooks compile to a literal `false` unless SSNKIT_FAULT_INJECTION is
+// defined (the `fault-injection` CMake preset turns it on globally), so
+// release binaries carry zero overhead and zero attack surface.
+//
+// Determinism: each site owns its own std::mt19937 seeded at arm() time.
+// Identical plan + identical workload => identical fire sequence, which is
+// what lets the test suite assert bit-for-bit reproducibility across runs.
+// The injector is intentionally NOT thread-safe: the solvers are
+// single-threaded, and the tests arm/disarm around each scenario.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <random>
+
+namespace ssnkit::support {
+
+enum class FaultKind : int {
+  kNewtonDivergence = 0,
+  kSingularLu = 1,
+  kNanResidual = 2,
+  kStepUnderflow = 3,
+};
+
+inline constexpr int kFaultKindCount = 4;
+
+inline const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNewtonDivergence: return "newton-divergence";
+    case FaultKind::kSingularLu: return "singular-lu";
+    case FaultKind::kNanResidual: return "nan-residual";
+    case FaultKind::kStepUnderflow: return "step-underflow";
+  }
+  return "unknown";
+}
+
+/// When and how often an armed site fires. Two trigger modes compose:
+/// `fire_on_nth` (exact query index, 1-based) for surgical single faults and
+/// `probability` (seeded Bernoulli per query) for soak testing. `max_fires`
+/// caps the total, which is how tests force "attempt 1 fails, attempt 2
+/// runs clean" ladder walks.
+struct FaultPlan {
+  unsigned seed = 1;
+  double probability = 0.0;
+  std::size_t fire_on_nth = 0;  ///< 0 = disabled
+  std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  void arm(FaultKind kind, const FaultPlan& plan) {
+    Site& s = site(kind);
+    s.armed = true;
+    s.plan = plan;
+    s.rng.seed(plan.seed);
+    s.queries = 0;
+    s.fires = 0;
+  }
+
+  void disarm(FaultKind kind) { site(kind).armed = false; }
+
+  void disarm_all() {
+    for (Site& s : sites_) s.armed = false;
+  }
+
+  /// Queried by the SSN_FAULT_POINT macro at every instrumented site.
+  bool should_fire(FaultKind kind) {
+    Site& s = site(kind);
+    if (!s.armed) return false;
+    ++s.queries;
+    if (s.fires >= s.plan.max_fires) return false;
+    bool fire = false;
+    if (s.plan.fire_on_nth > 0 && s.queries == s.plan.fire_on_nth) fire = true;
+    if (!fire && s.plan.probability > 0.0) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      if (u(s.rng) < s.plan.probability) fire = true;
+    }
+    if (fire) ++s.fires;
+    return fire;
+  }
+
+  std::size_t query_count(FaultKind kind) const { return site(kind).queries; }
+  std::size_t fire_count(FaultKind kind) const { return site(kind).fires; }
+
+ private:
+  struct Site {
+    bool armed = false;
+    FaultPlan plan;
+    std::mt19937 rng;
+    std::size_t queries = 0;
+    std::size_t fires = 0;
+  };
+
+  Site& site(FaultKind kind) { return sites_[std::size_t(kind)]; }
+  const Site& site(FaultKind kind) const { return sites_[std::size_t(kind)]; }
+
+  std::array<Site, kFaultKindCount> sites_;
+};
+
+}  // namespace ssnkit::support
+
+#if defined(SSNKIT_FAULT_INJECTION)
+#define SSN_FAULT_POINT(kind) \
+  (::ssnkit::support::FaultInjector::instance().should_fire(kind))
+namespace ssnkit::support {
+inline constexpr bool kFaultInjectionEnabled = true;
+}
+#else
+/// Compiled out: the kind expression is discarded unevaluated.
+#define SSN_FAULT_POINT(kind) false
+namespace ssnkit::support {
+inline constexpr bool kFaultInjectionEnabled = false;
+}
+#endif

@@ -5,6 +5,7 @@
 #include "circuit/circuit.hpp"
 #include "circuit/testbench.hpp"
 #include "sim/engine.hpp"
+#include "support/diagnostics.hpp"
 
 #include <gtest/gtest.h>
 
@@ -89,7 +90,8 @@ TEST(SsnBenchIntegrators, AllMethodsAgreeOnVmax) {
 
 TEST(Robustness, FloatingNodeReportsFailure) {
   // A node with no DC path at all: the operating point must fail loudly,
-  // not return garbage.
+  // not return garbage — and the failure must be the typed SolverError
+  // (still catchable as runtime_error for legacy callers).
   Circuit ckt;
   const NodeId a = ckt.node("a");
   const NodeId b = ckt.node("b");
@@ -97,6 +99,13 @@ TEST(Robustness, FloatingNodeReportsFailure) {
   ckt.add_capacitor("C1", b, kGround, 1e-12);  // b floats
   (void)a;
   EXPECT_THROW(dc_operating_point(ckt), std::runtime_error);
+  try {
+    dc_operating_point(ckt);
+  } catch (const support::SolverError& e) {
+    EXPECT_EQ(e.kind(), support::SolverErrorKind::kSingularMatrix);
+    EXPECT_EQ(e.diagnostics().where, "dc_operating_point");
+    EXPECT_FALSE(e.diagnostics().homotopy_trail.empty());
+  }
 }
 
 TEST(Robustness, StepBudgetConvertsGrindToError) {
@@ -110,6 +119,81 @@ TEST(Robustness, StepBudgetConvertsGrindToError) {
   opts.dt_initial = 1e-15;  // would need 1e6 steps
   opts.max_steps = 1000;
   EXPECT_THROW(run_transient(ckt, opts), std::runtime_error);
+  try {
+    run_transient(ckt, opts);
+  } catch (const support::SolverError& e) {
+    EXPECT_EQ(e.kind(), support::SolverErrorKind::kStepBudgetExhausted);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_TRUE(std::isfinite(e.diagnostics().time));
+  }
+}
+
+TEST(PathologicalFixtures, LargeNonlinearBankRecordsDcTrail) {
+  // 32 strongly-driven nonlinear pull-downs sharing one bouncing rail: the
+  // DC solve must converge and record how it did so.
+  SsnBenchSpec spec;
+  spec.n_drivers = 32;
+  spec.bulk_to_vssi = true;
+  SsnBench bench = make_ssn_testbench(spec);
+  const DcResult dc = dc_operating_point(bench.circuit);
+  ASSERT_FALSE(dc.homotopy_trail.empty());
+  EXPECT_EQ(dc.homotopy_trail.front().name, "plain-newton");
+  EXPECT_TRUE(dc.homotopy_trail.back().converged);
+  EXPECT_GT(dc.iterations, 0u);
+  EXPECT_NEAR(dc.voltage(bench.circuit, bench.vdd_node), spec.tech.vdd, 1e-6);
+}
+
+TEST(PathologicalFixtures, StarvedNewtonFallsBackToHomotopy) {
+  // Starve Newton of iterations while capping the per-iteration voltage
+  // move: the plain stage cannot walk the supply rail up to vdd, so the DC
+  // solve must escalate through the homotopy branches and still land on
+  // the right operating point.
+  SsnBenchSpec spec;
+  spec.n_drivers = 8;
+  SsnBench bench = make_ssn_testbench(spec);
+  NewtonOptions nopts;
+  nopts.max_voltage_step = 0.05;  // vdd = 1.8 V: needs ~36 damped iterations
+  nopts.max_iterations = 10;
+  const DcResult dc = dc_operating_point(bench.circuit, 0.0, nopts);
+  EXPECT_TRUE(dc.used_gmin_stepping || dc.used_source_stepping);
+  ASSERT_FALSE(dc.homotopy_trail.empty());
+  EXPECT_FALSE(dc.homotopy_trail.front().converged);
+  EXPECT_TRUE(dc.homotopy_trail.back().converged);
+  EXPECT_NEAR(dc.voltage(bench.circuit, bench.vdd_node), spec.tech.vdd, 1e-6);
+  // The result agrees with the unconstrained solve.
+  SsnBench fresh = make_ssn_testbench(spec);
+  const DcResult easy = dc_operating_point(fresh.circuit);
+  EXPECT_NEAR(dc.voltage(bench.circuit, bench.vssi_node),
+              easy.voltage(fresh.circuit, bench.vssi_node), 1e-6);
+}
+
+TEST(PathologicalFixtures, HopelessNewtonBudgetCarriesFullTrail) {
+  // With an absurdly tight step cap even the homotopies cannot finish: the
+  // typed error must show every branch that was attempted and the residual
+  // the final one stalled at (satellite: DC failure diagnostics).
+  SsnBenchSpec spec;
+  spec.n_drivers = 4;
+  SsnBench bench = make_ssn_testbench(spec);
+  NewtonOptions nopts;
+  nopts.max_voltage_step = 1e-4;
+  nopts.max_iterations = 3;
+  try {
+    dc_operating_point(bench.circuit, 0.0, nopts);
+    FAIL() << "expected SolverError";
+  } catch (const support::SolverError& e) {
+    const auto& diag = e.diagnostics();
+    EXPECT_EQ(diag.where, "dc_operating_point");
+    EXPECT_GT(diag.newton_iterations, 0u);
+    bool saw_gmin = false, saw_source = false;
+    for (const auto& stage : diag.homotopy_trail) {
+      if (stage.name.rfind("gmin", 0) == 0) saw_gmin = true;
+      if (stage.name.rfind("source", 0) == 0) saw_source = true;
+    }
+    EXPECT_TRUE(saw_gmin);
+    EXPECT_TRUE(saw_source);
+    EXPECT_TRUE(std::isfinite(diag.residual));
+    EXPECT_GT(diag.residual, 0.0);
+  }
 }
 
 TEST(Robustness, ZeroLengthRampRejected) {

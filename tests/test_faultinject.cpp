@@ -1,0 +1,359 @@
+// Deterministic fault injection (support/faultinject.hpp). The injector's
+// trigger logic is tested in every build; the end-to-end tests — every
+// injected fault class recovers or surfaces a typed SolverError, never a
+// crash, hang or silent NaN — need the instrumented binary and GTEST_SKIP
+// elsewhere (build with the `fault-injection` preset to run them).
+#include "analysis/calibrate.hpp"
+#include "analysis/montecarlo.hpp"
+#include "analysis/resilience.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/testbench.hpp"
+#include "sim/engine.hpp"
+#include "sim/recovery.hpp"
+#include "support/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace ssnkit;
+using namespace ssnkit::circuit;
+using namespace ssnkit::sim;
+using support::FaultInjector;
+using support::FaultKind;
+using support::FaultPlan;
+using support::SolverErrorKind;
+using ssnkit::waveform::Dc;
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().disarm_all(); }
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+// --- trigger logic (runs in every build) ------------------------------------
+
+TEST_F(FaultInjection, FiresOnExactNthQuery) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.fire_on_nth = 3;
+  injector.arm(FaultKind::kNewtonDivergence, plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i)
+    fired.push_back(injector.should_fire(FaultKind::kNewtonDivergence));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(injector.query_count(FaultKind::kNewtonDivergence), 5u);
+  EXPECT_EQ(injector.fire_count(FaultKind::kNewtonDivergence), 1u);
+}
+
+TEST_F(FaultInjection, MaxFiresCapsCertainFiring) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  plan.max_fires = 2;
+  injector.arm(FaultKind::kStepUnderflow, plan);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i)
+    if (injector.should_fire(FaultKind::kStepUnderflow)) ++fires;
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(injector.fire_count(FaultKind::kStepUnderflow), 2u);
+}
+
+TEST_F(FaultInjection, SeededBernoulliSequenceIsReproducible) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.probability = 0.5;
+  const auto draw = [&] {
+    injector.arm(FaultKind::kSingularLu, plan);
+    std::vector<bool> seq;
+    for (int i = 0; i < 100; ++i)
+      seq.push_back(injector.should_fire(FaultKind::kSingularLu));
+    return seq;
+  };
+  const auto a = draw();
+  const auto b = draw();
+  EXPECT_EQ(a, b);  // identical plan => identical fire sequence
+  plan.seed = 43;
+  EXPECT_NE(a, draw());
+}
+
+TEST_F(FaultInjection, DisarmedSiteNeverFires) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  injector.arm(FaultKind::kNanResidual, plan);
+  EXPECT_TRUE(injector.should_fire(FaultKind::kNanResidual));
+  injector.disarm(FaultKind::kNanResidual);
+  EXPECT_FALSE(injector.should_fire(FaultKind::kNanResidual));
+  // Other sites are independent.
+  EXPECT_FALSE(injector.should_fire(FaultKind::kStepUnderflow));
+}
+
+TEST_F(FaultInjection, ArmResetsCounters) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.fire_on_nth = 1;
+  injector.arm(FaultKind::kNewtonDivergence, plan);
+  EXPECT_TRUE(injector.should_fire(FaultKind::kNewtonDivergence));
+  injector.arm(FaultKind::kNewtonDivergence, plan);
+  EXPECT_EQ(injector.query_count(FaultKind::kNewtonDivergence), 0u);
+  EXPECT_TRUE(injector.should_fire(FaultKind::kNewtonDivergence));
+}
+
+// --- end-to-end (instrumented builds only) ----------------------------------
+
+#define SSN_NEEDS_INSTRUMENTED_BUILD()                                 \
+  do {                                                                 \
+    if (!support::kFaultInjectionEnabled)                              \
+      GTEST_SKIP() << "SSNKIT_FAULT_INJECTION is compiled out; "       \
+                      "use the fault-injection preset";                \
+  } while (0)
+
+const analysis::Calibration& cal() {
+  static const analysis::Calibration c =
+      analysis::calibrate(process::tech_180nm());
+  return c;
+}
+
+SsnBenchSpec small_spec() {
+  SsnBenchSpec spec;
+  spec.n_drivers = 2;
+  return spec;
+}
+
+TransientOptions bench_opts(const SsnBench& bench, double rise) {
+  TransientOptions opts;
+  opts.t_stop = bench.t_ramp_end;
+  opts.dt_max = rise / 200.0;
+  return opts;
+}
+
+void expect_waveform_finite(const TransientResult& result,
+                            const std::string& node, double t_stop) {
+  const auto& w = result.waveform(node);
+  for (int i = 0; i <= 100; ++i) {
+    const double t = t_stop * double(i) / 100.0;
+    EXPECT_TRUE(std::isfinite(w.sample(t))) << node << " at t=" << t;
+  }
+}
+
+TEST_F(FaultInjection, SingleTransientFaultsRecoverInline) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // One forced Newton divergence / LU singularity / NaN update mid-run is
+  // absorbed by the engine's own step cutting (or the DC gmin homotopy):
+  // full fidelity, no NaN anywhere in the waveform.
+  for (FaultKind kind : {FaultKind::kNewtonDivergence, FaultKind::kSingularLu,
+                         FaultKind::kNanResidual}) {
+    auto& injector = FaultInjector::instance();
+    FaultPlan plan;
+    plan.fire_on_nth = 10;
+    injector.arm(kind, plan);
+
+    const SsnBenchSpec spec = small_spec();
+    SsnBench bench = make_ssn_testbench(spec);
+    const TransientOptions opts = bench_opts(bench, spec.input_rise_time);
+    const RecoveryOutcome out = run_transient_resilient(bench.circuit, opts);
+    injector.disarm(kind);
+
+    ASSERT_TRUE(out.ok()) << "fault kind: " << support::to_string(kind);
+    EXPECT_EQ(out.fidelity, Fidelity::kFullDevice)
+        << "fault kind: " << support::to_string(kind);
+    EXPECT_EQ(injector.fire_count(kind), 1u);
+    expect_waveform_finite(out.result, bench.vssi_node, opts.t_stop);
+  }
+}
+
+TEST_F(FaultInjection, RepeatedUnderflowClimbsToAlternateIntegrator) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // Exactly two forced underflows: the full-device and tighten-damping
+  // rungs each die at their first step, the alternate-integrator rung runs
+  // clean.
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  plan.max_fires = 2;
+  injector.arm(FaultKind::kStepUnderflow, plan);
+
+  const SsnBenchSpec spec = small_spec();
+  SsnBench bench = make_ssn_testbench(spec);
+  const TransientOptions opts = bench_opts(bench, spec.input_rise_time);
+  const RecoveryOutcome out = run_transient_resilient(bench.circuit, opts);
+
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.fidelity, Fidelity::kAlternateIntegrator);
+  ASSERT_EQ(out.attempts.size(), 3u);
+  EXPECT_FALSE(out.attempts[0].succeeded);
+  EXPECT_FALSE(out.attempts[1].succeeded);
+  EXPECT_TRUE(out.attempts[2].succeeded);
+  EXPECT_EQ(injector.fire_count(FaultKind::kStepUnderflow), 2u);
+  expect_waveform_finite(out.result, bench.vssi_node, opts.t_stop);
+}
+
+TEST_F(FaultInjection, UnlimitedUnderflowExhaustsLadderWithTypedError) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  injector.arm(FaultKind::kStepUnderflow, plan);
+
+  const SsnBenchSpec spec = small_spec();
+  SsnBench bench = make_ssn_testbench(spec);
+  const TransientOptions opts = bench_opts(bench, spec.input_rise_time);
+  const RecoveryOutcome out = run_transient_resilient(bench.circuit, opts);
+
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.fidelity, Fidelity::kFailed);
+  EXPECT_EQ(out.attempts.size(), 5u);
+  EXPECT_EQ(out.error->kind(), SolverErrorKind::kStepUnderflow);
+  EXPECT_TRUE(out.error->diagnostics().injected);
+  EXPECT_EQ(out.error->diagnostics().recovery_trail.size(), 5u);
+}
+
+TEST_F(FaultInjection, ExhaustedLadderDegradesToAnalyticRung) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  injector.arm(FaultKind::kStepUnderflow, plan);
+
+  const SsnBenchSpec spec = small_spec();
+  const core::SsnScenario scenario = analysis::make_scenario(
+      cal(), spec.package, spec.n_drivers, spec.input_rise_time, true);
+  const auto m = analysis::measure_ssn_resilient(spec, {}, {}, &scenario);
+
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.fidelity, Fidelity::kAnalytic);
+  ASSERT_TRUE(m.error.has_value());
+  EXPECT_TRUE(m.error->diagnostics().injected);
+  EXPECT_DOUBLE_EQ(m.measurement.v_max,
+                   analysis::analytic_measurement(scenario).v_max);
+}
+
+TEST_F(FaultInjection, DcNewtonFaultForcesGminStepping) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // Killing the plain-Newton stage routes the DC solve through the gmin
+  // homotopy; the solution must match the uninjected one exactly.
+  const auto build = [] {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    ckt.add_vsource("V1", a, kGround, Dc{1.0});
+    ckt.add_resistor("R1", a, b, 1e3);
+    ckt.add_resistor("R2", b, kGround, 1e3);
+    return ckt;
+  };
+  Circuit clean_ckt = build();
+  const double v_clean = dc_operating_point(clean_ckt).voltage(clean_ckt, "b");
+
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.fire_on_nth = 1;  // first Newton iteration of the plain stage
+  injector.arm(FaultKind::kNewtonDivergence, plan);
+  Circuit ckt = build();
+  const DcResult dc = dc_operating_point(ckt);
+  EXPECT_TRUE(dc.used_gmin_stepping);
+  EXPECT_FALSE(dc.used_source_stepping);
+  ASSERT_FALSE(dc.homotopy_trail.empty());
+  EXPECT_EQ(dc.homotopy_trail.front().name, "plain-newton");
+  EXPECT_FALSE(dc.homotopy_trail.front().converged);
+  EXPECT_DOUBLE_EQ(dc.voltage(ckt, "b"), v_clean);
+}
+
+TEST_F(FaultInjection, DcNewtonFaultCascadeForcesSourceStepping) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // Two fires kill plain Newton and the first gmin stage, so the gmin
+  // homotopy aborts and the source-stepping branch finishes the solve.
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.probability = 1.0;
+  plan.max_fires = 2;
+  injector.arm(FaultKind::kNewtonDivergence, plan);
+
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("V1", a, kGround, Dc{1.0});
+  ckt.add_resistor("R1", a, b, 1e3);
+  ckt.add_resistor("R2", b, kGround, 1e3);
+  const DcResult dc = dc_operating_point(ckt);
+  EXPECT_TRUE(dc.used_source_stepping);
+  EXPECT_NEAR(dc.voltage(ckt, "b"), 0.5, 1e-6);
+}
+
+TEST_F(FaultInjection, SeededSoakIsBitForBitReproducible) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // A probabilistic underflow storm over the whole ladder: the outcome
+  // (fidelity, attempt count, waveform) must be identical when the same
+  // plan is re-armed.
+  const auto run_once = [] {
+    auto& injector = FaultInjector::instance();
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.probability = 0.3;
+    plan.max_fires = 3;
+    injector.arm(FaultKind::kStepUnderflow, plan);
+    const SsnBenchSpec spec = small_spec();
+    SsnBench bench = make_ssn_testbench(spec);
+    const TransientOptions opts = bench_opts(bench, spec.input_rise_time);
+    RecoveryOutcome out = run_transient_resilient(bench.circuit, opts);
+    injector.disarm_all();
+    return out;
+  };
+  const RecoveryOutcome a = run_once();
+  const RecoveryOutcome b = run_once();
+  EXPECT_EQ(a.fidelity, b.fidelity);
+  EXPECT_EQ(a.attempts.size(), b.attempts.size());
+  ASSERT_EQ(a.ok(), b.ok());
+  if (a.ok()) {
+    EXPECT_EQ(a.result.point_count(), b.result.point_count());
+    EXPECT_DOUBLE_EQ(a.result.final_value("vssi"),
+                     b.result.final_value("vssi"));
+  }
+}
+
+TEST_F(FaultInjection, MonteCarloSurvivorsMatchUninjectedRun) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // One injected failure in the first sample's first attempt: the batch
+  // completes, the hit sample recovers on a ladder rung, and the remaining
+  // samples are bit-for-bit identical to the uninjected baseline (the
+  // variation factors are drawn up front, so failures cannot shift them).
+  analysis::SimMonteCarloOptions opts;
+  opts.samples = 3;
+  opts.analytic_fallback = false;
+  const auto pkg = process::package_pga();
+  const auto baseline =
+      analysis::monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+  ASSERT_EQ(baseline.surviving, 3u);
+  ASSERT_TRUE(baseline.summary.all_full_fidelity());
+
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.fire_on_nth = 1;
+  plan.max_fires = 1;
+  injector.arm(FaultKind::kStepUnderflow, plan);
+  const auto injected =
+      analysis::monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+
+  EXPECT_EQ(injected.surviving, 3u);
+  EXPECT_EQ(injected.summary.total, 3u);
+  EXPECT_EQ(injected.summary.recovered, 1u);
+  ASSERT_EQ(injected.samples.size(), 3u);
+  EXPECT_NE(injected.samples[0].fidelity, Fidelity::kFullDevice);
+  // The faulted sample recovered on a cheaper rung: same physics, slightly
+  // different numerics.
+  EXPECT_NEAR(injected.samples[0].v_max, baseline.samples[0].v_max,
+              1e-2 * baseline.samples[0].v_max);
+  // Untouched samples are identical, factors included.
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(injected.samples[i].v_max, baseline.samples[i].v_max);
+    EXPECT_DOUBLE_EQ(injected.samples[i].l_factor,
+                     baseline.samples[i].l_factor);
+    EXPECT_EQ(injected.samples[i].fidelity, Fidelity::kFullDevice);
+  }
+}
+
+}  // namespace

@@ -1,4 +1,6 @@
-// Monte Carlo variation analysis on the closed-form models.
+// Monte Carlo variation analysis on the closed-form models, plus the
+// failure-tolerant simulator-backed Monte Carlo.
+#include "analysis/calibrate.hpp"
 #include "analysis/design.hpp"
 #include "analysis/montecarlo.hpp"
 #include "numeric/stats.hpp"
@@ -9,7 +11,9 @@ namespace {
 
 using namespace ssnkit;
 using analysis::monte_carlo_vmax;
+using analysis::monte_carlo_vmax_sim;
 using analysis::MonteCarloOptions;
+using analysis::SimMonteCarloOptions;
 
 core::SsnScenario nominal() {
   core::SsnScenario s;
@@ -117,6 +121,83 @@ TEST(MonteCarlo, OptionValidation) {
   opts = {};
   opts.sigma_k = 0.9;
   EXPECT_THROW(monte_carlo_vmax(nominal(), opts), std::invalid_argument);
+}
+
+// --- simulator-backed, failure-tolerant Monte Carlo --------------------------
+
+const analysis::Calibration& cal() {
+  static const analysis::Calibration c =
+      analysis::calibrate(process::tech_180nm());
+  return c;
+}
+
+TEST(SimMonteCarlo, SmallHealthyBatchIsDeterministic) {
+  SimMonteCarloOptions opts;
+  opts.samples = 3;
+  const auto pkg = process::package_pga();
+  const auto a = monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+  ASSERT_EQ(a.samples.size(), 3u);
+  EXPECT_EQ(a.surviving, 3u);
+  EXPECT_TRUE(a.summary.all_full_fidelity());
+  EXPECT_GT(a.mean, 0.0);
+  EXPECT_GE(a.max, a.min);
+  for (const auto& s : a.samples) {
+    EXPECT_EQ(s.fidelity, sim::Fidelity::kFullDevice);
+    EXPECT_GT(s.v_max, 0.0);
+    EXPECT_NE(s.l_factor, 0.0);
+  }
+  const auto b = monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].v_max, b.samples[i].v_max);
+    EXPECT_DOUBLE_EQ(a.samples[i].l_factor, b.samples[i].l_factor);
+  }
+}
+
+TEST(SimMonteCarlo, ForcedFailuresDegradeToAnalytic) {
+  // A 1-step budget kills every simulation rung of every sample; with the
+  // analytic fallback the batch still yields a full set of estimates.
+  SimMonteCarloOptions opts;
+  opts.samples = 3;
+  opts.measure.transient.max_steps = 1;
+  opts.recovery.try_tighten_damping = false;
+  opts.recovery.try_gmin_recovery = false;
+  opts.recovery.try_reduced_timestep = false;
+  const auto pkg = process::package_pga();
+  const auto result = monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+  EXPECT_EQ(result.surviving, 3u);
+  EXPECT_EQ(result.summary.analytic, 3u);
+  EXPECT_EQ(result.summary.by_error.at("step-budget-exhausted"), 3u);
+  EXPECT_GT(result.mean, 0.0);
+  for (const auto& s : result.samples)
+    EXPECT_EQ(s.fidelity, sim::Fidelity::kAnalytic);
+}
+
+TEST(SimMonteCarlo, ForcedFailuresWithoutFallbackAreDropped) {
+  SimMonteCarloOptions opts;
+  opts.samples = 3;
+  opts.analytic_fallback = false;
+  opts.measure.transient.max_steps = 1;
+  opts.recovery.enabled = false;
+  const auto pkg = process::package_pga();
+  const auto result = monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);
+  EXPECT_EQ(result.samples.size(), 3u);  // drawn factors are still reported
+  EXPECT_EQ(result.surviving, 0u);
+  EXPECT_EQ(result.summary.failed, 3u);
+  EXPECT_DOUBLE_EQ(result.mean, 0.0);
+  for (const auto& s : result.samples)
+    EXPECT_EQ(s.fidelity, sim::Fidelity::kFailed);
+}
+
+TEST(SimMonteCarlo, OptionValidation) {
+  const auto pkg = process::package_pga();
+  SimMonteCarloOptions opts;
+  opts.samples = 0;
+  EXPECT_THROW(monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.sigma_l = 0.9;
+  EXPECT_THROW(monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -67,6 +67,48 @@ TEST(Rk45, BadSpanThrows) {
                std::invalid_argument);
 }
 
+TEST(Rk45, StepBudgetReturnsTruncatedPrefix) {
+  // A tiny step budget cannot reach t1; the accepted prefix must come back
+  // with the status flag instead of an exception, and stay sampleable.
+  const auto rhs = [](double, const Vector& y) { return Vector{-y[0]}; };
+  Rk45Options opts;
+  opts.rel_tol = 1e-12;
+  opts.abs_tol = 1e-14;
+  opts.max_steps = 10;
+  const auto sol = rk45(rhs, 0.0, 1.0, Vector{1.0}, opts);
+  EXPECT_EQ(sol.status, OdeStatus::kStepBudgetExhausted);
+  EXPECT_FALSE(sol.ok());
+  ASSERT_GE(sol.t.size(), 2u);
+  EXPECT_LT(sol.t.back(), 1.0);
+  // The prefix is a valid trajectory of the ODE.
+  const double t_end = sol.t.back();
+  EXPECT_NEAR(sol.sample(t_end), std::exp(-t_end), 1e-6);
+}
+
+TEST(Rk45, StepUnderflowReturnsTruncatedPrefix) {
+  // A violently stiff RHS with min_step close to the initial step: every
+  // trial step is rejected until h underflows. The initial point survives.
+  const auto rhs = [](double, const Vector& y) { return Vector{-1e12 * y[0]}; };
+  Rk45Options opts;
+  opts.initial_step = 0.5;
+  opts.min_step = 0.4;
+  const auto sol = rk45(rhs, 0.0, 1.0, Vector{1.0}, opts);
+  EXPECT_EQ(sol.status, OdeStatus::kStepUnderflow);
+  EXPECT_FALSE(sol.ok());
+  ASSERT_GE(sol.t.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol.t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.sample(0.0), 1.0);
+  EXPECT_LT(sol.t.back(), 1.0);
+}
+
+TEST(Rk45, CleanRunReportsOk) {
+  const auto sol = rk45(
+      [](double, const Vector& y) { return Vector{-y[0]}; }, 0.0, 1.0,
+      Vector{1.0});
+  EXPECT_EQ(sol.status, OdeStatus::kOk);
+  EXPECT_TRUE(sol.ok());
+}
+
 TEST(Lm, FitsExponential) {
   // Data from y = 3*exp(-2x); recover (a, b) from y = a*exp(-b x).
   const int n = 30;

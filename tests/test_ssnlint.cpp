@@ -166,6 +166,47 @@ TEST(SsnlintL005, RethrowingCatchAllIsClean) {
                        "SSN-L005"), 0);
 }
 
+// --- SSN-L006: bare runtime_error in solver code ----------------------------
+
+TEST(SsnlintL006, FlagsBareRuntimeErrorInSolverLayers) {
+  const std::string src =
+      "void f() { throw std::runtime_error(\"singular\"); }\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/engine.cpp", src), "SSN-L006"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/numeric/lu.cpp", src), "SSN-L006"), 1);
+  // Unqualified spelling (using std::runtime_error) is caught too.
+  EXPECT_EQ(count_rule(lint_source("src/sim/x.cpp",
+                                   "void f() { throw runtime_error(\"x\"); }\n"),
+                       "SSN-L006"),
+            1);
+}
+
+TEST(SsnlintL006, OtherLayersAndTypedThrowsAreClean) {
+  const std::string bare =
+      "void f() { throw std::runtime_error(\"boom\"); }\n";
+  EXPECT_EQ(count_rule(lint_source("src/waveform/waveform.cpp", bare),
+                       "SSN-L006"), 0);
+  EXPECT_EQ(count_rule(lint_source("fixture.cpp", bare), "SSN-L006"), 0);
+  // The typed SolverError (which derives runtime_error) does not trip it.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/engine.cpp",
+                "void f() { throw support::SolverError(kind, \"m\", d); }\n"),
+            "SSN-L006"), 0);
+  // Deriving from runtime_error is fine; only throwing it bare is not.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/numeric/x.hpp",
+                "class E : public std::runtime_error { using runtime_error::runtime_error; };\n"),
+            "SSN-L006"), 0);
+}
+
+TEST(SsnlintL006, SuppressionWorks) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/legacy.cpp",
+                "void f() {\n"
+                "  throw std::runtime_error(\"x\");  // ssnlint-ignore(SSN-L006)\n"
+                "}\n"),
+            "SSN-L006"), 0);
+}
+
 // --- stripper ---------------------------------------------------------------
 
 TEST(SsnlintStrip, CommentsAndStringsDoNotTrigger) {
@@ -186,7 +227,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 5);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 6);
 }
 
 }  // namespace

@@ -13,6 +13,9 @@
 //             SSN_ENSURE contract guard
 //   SSN-L004  uninitialized double member in a struct
 //   SSN-L005  catch (...) that swallows the exception (no rethrow)
+//   SSN-L006  bare `throw std::runtime_error` inside src/sim or src/numeric
+//             (solver failures must be typed support::SolverError so callers
+//             can tell retryable from fatal)
 //
 // Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
 // allowed) on the offending line or the line directly above it.
@@ -44,6 +47,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L003", "solver entry point lacks a contract guard"},
       {"SSN-L004", "uninitialized double member in a struct"},
       {"SSN-L005", "catch (...) swallows the exception"},
+      {"SSN-L006", "bare throw std::runtime_error in solver code"},
   };
   return kRules;
 }
@@ -476,6 +480,33 @@ inline void rule_catch_all_swallow(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L006: solver code (the sim and numeric layers) must throw the typed
+// support::SolverError, not a bare std::runtime_error — the recovery ladder
+// and batch drivers dispatch on SolverError::kind()/retryable(), and an
+// untyped throw silently opts out of recovery.
+inline bool is_solver_layer_path(const std::string& file) {
+  for (const auto& part : std::filesystem::path(file))
+    if (part == "sim" || part == "numeric") return true;
+  return false;
+}
+
+inline void rule_untyped_solver_throw(const std::vector<Token>& toks,
+                                      const std::string& file,
+                                      std::vector<Diagnostic>& out) {
+  if (!is_solver_layer_path(file)) return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "throw") continue;
+    std::size_t j = i + 1;
+    if (j + 1 < toks.size() && toks[j].text == "std" && toks[j + 1].text == "::")
+      j += 2;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent &&
+        toks[j].text == "runtime_error")
+      add(out, file, toks[i].line, "SSN-L006",
+          "bare 'throw std::runtime_error' in solver code; throw "
+          "support::SolverError with a kind and diagnostics instead");
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -492,6 +523,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_unguarded_solver(toks, file, all);
   detail::rule_uninitialized_double_member(toks, file, all);
   detail::rule_catch_all_swallow(toks, file, all);
+  detail::rule_untyped_solver_throw(toks, file, all);
 
   std::vector<Diagnostic> kept;
   for (const Diagnostic& d : all) {
