@@ -3,9 +3,12 @@
 # ssnlint.src lint gate), then clang-tidy on changed files. Run before
 # pushing; CI runs the same steps plus the ASan+UBSan leg.
 #
-# Usage: scripts/check.sh [--preset NAME] [--all-tidy]
+# Usage: scripts/check.sh [--preset NAME] [--all-tidy] [--fuzz]
 #   --preset NAME  CMake preset to use (default: release)
 #   --all-tidy     clang-tidy every src/ file instead of only changed ones
+#   --fuzz         shorthand for --preset fuzz (builds the tests/fuzz
+#                  harness and replays the seed corpora; real libFuzzer
+#                  mutation needs clang — see tests/fuzz/CMakeLists.txt)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +18,7 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
     --all-tidy) ALL_TIDY=1; shift ;;
+    --fuzz) PRESET=fuzz; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -24,6 +28,7 @@ case "$PRESET" in
   asan-ubsan) BUILD_DIR=build-asan ;;
   tsan) BUILD_DIR=build-tsan ;;
   fault-injection) BUILD_DIR=build-fi ;;
+  fuzz) BUILD_DIR=build-fuzz ;;
 esac
 
 echo "=== configure ($PRESET) ==="

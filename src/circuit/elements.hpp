@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ssnkit::circuit {
 
@@ -36,6 +37,12 @@ class Element {
   Element& operator=(const Element&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// Terminal nodes in declaration order (with repeats when terminals
+  /// share a node). Used by circuit::validate_circuit for connectivity
+  /// checks; pure virtual so a new element type cannot silently vanish
+  /// from validation.
+  virtual std::vector<NodeId> nodes() const = 0;
 
   /// Number of branch-current unknowns this element owns (0 or 1).
   virtual int branch_count() const { return 0; }
@@ -74,6 +81,7 @@ class Element {
 class Resistor final : public Element {
  public:
   Resistor(std::string name, NodeId n1, NodeId n2, double ohms);
+  std::vector<NodeId> nodes() const override { return {n1_, n2_}; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   double resistance() const { return ohms_; }
@@ -89,6 +97,7 @@ class Capacitor final : public Element {
  public:
   Capacitor(std::string name, NodeId n1, NodeId n2, double farads,
             std::optional<double> ic = std::nullopt);
+  std::vector<NodeId> nodes() const override { return {n1_, n2_}; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   void init_state(const AcceptContext& ctx) override;
@@ -116,6 +125,7 @@ class Inductor final : public Element {
  public:
   Inductor(std::string name, NodeId n1, NodeId n2, double henries,
            std::optional<double> ic = std::nullopt);
+  std::vector<NodeId> nodes() const override { return {n1_, n2_}; }
   int branch_count() const override { return 1; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
@@ -146,6 +156,10 @@ class CoupledInductors final : public Element {
  public:
   CoupledInductors(std::string name, NodeId n1a, NodeId n1b, NodeId n2a,
                    NodeId n2b, double l1, double l2, double k);
+  /// Winding 1 is nodes()[0..1], winding 2 is nodes()[2..3].
+  std::vector<NodeId> nodes() const override {
+    return {n1a_, n1b_, n2a_, n2b_};
+  }
   int branch_count() const override { return 2; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
@@ -169,6 +183,7 @@ class CoupledInductors final : public Element {
 class VoltageSource final : public Element {
  public:
   VoltageSource(std::string name, NodeId p, NodeId m, waveform::SourceSpec spec);
+  std::vector<NodeId> nodes() const override { return {p_, m_}; }
   int branch_count() const override { return 1; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
@@ -193,6 +208,7 @@ class VoltageSource final : public Element {
 class CurrentSource final : public Element {
  public:
   CurrentSource(std::string name, NodeId p, NodeId m, waveform::SourceSpec spec);
+  std::vector<NodeId> nodes() const override { return {p_, m_}; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   const waveform::SourceSpec& spec() const { return spec_; }
@@ -213,6 +229,9 @@ class Vccs final : public Element {
  public:
   Vccs(std::string name, NodeId out_p, NodeId out_m, NodeId ctl_p, NodeId ctl_m,
        double gm);
+  std::vector<NodeId> nodes() const override {
+    return {out_p_, out_m_, ctl_p_, ctl_m_};
+  }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
 
@@ -226,8 +245,11 @@ class Diode final : public Element {
  public:
   Diode(std::string name, NodeId anode, NodeId cathode, double is = 1e-14,
         double n = 1.0);
+  std::vector<NodeId> nodes() const override { return {a_, c_}; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
+  double saturation_current() const { return is_; }
+  double ideality() const { return n_; }
 
  private:
   /// Current and conductance at junction voltage v (with exp limiting).
@@ -246,6 +268,7 @@ class Mosfet final : public Element {
   Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
          std::shared_ptr<const devices::MosfetModel> model,
          MosfetPolarity polarity = MosfetPolarity::kNmos);
+  std::vector<NodeId> nodes() const override { return {d_, g_, s_, b_}; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
 

@@ -28,9 +28,17 @@
 //   .end
 //
 // Numbers accept SPICE suffixes: f p n u m k meg g t (case-insensitive).
+//
+// The parser runs in error-recovery mode: a bad card is diagnosed (with
+// file/line/column, the offending token and a caret excerpt — see
+// io/diagnostics.hpp) and skipped, so one pass reports *every* problem in
+// the file. Resource guards (input size, line/token length, subcircuit
+// nesting depth, expanded element count) bound what hostile input can make
+// the parser do.
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "io/diagnostics.hpp"
 
 #include <optional>
 #include <string>
@@ -48,12 +56,55 @@ struct ParsedNetlist {
   std::string title;  ///< first line when it is not a card
 };
 
-/// Parse a netlist; throws std::invalid_argument with a line-numbered
-/// message on any syntax error.
+/// Hard resource guards. Violations surface as SSN-E030 diagnostics and
+/// abort the parse (they are not recoverable-card errors: the point is to
+/// stop *before* memory or stack is exhausted).
+struct ParseLimits {
+  std::size_t max_input_bytes = 8u << 20;  ///< whole-netlist size cap (8 MiB)
+  std::size_t max_line_length = 8192;      ///< longest raw line
+  std::size_t max_token_length = 512;      ///< longest single token
+  int max_subckt_depth = 32;               ///< X-instantiation nesting
+  /// Cap on *expanded* elements: a chain of .subckt doublings grows
+  /// exponentially, so the budget is enforced during expansion.
+  std::size_t max_elements = 200000;
+  std::size_t max_errors = 64;  ///< DiagnosticSink cap before giving up
+};
+
+struct ParseOptions {
+  std::string filename = "netlist";  ///< stamped into diagnostic locations
+  ParseLimits limits;
+  /// Run circuit::validate_circuit on a clean parse (semantic errors and
+  /// warnings are appended to the same sink).
+  bool validate = true;
+};
+
+/// Everything a parse produced: the (possibly partial) netlist and every
+/// diagnostic. `ok` means no errors (warnings allowed); when !ok the
+/// netlist must not be simulated.
+struct NetlistParseResult {
+  ParsedNetlist netlist;
+  io::DiagnosticSink diagnostics;
+  bool ok = false;
+};
+
+/// Error-recovery parse: never throws; collects every diagnostic in one
+/// pass. This is the primary entry point (the CLI and the fuzz harness use
+/// it directly).
+NetlistParseResult parse_netlist_ex(const std::string& text,
+                                    const ParseOptions& options = {});
+
+/// Throwing wrapper: parses with the default options and throws
+/// io::ParseError (derives std::invalid_argument) carrying *all* collected
+/// diagnostics when the input has errors.
 ParsedNetlist parse_netlist(const std::string& text);
 
 /// Parse a single SPICE number with optional unit suffix ("10p", "5MEG").
+/// Strictly decimal: "inf", "nan" and hex floats ("0x1p3") are rejected,
+/// and overflow reports out-of-range instead of leaking std::out_of_range.
 /// Throws std::invalid_argument on malformed input.
 double parse_spice_number(const std::string& token);
+
+/// Non-throwing variant; on failure `error` says why.
+io::NumberParse parse_spice_number_ex(const std::string& token);
 
 }  // namespace ssnkit::circuit

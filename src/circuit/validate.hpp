@@ -1,0 +1,46 @@
+// Semantic circuit validation: the checks a syntactically valid netlist can
+// still fail. Runs after parsing (parse_netlist_ex calls it on a clean
+// parse) and is equally usable on programmatically built circuits before
+// handing them to the solvers. All findings flow into an
+// io::DiagnosticSink with typed severities:
+//
+//   errors (the MNA system is wrong or the physics is nonsense):
+//     SSN-E101  duplicate element name
+//     SSN-E103  non-physical element value (R/L/C <= 0, |k| >= 1,
+//               diode Is/n <= 0, non-finite anything)
+//     SSN-E105  empty circuit (no elements)
+//
+//   warnings (legal but almost certainly a mistake):
+//     SSN-W102  dangling node (a non-ground node touched by fewer than two
+//               element terminals — usually a typo'd node name)
+//     SSN-W104  inductor / voltage-source loop (DC operating point is
+//               singular without gmin rescue)
+//     SSN-W106  unit-sanity heuristic (a 1 F "bond-wire" capacitor, a 1 H
+//               package inductor, a teraohm resistor: suffix mistakes)
+//
+// Validation never throws and never mutates the circuit.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "io/diagnostics.hpp"
+
+namespace ssnkit::circuit {
+
+struct ValidateOptions {
+  /// File name stamped into diagnostic locations ("netlist", a path, ...).
+  std::string source_name = "<circuit>";
+  /// Enable the SSN-W106 magnitude heuristics.
+  bool unit_sanity = true;
+  /// SSN-W106 thresholds: values above these are suspicious for an
+  /// on-package parasitic netlist (the paper's domain: pF / nH / ohms).
+  double max_plausible_capacitance = 1e-3;   ///< farads
+  double max_plausible_inductance = 1.0;     ///< henries
+  double max_plausible_resistance = 1e12;    ///< ohms
+};
+
+/// Run every semantic check, appending findings to `sink`. Returns true
+/// when no *errors* were found (warnings do not fail validation).
+bool validate_circuit(const Circuit& circuit, io::DiagnosticSink& sink,
+                      const ValidateOptions& options = {});
+
+}  // namespace ssnkit::circuit

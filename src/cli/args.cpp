@@ -9,10 +9,32 @@ namespace ssnkit::cli {
 
 Args Args::parse(const std::vector<std::string>& argv,
                  const std::vector<std::string>& flag_names) {
+  io::DiagnosticSink sink;
+  Args out = parse_ex(argv, flag_names, sink);
+  if (sink.has_errors()) throw io::ParseError(sink);
+  return out;
+}
+
+Args Args::parse_ex(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& flag_names,
+                    io::DiagnosticSink& sink) {
   Args out;
   const auto is_flag = [&](const std::string& name) {
     return std::find(flag_names.begin(), flag_names.end(), name) !=
            flag_names.end();
+  };
+  // Diagnostics point into the space-joined command line, so the caret
+  // excerpt shows exactly which argument was wrong.
+  std::string joined;
+  std::vector<int> cols;
+  for (const std::string& tok : argv) {
+    if (!joined.empty()) joined.push_back(' ');
+    cols.push_back(int(joined.size()) + 1);
+    joined += tok;
+  }
+  const auto bad = [&](std::size_t i, const std::string& msg) {
+    sink.error(support::SrcLoc{"<command-line>", 1, cols[i]}, "SSN-E050", msg,
+               argv[i], joined);
   };
   for (std::size_t i = 0; i < argv.size(); ++i) {
     const std::string& tok = argv[i];
@@ -21,13 +43,22 @@ Args Args::parse(const std::vector<std::string>& argv,
       continue;
     }
     std::string key = tok.substr(2);
-    if (key.empty()) throw std::invalid_argument("args: bare '--'");
+    if (key.empty()) {
+      bad(i, "bare '--' is not an option");
+      continue;
+    }
     const auto eq = key.find('=');
     if (eq != std::string::npos) {
       const std::string value = key.substr(eq + 1);
       key = key.substr(0, eq);
-      if (is_flag(key))
-        throw std::invalid_argument("args: flag --" + key + " takes no value");
+      if (key.empty()) {
+        bad(i, "option '" + tok + "' has no name before '='");
+        continue;
+      }
+      if (is_flag(key)) {
+        bad(i, "flag --" + key + " takes no value");
+        continue;
+      }
       out.values_[key] = value;
       continue;
     }
@@ -35,8 +66,10 @@ Args Args::parse(const std::vector<std::string>& argv,
       out.flags_[key] = true;
       continue;
     }
-    if (i + 1 >= argv.size())
-      throw std::invalid_argument("args: missing value for --" + key);
+    if (i + 1 >= argv.size()) {
+      bad(i, "missing value for --" + key);
+      continue;
+    }
     out.values_[key] = argv[++i];
   }
   return out;
@@ -68,22 +101,21 @@ std::string Args::get_or(const std::string& key,
 double Args::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  return circuit::parse_spice_number(*v);
+  const io::NumberParse p = circuit::parse_spice_number_ex(*v);
+  if (!p.ok)
+    throw std::invalid_argument("args: --" + key + " expects a number, got '" +
+                                *v + "' (" + p.error + ")");
+  return p.value;
 }
 
 int Args::get_int(const std::string& key, int fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  try {
-    std::size_t pos = 0;
-    const int value = std::stoi(*v, &pos);
-    if (pos != v->size())
-      throw std::invalid_argument("trailing characters");
-    return value;
-  } catch (const std::exception&) {
+  const io::IntParse p = io::parse_int_strict(*v);
+  if (!p.ok)
     throw std::invalid_argument("args: --" + key + " expects an integer, got '" +
-                                *v + "'");
-  }
+                                *v + "' (" + p.error + ")");
+  return p.value;
 }
 
 std::vector<std::string> Args::unused_keys() const {

@@ -3,6 +3,8 @@
 // with typed accessors and defaults.
 #pragma once
 
+#include "io/diagnostics.hpp"
+
 #include <map>
 #include <optional>
 #include <string>
@@ -13,10 +15,18 @@ namespace ssnkit::cli {
 class Args {
  public:
   /// Parse argv-style input (without the program/subcommand names).
-  /// `flag_names` lists options that take no value. Throws
-  /// std::invalid_argument on malformed input (e.g. missing value).
+  /// `flag_names` lists options that take no value. Throws io::ParseError
+  /// (derives std::invalid_argument) carrying every problem found.
   static Args parse(const std::vector<std::string>& argv,
                     const std::vector<std::string>& flag_names = {});
+
+  /// Error-recovery variant: never throws; every malformed token is
+  /// diagnosed in `sink` (code SSN-E050, location "<command-line>:1:<col>"
+  /// with the column pointing into the space-joined argv excerpt) and
+  /// skipped.
+  static Args parse_ex(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& flag_names,
+                       io::DiagnosticSink& sink);
 
   bool has(const std::string& key) const;
   bool flag(const std::string& key) const;

@@ -334,13 +334,31 @@ int cmd_ac(const Args& args, std::ostream& os) {
 int cmd_simulate(const Args& args, std::ostream& os) {
   if (args.positional().empty())
     throw std::invalid_argument("simulate: need a netlist file");
-  std::ifstream in(args.positional().front());
+  const std::string& path = args.positional().front();
+  circuit::ParseOptions popts;
+  popts.filename = path;
+  std::ifstream in(path, std::ios::ate);
   if (!in)
-    throw std::invalid_argument("simulate: cannot open '" +
-                                args.positional().front() + "'");
+    throw io::IoError(io::IoError::Kind::kOpenFailed, path, "cannot open");
+  // Reject oversized files before slurping them into memory; the parser
+  // would refuse anyway, but only after the allocation.
+  const auto size = in.tellg();
+  if (size >= 0 && std::size_t(size) > popts.limits.max_input_bytes) {
+    io::DiagnosticSink sink;
+    sink.error(support::SrcLoc{path, 0, 0}, "SSN-E030",
+               "netlist file is " + std::to_string(size) + " bytes, over the " +
+                   std::to_string(popts.limits.max_input_bytes) +
+                   " byte limit");
+    throw io::ParseError(sink);
+  }
+  in.seekg(0);
   std::ostringstream ss;
   ss << in.rdbuf();
-  auto parsed = circuit::parse_netlist(ss.str());
+  auto parse_result = circuit::parse_netlist_ex(ss.str(), popts);
+  for (const auto& d : parse_result.diagnostics.diagnostics())
+    if (d.severity == io::Severity::kWarning) os << d.format() << "\n";
+  if (!parse_result.ok) throw io::ParseError(parse_result.diagnostics);
+  auto& parsed = parse_result.netlist;
   if (!parsed.tran)
     throw std::invalid_argument("simulate: netlist has no .tran directive");
 

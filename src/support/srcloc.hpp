@@ -1,0 +1,36 @@
+// A source location (file, 1-based line, 1-based column) for input
+// diagnostics. Every parse error in the input boundary — netlist, CSV,
+// command line — carries one so a user (or a log scraper) can jump straight
+// to the offending token instead of grepping for a quoted fragment.
+#pragma once
+
+#include <string>
+
+namespace ssnkit::support {
+
+struct SrcLoc {
+  std::string file = "<input>";
+  int line = 0;    ///< 1-based; 0 = whole-file / unknown
+  int column = 0;  ///< 1-based; 0 = whole-line / unknown
+
+  /// "file:line:column" with the zero parts omitted ("file", "file:3",
+  /// "file:3:12") — the format editors and CI annotations understand.
+  std::string to_string() const {
+    std::string s = file;
+    if (line > 0) {
+      s += ':';
+      s += std::to_string(line);
+      if (column > 0) {
+        s += ':';
+        s += std::to_string(column);
+      }
+    }
+    return s;
+  }
+};
+
+inline SrcLoc srcloc(std::string file, int line = 0, int column = 0) {
+  return SrcLoc{std::move(file), line, column};
+}
+
+}  // namespace ssnkit::support

@@ -1,0 +1,34 @@
+// Fuzz target: the CLI argument parser. The input is split on whitespace
+// into an argv vector; Args::parse_ex never throws, and the typed accessors
+// may only throw std::invalid_argument.
+#include "cli/args.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream iss(text);
+  std::vector<std::string> argv;
+  std::string tok;
+  while (iss >> tok && argv.size() < 64) argv.push_back(tok);
+
+  ssnkit::io::DiagnosticSink sink;
+  const auto args =
+      ssnkit::cli::Args::parse_ex(argv, {"verify", "no-c"}, sink);
+  for (const char* key : {"n", "tech", "pads", "l", "x"}) {
+    try {
+      args.get_int(key, 0);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      args.get_double(key, 0.0);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  args.unused_keys();
+  return 0;
+}

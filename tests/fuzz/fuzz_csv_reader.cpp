@@ -1,0 +1,21 @@
+// Fuzz target: CsvReader in error-recovery mode. read_string never throws;
+// on a clean read every row must match the header width.
+#include "io/csv.hpp"
+
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  ssnkit::io::CsvLimits limits;
+  limits.max_input_bytes = 1u << 20;
+  limits.max_columns = 256;
+  const ssnkit::io::CsvReader reader(limits);
+  ssnkit::io::DiagnosticSink sink;
+  const auto table = reader.read_string(text, sink);
+  if (!sink.has_errors()) {
+    for (const auto& row : table.rows)
+      if (row.size() != table.headers.size()) __builtin_trap();
+  }
+  return 0;
+}

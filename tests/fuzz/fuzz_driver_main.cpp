@@ -1,0 +1,49 @@
+// Standalone replacement for libFuzzer's main, used when the toolchain
+// cannot build -fsanitize=fuzzer (gcc). Replays every file of the corpus
+// directories/files given on the command line through
+// LLVMFuzzerTestOneInput and exits; dash-arguments (libFuzzer flags like
+// -runs=0) are ignored so the same ctest command drives both builds.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int run_one(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag: ignore
+    const std::filesystem::path p(arg);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::directory_iterator(p))
+        if (e.is_regular_file()) inputs.push_back(e.path());
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  int rc = 0;
+  for (const auto& p : inputs) rc |= run_one(p);
+  std::fprintf(stderr, "fuzz driver: replayed %zu inputs\n", inputs.size());
+  return rc;
+}

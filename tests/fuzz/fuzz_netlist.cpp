@@ -1,0 +1,22 @@
+// Fuzz target: the recovering netlist parser. Contract under test:
+// parse_netlist_ex NEVER throws, never crashes, and respects its resource
+// guards no matter the input. There is deliberately no try/catch here — an
+// escaping exception is a finding.
+#include "circuit/netlist.hpp"
+
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  ssnkit::circuit::ParseOptions opts;
+  // Tighter guards than the defaults keep each execution fast and make the
+  // guard paths themselves easy for the fuzzer to reach.
+  opts.limits.max_input_bytes = 1u << 20;
+  opts.limits.max_subckt_depth = 16;
+  opts.limits.max_elements = 4096;
+  const auto result = ssnkit::circuit::parse_netlist_ex(text, opts);
+  // Invariant: a result flagged ok has no error diagnostics, and vice versa.
+  if (result.ok == result.diagnostics.has_errors()) __builtin_trap();
+  return 0;
+}

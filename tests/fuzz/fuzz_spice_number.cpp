@@ -1,0 +1,27 @@
+// Fuzz target: SPICE number parsing. parse_spice_number_ex never throws;
+// the throwing wrapper may only throw std::invalid_argument (anything else
+// escaping — std::out_of_range from a leaked stod, say — is a finding).
+// A successful parse must be a finite double.
+#include "circuit/netlist.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string token(reinterpret_cast<const char*>(data), size);
+
+  const auto p = ssnkit::circuit::parse_spice_number_ex(token);
+  if (p.ok && !std::isfinite(p.value)) __builtin_trap();
+  if (!p.ok && p.error.empty()) __builtin_trap();
+
+  try {
+    const double v = ssnkit::circuit::parse_spice_number(token);
+    if (!std::isfinite(v)) __builtin_trap();
+    if (!p.ok) __builtin_trap();  // wrapper and _ex must agree
+  } catch (const std::invalid_argument&) {
+    if (p.ok) __builtin_trap();  // wrapper and _ex must agree
+  }
+  return 0;
+}

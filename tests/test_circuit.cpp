@@ -164,7 +164,8 @@ TEST(Netlist, ErrorsCarryLineNumbers) {
     parse_netlist("R1 a 0 1k\nQ1 a b c\n");
     FAIL() << "expected parse error";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    // Diagnostics render as file:line:column.
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
   }
 }
 

@@ -207,6 +207,48 @@ TEST(SsnlintL006, SuppressionWorks) {
             "SSN-L006"), 0);
 }
 
+// --- SSN-L007: bare numeric-conversion calls --------------------------------
+
+TEST(SsnlintL007, FlagsBareStodAndFriends) {
+  const auto d = lint("double f(const std::string& s) { return std::stod(s); }\n");
+  ASSERT_EQ(count_rule(d, "SSN-L007"), 1);
+  EXPECT_EQ(d[0].line, 1);
+  EXPECT_EQ(count_rule(lint("int f(const char* s) { return atoi(s); }\n"),
+            "SSN-L007"), 1);
+  EXPECT_EQ(count_rule(lint("long f(const char* s) { return strtol(s, nullptr, 10); }\n"),
+            "SSN-L007"), 1);
+  EXPECT_EQ(count_rule(lint("int f(const std::string& s) { return std::stoll(s); }\n"),
+            "SSN-L007"), 1);
+}
+
+TEST(SsnlintL007, HardenedParserFileIsAllowlisted) {
+  const std::string src =
+      "double f(const std::string& s) { return std::stod(s); }\n";
+  EXPECT_EQ(count_rule(lint_source("src/io/diagnostics.cpp", src), "SSN-L007"), 0);
+  // Only that exact file: same name elsewhere still fires.
+  EXPECT_EQ(count_rule(lint_source("src/sim/diagnostics.cpp", src), "SSN-L007"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/io/csv.cpp", src), "SSN-L007"), 1);
+}
+
+TEST(SsnlintL007, MemberCallsAndNonCallsAreClean) {
+  // A member function named stod on an unrelated object is not the banned
+  // std:: free function.
+  EXPECT_EQ(count_rule(lint("double f(Conv& c) { return c.stod(\"1\"); }\n"),
+            "SSN-L007"), 0);
+  EXPECT_EQ(count_rule(lint("double f(Conv* c) { return c->stoi(\"1\"); }\n"),
+            "SSN-L007"), 0);
+  // Mentioning the name without calling it is fine.
+  EXPECT_EQ(count_rule(lint("int stod_count = 0; // not a call\n"), "SSN-L007"), 0);
+}
+
+TEST(SsnlintL007, SuppressionWorks) {
+  EXPECT_EQ(count_rule(lint(
+                "double f(const std::string& s) {\n"
+                "  return std::stod(s);  // ssnlint-ignore(SSN-L007)\n"
+                "}\n"),
+            "SSN-L007"), 0);
+}
+
 // --- stripper ---------------------------------------------------------------
 
 TEST(SsnlintStrip, CommentsAndStringsDoNotTrigger) {
@@ -227,7 +269,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 6);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 7);
 }
 
 }  // namespace

@@ -16,6 +16,10 @@
 //   SSN-L006  bare `throw std::runtime_error` inside src/sim or src/numeric
 //             (solver failures must be typed support::SolverError so callers
 //             can tell retryable from fatal)
+//   SSN-L007  bare std::stod/stoi/strtod/atof-family call outside the
+//             hardened parsing helpers in src/io/diagnostics.cpp (they
+//             accept "inf"/"nan"/hex and throw std::out_of_range; use
+//             io::parse_double_prefix / io::parse_int_strict)
 //
 // Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
 // allowed) on the offending line or the line directly above it.
@@ -48,6 +52,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L004", "uninitialized double member in a struct"},
       {"SSN-L005", "catch (...) swallows the exception"},
       {"SSN-L006", "bare throw std::runtime_error in solver code"},
+      {"SSN-L007", "bare std::stod/stoi-family call outside hardened parsers"},
   };
   return kRules;
 }
@@ -507,6 +512,39 @@ inline void rule_untyped_solver_throw(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L007: the std::sto* / strto* / ato* family silently accepts "inf",
+// "nan", hex floats ("0x1p3") and leading whitespace, and throws
+// std::out_of_range on overflow — three surprises that have no business at
+// an input boundary. All conversions must go through the hardened
+// io::parse_double_prefix / io::parse_int_strict, which live in
+// src/io/diagnostics.cpp (the single allowlisted file).
+inline bool is_hardened_parser_file(const std::string& file) {
+  const std::filesystem::path p(file);
+  return p.filename() == "diagnostics.cpp" &&
+         p.parent_path().filename() == "io";
+}
+
+inline void rule_bare_numeric_conversion(const std::vector<Token>& toks,
+                                         const std::string& file,
+                                         std::vector<Diagnostic>& out) {
+  if (is_hardened_parser_file(file)) return;
+  static const std::set<std::string> kBanned = {
+      "stod",  "stof",  "stold",  "stoi",   "stol",   "stoll", "stoul",
+      "stoull", "strtod", "strtof", "strtold", "strtol", "strtoll",
+      "strtoul", "strtoull", "atof", "atoi", "atol", "atoll"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || kBanned.count(t.text) == 0) continue;
+    if (toks[i + 1].text != "(") continue;  // must look like a call
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member call on some unrelated object
+    add(out, file, t.line, "SSN-L007",
+        "bare '" + t.text +
+            "' accepts inf/nan/hex and throws std::out_of_range; use "
+            "io::parse_double_prefix / io::parse_int_strict instead");
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -524,6 +562,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_uninitialized_double_member(toks, file, all);
   detail::rule_catch_all_swallow(toks, file, all);
   detail::rule_untyped_solver_throw(toks, file, all);
+  detail::rule_bare_numeric_conversion(toks, file, all);
 
   std::vector<Diagnostic> kept;
   for (const Diagnostic& d : all) {
