@@ -1,13 +1,20 @@
 // Performance microbenchmarks (google-benchmark): the cost profile that
 // makes the paper's closed forms attractive — a Table 1 evaluation is
-// nanoseconds while a single transient simulation is milliseconds.
+// nanoseconds while a single transient simulation is milliseconds — plus
+// the solver hot-path suite (sparse stamping vs the old dense assembly,
+// transient solves at several sizes, Monte Carlo batches at several thread
+// counts). scripts/bench.sh runs this binary and emits BENCH_perf.json.
 #include "analysis/calibrate.hpp"
 #include "analysis/measure.hpp"
+#include "analysis/montecarlo.hpp"
 #include "core/baselines.hpp"
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/testbench.hpp"
 #include "devices/fit.hpp"
 #include "numeric/lu.hpp"
+#include "numeric/sparse.hpp"
 #include "sim/engine.hpp"
 
 #include <benchmark/benchmark.h>
@@ -102,7 +109,118 @@ void BM_SsnTransient(benchmark::State& state) {
     benchmark::DoNotOptimize(analysis::measure_ssn(spec).v_max);
   }
 }
-BENCHMARK(BM_SsnTransient)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SsnTransient)->Arg(2)->Arg(8)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+// --- solver hot path: one Newton iteration's linear-algebra cost ----------
+//
+// Dense is the pre-stamped-workspace path: zero an n*n matrix, stamp,
+// convert to CSR, run a full sparse LU (fresh symbolic analysis + pivoting)
+// and solve. Sparse is the engine's current path: stamp into the cached
+// CSR pattern and numerically refactorize on the frozen pivot order. The
+// ratio of these two is the per-iteration speedup of the rewrite.
+
+struct AssemblyFixture {
+  circuit::SsnBench bench;
+  numeric::Vector x;  ///< DC solution: a realistic stamping point
+  std::size_t n = 0;
+
+  explicit AssemblyFixture(int n_drivers)
+      : bench([&] {
+          circuit::SsnBenchSpec spec;
+          spec.n_drivers = n_drivers;
+          return circuit::make_ssn_testbench(spec);
+        }()) {
+    x = sim::dc_operating_point(bench.circuit).solution;
+    n = std::size_t(bench.circuit.unknown_count());
+  }
+};
+
+void BM_MnaAssemblyDense(benchmark::State& state) {
+  AssemblyFixture fx(int(state.range(0)));
+  numeric::Matrix a(fx.n, fx.n);
+  numeric::Vector b(fx.n);
+  for (auto _ : state) {
+    a.fill(0.0);
+    b.fill(0.0);
+    circuit::StampContext ctx;
+    ctx.mode = circuit::AnalysisMode::kDc;
+    ctx.x = &fx.x;
+    ctx.a = &a;
+    ctx.b = &b;
+    for (const auto& el : fx.bench.circuit.elements()) el->stamp(ctx);
+    numeric::SparseLu lu(numeric::SparseMatrix::from_dense(a));
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_MnaAssemblyDense)
+    ->Arg(4)
+    ->Arg(12)
+    ->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MnaAssemblySparse(benchmark::State& state) {
+  AssemblyFixture fx(int(state.range(0)));
+  numeric::StampedMatrix sm;
+  numeric::Vector b(fx.n);
+  numeric::Vector x_out(fx.n);
+  circuit::StampContext ctx;
+  ctx.mode = circuit::AnalysisMode::kDc;
+  ctx.x = &fx.x;
+  ctx.sa = &sm;
+  ctx.b = &b;
+  // Pattern discovery + symbolic analysis: once, outside the timed loop —
+  // exactly as the engine amortizes them across Newton iterations.
+  sm.begin_pattern(fx.n);
+  for (const auto& el : fx.bench.circuit.elements()) el->stamp(ctx);
+  sm.finalize_pattern();
+  numeric::SparseFactor factor;
+  factor.factorize(sm);
+  for (auto _ : state) {
+    sm.clear();
+    b.fill(0.0);
+    for (const auto& el : fx.bench.circuit.elements()) el->stamp(ctx);
+    factor.refactorize(sm);
+    factor.solve(b, x_out);
+    benchmark::DoNotOptimize(x_out);
+  }
+}
+BENCHMARK(BM_MnaAssemblySparse)
+    ->Arg(4)
+    ->Arg(12)
+    ->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- batch runner: Monte Carlo at several sample/thread counts ------------
+
+void BM_McClosedForm(benchmark::State& state) {
+  const auto s = scenario_for(8, 1.0);
+  analysis::MonteCarloOptions opts;
+  opts.samples = int(state.range(0));
+  opts.threads = int(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::monte_carlo_vmax(s, opts));
+}
+BENCHMARK(BM_McClosedForm)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_McSimBatch(benchmark::State& state) {
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  analysis::SimMonteCarloOptions opts;
+  opts.samples = int(state.range(0));
+  opts.threads = int(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::monte_carlo_vmax_sim(
+        cal, process::package_pga(), 4, 0.1e-9, true, opts));
+}
+BENCHMARK(BM_McSimBatch)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DcOperatingPoint(benchmark::State& state) {
   const auto cal = analysis::calibrate(process::tech_180nm());

@@ -3,12 +3,14 @@
 # ssnlint.src lint gate), then clang-tidy on changed files. Run before
 # pushing; CI runs the same steps plus the ASan+UBSan leg.
 #
-# Usage: scripts/check.sh [--preset NAME] [--all-tidy] [--fuzz]
+# Usage: scripts/check.sh [--preset NAME] [--all-tidy] [--fuzz] [--tsan]
 #   --preset NAME  CMake preset to use (default: release)
 #   --all-tidy     clang-tidy every src/ file instead of only changed ones
 #   --fuzz         shorthand for --preset fuzz (builds the tests/fuzz
 #                  harness and replays the seed corpora; real libFuzzer
 #                  mutation needs clang — see tests/fuzz/CMakeLists.txt)
+#   --tsan         shorthand for --preset tsan (ThreadSanitizer; exercises
+#                  the parallel batch runner for data races)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,7 @@ while [ $# -gt 0 ]; do
     --preset) PRESET="$2"; shift 2 ;;
     --all-tidy) ALL_TIDY=1; shift ;;
     --fuzz) PRESET=fuzz; shift ;;
+    --tsan) PRESET=tsan; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done

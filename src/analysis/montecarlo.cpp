@@ -3,6 +3,8 @@
 #include "analysis/design.hpp"
 #include "core/lc_model.hpp"
 #include "numeric/stats.hpp"
+#include "support/faultinject.hpp"
+#include "support/parallel.hpp"
 
 #include <algorithm>
 #include <random>
@@ -24,34 +26,54 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
   opts.validate();
   nominal.validate();
 
-  std::mt19937 rng(opts.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  // Multiplicative factor clamped so no parameter collapses or flips sign
-  // in the far tails.
-  const auto vary = [&](double value, double sigma) {
-    const double factor = std::clamp(1.0 + sigma * gauss(rng), 0.2, 1.8);
-    return value * factor;
-  };
-
   const bool with_c = nominal.capacitance > 0.0;
   const core::DampingRegion nominal_region =
       with_c ? core::LcModel(nominal).region()
              : core::DampingRegion::kOverDamped;
 
-  MonteCarloResult out;
-  out.samples.reserve(std::size_t(opts.samples));
-  int flips = 0;
+  // Draw every sample's multiplicative factors up front, in the exact order
+  // the serial loop consumed the Gaussian stream (k, lambda, vx, L, [C],
+  // S), clamped so no parameter collapses or flips sign in the far tails.
+  // Hoisting the draws is what makes the parallel evaluation below
+  // bit-identical to serial for any thread count.
+  std::mt19937 rng(opts.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const auto draw = [&](double sigma) {
+    return std::clamp(1.0 + sigma * gauss(rng), 0.2, 1.8);
+  };
+  const std::size_t stride = with_c ? 6 : 5;
+  std::vector<double> factors(std::size_t(opts.samples) * stride);
   for (int i = 0; i < opts.samples; ++i) {
-    core::SsnScenario s = nominal;
-    s.device.k = vary(s.device.k, opts.sigma_k);
-    s.device.lambda = std::max(1.0, vary(s.device.lambda, opts.sigma_lambda));
-    s.device.vx = vary(s.device.vx, opts.sigma_vx);
-    s.inductance = vary(s.inductance, opts.sigma_l);
-    if (with_c) s.capacitance = vary(s.capacitance, opts.sigma_c);
-    s.slope = vary(s.slope, opts.sigma_slope);
-    out.samples.push_back(predict_vmax(s));
-    if (with_c && core::LcModel(s).region() != nominal_region) ++flips;
+    double* f = &factors[std::size_t(i) * stride];
+    std::size_t k = 0;
+    f[k++] = draw(opts.sigma_k);
+    f[k++] = draw(opts.sigma_lambda);
+    f[k++] = draw(opts.sigma_vx);
+    f[k++] = draw(opts.sigma_l);
+    if (with_c) f[k++] = draw(opts.sigma_c);
+    f[k++] = draw(opts.sigma_slope);
   }
+
+  MonteCarloResult out;
+  out.samples.resize(std::size_t(opts.samples));
+  std::vector<unsigned char> flipped(std::size_t(opts.samples), 0);
+  support::parallel_for_index(
+      opts.threads, std::size_t(opts.samples), [&](std::size_t i) {
+        const double* f = &factors[i * stride];
+        core::SsnScenario s = nominal;
+        std::size_t k = 0;
+        s.device.k *= f[k++];
+        s.device.lambda = std::max(1.0, s.device.lambda * f[k++]);
+        s.device.vx *= f[k++];
+        s.inductance *= f[k++];
+        if (with_c) s.capacitance *= f[k++];
+        s.slope *= f[k++];
+        out.samples[i] = predict_vmax(s);
+        if (with_c && core::LcModel(s).region() != nominal_region)
+          flipped[i] = 1;
+      });
+  int flips = 0;
+  for (unsigned char fl : flipped) flips += fl;
 
   out.mean = numeric::mean(out.samples);
   out.stddev = numeric::stddev(out.samples);
@@ -101,35 +123,49 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
     s.width_factor = vary(opts.sigma_width);
   }
 
+  // Run the transient batch: each sample is independent, writes only its
+  // own slot, and runs inside a FaultSampleScope so any armed fault plan
+  // fires identically regardless of thread assignment or completion order.
+  std::vector<ResilientMeasurement> measured(out.samples.size());
+  support::parallel_for_index(
+      opts.threads, out.samples.size(), [&](std::size_t i) {
+        const support::FaultSampleScope fault_scope(i);
+        const SimMcSample& s = out.samples[i];
+        process::Package pkg = package;
+        pkg.inductance *= s.l_factor;
+        pkg.capacitance *= s.c_factor;
+        const double tr = rise_time * s.rise_factor;
+
+        circuit::SsnBenchSpec spec;
+        spec.tech = cal.tech;
+        spec.package = pkg;
+        spec.golden = cal.golden;
+        spec.n_drivers = n_drivers;
+        spec.input_rise_time = tr;
+        spec.driver_width_mult = s.width_factor;
+        spec.include_package_c = include_c;
+
+        MeasureOptions mopts = opts.measure;
+        if (mopts.transient.dt_max <= 0.0) mopts.transient.dt_max = tr / 200.0;
+
+        // The calibrated closed form for this sample: K scales with the
+        // driver width, everything else comes from the perturbed package
+        // and edge.
+        core::SsnScenario scenario =
+            make_scenario(cal, pkg, n_drivers, tr, include_c);
+        scenario.device.k *= s.width_factor;
+
+        measured[i] = measure_ssn_resilient(
+            spec, mopts, opts.recovery,
+            opts.analytic_fallback ? &scenario : nullptr);
+      });
+
+  // Sequential replay in index order: the summary's note ordering and the
+  // survivor statistics come out identical for any thread count.
   std::vector<double> survivors;
   survivors.reserve(out.samples.size());
   for (SimMcSample& s : out.samples) {
-    process::Package pkg = package;
-    pkg.inductance *= s.l_factor;
-    pkg.capacitance *= s.c_factor;
-    const double tr = rise_time * s.rise_factor;
-
-    circuit::SsnBenchSpec spec;
-    spec.tech = cal.tech;
-    spec.package = pkg;
-    spec.golden = cal.golden;
-    spec.n_drivers = n_drivers;
-    spec.input_rise_time = tr;
-    spec.driver_width_mult = s.width_factor;
-    spec.include_package_c = include_c;
-
-    MeasureOptions mopts = opts.measure;
-    if (mopts.transient.dt_max <= 0.0) mopts.transient.dt_max = tr / 200.0;
-
-    // The calibrated closed form for this sample: K scales with the driver
-    // width, everything else comes from the perturbed package and edge.
-    core::SsnScenario scenario =
-        make_scenario(cal, pkg, n_drivers, tr, include_c);
-    scenario.device.k *= s.width_factor;
-
-    const ResilientMeasurement rm = measure_ssn_resilient(
-        spec, mopts, opts.recovery,
-        opts.analytic_fallback ? &scenario : nullptr);
+    const ResilientMeasurement& rm = measured[std::size_t(s.index)];
     out.summary.record("sample=" + std::to_string(s.index), rm.fidelity,
                        rm.error);
     s.fidelity = rm.fidelity;

@@ -30,6 +30,10 @@ struct MonteCarloOptions {
   double sigma_l = 0.10;       ///< bond/package inductance
   double sigma_c = 0.10;       ///< pad capacitance
   double sigma_slope = 0.05;   ///< input edge rate
+  /// Worker threads for the sample loop: 1 = serial (default), 0 = auto
+  /// (hardware concurrency). Factors are drawn up front and samples write
+  /// index-addressed slots, so the result is bit-identical for any value.
+  int threads = 1;
 
   void validate() const;
 };
@@ -69,6 +73,12 @@ struct SimMonteCarloOptions {
   /// Degrade samples whose whole simulation ladder failed to the calibrated
   /// closed-form estimate (tagged kAnalytic) instead of dropping them.
   bool analytic_fallback = true;
+  /// Worker threads for the transient batch: 1 = serial (default), 0 =
+  /// auto. Each sample runs in its own FaultSampleScope and writes its own
+  /// slot; summary/survivor bookkeeping is replayed in index order after
+  /// the join, so results are bit-identical for any value — including under
+  /// fault injection.
+  int threads = 1;
   sim::RecoveryPolicy recovery;
   MeasureOptions measure;
 

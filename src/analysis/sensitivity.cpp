@@ -2,8 +2,11 @@
 
 #include "analysis/design.hpp"
 #include "core/l_only_model.hpp"
+#include "support/parallel.hpp"
 
+#include <array>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 namespace ssnkit::analysis {
@@ -57,7 +60,7 @@ double elasticity(const core::SsnScenario& s, double value, double rel_step,
 }  // namespace
 
 SsnSensitivities lc_sensitivities(const core::SsnScenario& scenario,
-                                  double rel_step) {
+                                  double rel_step, int threads) {
   scenario.validate();
   if (!(scenario.capacitance > 0.0))
     throw std::invalid_argument("lc_sensitivities: capacitance must be > 0 "
@@ -65,29 +68,42 @@ SsnSensitivities lc_sensitivities(const core::SsnScenario& scenario,
   if (!(rel_step > 0.0 && rel_step < 0.1))
     throw std::invalid_argument("lc_sensitivities: rel_step out of range");
 
-  SsnSensitivities out;
+  // The six stencils are independent; each writes its own slot, so the
+  // parallel evaluation is identical to serial for any thread count.
+  using Setter = std::function<void(core::SsnScenario&, double)>;
+  struct Param {
+    double value = 0.0;
+    Setter set;
+  };
   // N is discrete in the scenario; scale through (K, lambda-preserving)
   // current instead: N*K enters every formula as a product, so perturbing K
   // with fixed N measures the same elasticity.
-  out.wrt_drivers = elasticity(
-      scenario, scenario.device.k, rel_step,
-      [](core::SsnScenario& s, double v) { s.device.k = v; });
+  const std::array<Param, 6> params = {{
+      {scenario.device.k,
+       [](core::SsnScenario& s, double v) { s.device.k = v; }},
+      {scenario.inductance,
+       [](core::SsnScenario& s, double v) { s.inductance = v; }},
+      {scenario.capacitance,
+       [](core::SsnScenario& s, double v) { s.capacitance = v; }},
+      {scenario.slope, [](core::SsnScenario& s, double v) { s.slope = v; }},
+      {scenario.device.lambda,
+       [](core::SsnScenario& s, double v) { s.device.lambda = v; }},
+      {scenario.device.vx,
+       [](core::SsnScenario& s, double v) { s.device.vx = v; }},
+  }};
+  std::array<double, 6> e{};
+  support::parallel_for_index(threads, params.size(), [&](std::size_t i) {
+    e[i] = elasticity(scenario, params[i].value, rel_step, params[i].set);
+  });
+
+  SsnSensitivities out;
+  out.wrt_drivers = e[0];
   out.wrt_k = out.wrt_drivers;
-  out.wrt_inductance = elasticity(
-      scenario, scenario.inductance, rel_step,
-      [](core::SsnScenario& s, double v) { s.inductance = v; });
-  out.wrt_capacitance = elasticity(
-      scenario, scenario.capacitance, rel_step,
-      [](core::SsnScenario& s, double v) { s.capacitance = v; });
-  out.wrt_slope = elasticity(
-      scenario, scenario.slope, rel_step,
-      [](core::SsnScenario& s, double v) { s.slope = v; });
-  out.wrt_lambda = elasticity(
-      scenario, scenario.device.lambda, rel_step,
-      [](core::SsnScenario& s, double v) { s.device.lambda = v; });
-  out.wrt_vx = elasticity(
-      scenario, scenario.device.vx, rel_step,
-      [](core::SsnScenario& s, double v) { s.device.vx = v; });
+  out.wrt_inductance = e[1];
+  out.wrt_capacitance = e[2];
+  out.wrt_slope = e[3];
+  out.wrt_lambda = e[4];
+  out.wrt_vx = e[5];
   return out;
 }
 

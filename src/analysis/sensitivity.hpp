@@ -28,8 +28,10 @@ struct SsnSensitivities {
 SsnSensitivities l_only_sensitivities(const core::SsnScenario& scenario);
 
 /// Central-difference elasticities of the full Table 1 V_max. `rel_step`
-/// is the relative perturbation per parameter.
+/// is the relative perturbation per parameter. `threads` parallelizes the
+/// six independent difference stencils (1 = serial, 0 = auto); each stencil
+/// writes its own slot so the result is identical for any value.
 SsnSensitivities lc_sensitivities(const core::SsnScenario& scenario,
-                                  double rel_step = 1e-4);
+                                  double rel_step = 1e-4, int threads = 1);
 
 }  // namespace ssnkit::analysis

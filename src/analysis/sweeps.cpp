@@ -2,11 +2,15 @@
 
 #include "numeric/stats.hpp"
 #include "support/contracts.hpp"
+#include "support/faultinject.hpp"
+#include "support/parallel.hpp"
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ssnkit::analysis {
 
@@ -20,25 +24,41 @@ sim::TransientOptions tuned_transient(const sim::TransientOptions& base,
   return t;
 }
 
-// Measure one sweep point, resiliently when asked. Returns false when the
-// point failed even after the recovery ladder — the caller skips the row;
-// the summary (always updated when `resilient`) carries the account.
-bool measure_point(const circuit::SsnBenchSpec& spec,
-                   const MeasureOptions& mopts, bool resilient,
-                   const sim::RecoveryPolicy& policy, const std::string& label,
-                   BatchSummary& summary, double& v_max_out,
-                   sim::Fidelity& fidelity_out) {
-  if (!resilient) {
-    v_max_out = measure_ssn(spec, mopts).v_max;
-    fidelity_out = sim::Fidelity::kFullDevice;
-    return true;
-  }
-  const ResilientMeasurement rm = measure_ssn_resilient(spec, mopts, policy);
-  summary.record(label, rm.fidelity, rm.error);
-  if (!rm.ok()) return false;
-  v_max_out = rm.measurement.v_max;
-  fidelity_out = rm.fidelity;
-  return true;
+/// One sweep point's simulation outcome, in an index-addressed slot.
+struct PointResult {
+  bool ok = false;
+  double v_max = 0.0;
+  sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
+  std::optional<support::SolverError> error;
+};
+
+/// Measure every (spec, transient-options) point, in parallel when asked.
+/// Each point runs in its own FaultSampleScope and writes only its slot, so
+/// the outcome vector is bit-identical for any thread count; the callers
+/// replay summary records and assemble rows in sweep order afterwards. In
+/// non-resilient mode a failing point throws — the first exception (by
+/// completion order) propagates after the batch joins.
+std::vector<PointResult> measure_points(
+    const std::vector<circuit::SsnBenchSpec>& specs,
+    const std::vector<MeasureOptions>& mopts, bool resilient,
+    const sim::RecoveryPolicy& policy, int threads) {
+  std::vector<PointResult> out(specs.size());
+  support::parallel_for_index(threads, specs.size(), [&](std::size_t i) {
+    const support::FaultSampleScope fault_scope(i);
+    PointResult& r = out[i];
+    if (!resilient) {
+      r.v_max = measure_ssn(specs[i], mopts[i]).v_max;
+      r.fidelity = sim::Fidelity::kFullDevice;
+      r.ok = true;
+      return;
+    }
+    ResilientMeasurement rm = measure_ssn_resilient(specs[i], mopts[i], policy);
+    r.ok = rm.ok();
+    r.v_max = rm.measurement.v_max;
+    r.fidelity = rm.fidelity;
+    r.error = std::move(rm.error);
+  });
+  return out;
 }
 
 circuit::SsnBenchSpec bench_spec_for(const process::Technology& tech,
@@ -69,18 +89,27 @@ DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
   MeasureOptions mopts;
   mopts.transient = tuned_transient(config.transient, config.input_rise_time);
 
-  for (int n : config.driver_counts) {
+  std::vector<circuit::SsnBenchSpec> specs;
+  specs.reserve(config.driver_counts.size());
+  for (int n : config.driver_counts)
+    specs.push_back(bench_spec_for(config.tech, config.package, config.golden,
+                                   n, config.input_rise_time,
+                                   config.include_package_c,
+                                   config.include_pullup));
+  const std::vector<PointResult> points = measure_points(
+      specs, std::vector<MeasureOptions>(specs.size(), mopts),
+      config.resilient, config.recovery, config.threads);
+
+  for (std::size_t i = 0; i < config.driver_counts.size(); ++i) {
+    const int n = config.driver_counts[i];
+    const PointResult& pt = points[i];
     DriverSweepRow row;
     row.n = n;
-
-    const auto spec =
-        bench_spec_for(config.tech, config.package, config.golden, n,
-                       config.input_rise_time, config.include_package_c,
-                       config.include_pullup);
-    if (!measure_point(spec, mopts, config.resilient, config.recovery,
-                       "n=" + std::to_string(n), out.summary, row.sim,
-                       row.fidelity))
-      continue;
+    if (config.resilient)
+      out.summary.record("n=" + std::to_string(n), pt.fidelity, pt.error);
+    if (!pt.ok) continue;
+    row.sim = pt.v_max;
+    row.fidelity = pt.fidelity;
 
     const core::SsnScenario scenario = make_scenario(
         out.calibration, config.package, n, config.input_rise_time,
@@ -125,21 +154,32 @@ CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& confi
   out.critical_capacitance = base_scenario.critical_capacitance();
   const double l_only_vmax = core::LOnlyModel(base_scenario).v_max();
 
+  std::vector<circuit::SsnBenchSpec> specs;
+  specs.reserve(cs.size());
   for (double c : cs) {
-    CapacitanceSweepRow row;
-    row.c = c;
-
     process::Package pkg = config.package;
     pkg.capacitance = c;
-    auto spec =
-        bench_spec_for(config.tech, pkg, config.golden, config.n_drivers,
-                       config.input_rise_time, /*include_c=*/true,
-                       config.include_pullup);
-    char label[32];
-    std::snprintf(label, sizeof(label), "c=%.3gF", c);
-    if (!measure_point(spec, mopts, config.resilient, config.recovery, label,
-                       out.summary, row.sim, row.fidelity))
-      continue;
+    specs.push_back(bench_spec_for(config.tech, pkg, config.golden,
+                                   config.n_drivers, config.input_rise_time,
+                                   /*include_c=*/true, config.include_pullup));
+  }
+  const std::vector<PointResult> points = measure_points(
+      specs, std::vector<MeasureOptions>(specs.size(), mopts),
+      config.resilient, config.recovery, config.threads);
+
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const double c = cs[i];
+    const PointResult& pt = points[i];
+    CapacitanceSweepRow row;
+    row.c = c;
+    if (config.resilient) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "c=%.3gF", c);
+      out.summary.record(label, pt.fidelity, pt.error);
+    }
+    if (!pt.ok) continue;
+    row.sim = pt.v_max;
+    row.fidelity = pt.fidelity;
 
     const core::LcModel lc(base_scenario.with_capacitance(c));
     row.lc_model = lc.v_max();
@@ -160,15 +200,15 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
                                            const sim::TransientOptions& topts,
-                                           BatchSummary* summary) {
+                                           BatchSummary* summary, int threads) {
   SSN_REQUIRE(!rise_times.empty(), "run_slope_sweep: no rise times");
   std::vector<SlopeSweepRow> rows;
-  BatchSummary local;  // discarded when the caller did not ask for one
-  for (double tr : rise_times) {
-    SlopeSweepRow row;
-    row.rise_time = tr;
-    row.slope = cal.tech.vdd / tr;
 
+  std::vector<circuit::SsnBenchSpec> specs;
+  std::vector<MeasureOptions> mopts_per_point;
+  specs.reserve(rise_times.size());
+  mopts_per_point.reserve(rise_times.size());
+  for (double tr : rise_times) {
     circuit::SsnBenchSpec spec;
     spec.tech = cal.tech;
     spec.package = package;
@@ -176,14 +216,29 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
     spec.n_drivers = n_drivers;
     spec.input_rise_time = tr;
     spec.include_package_c = include_c;
+    specs.push_back(spec);
     MeasureOptions mopts;
     mopts.transient = tuned_transient(topts, tr);
-    char label[32];
-    std::snprintf(label, sizeof(label), "tr=%.3gs", tr);
-    if (!measure_point(spec, mopts, /*resilient=*/summary != nullptr, {},
-                       label, summary ? *summary : local, row.sim,
-                       row.fidelity))
-      continue;
+    mopts_per_point.push_back(mopts);
+  }
+  const std::vector<PointResult> points =
+      measure_points(specs, mopts_per_point, /*resilient=*/summary != nullptr,
+                     {}, threads);
+
+  for (std::size_t i = 0; i < rise_times.size(); ++i) {
+    const double tr = rise_times[i];
+    const PointResult& pt = points[i];
+    SlopeSweepRow row;
+    row.rise_time = tr;
+    row.slope = cal.tech.vdd / tr;
+    if (summary) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "tr=%.3gs", tr);
+      summary->record(label, pt.fidelity, pt.error);
+    }
+    if (!pt.ok) continue;
+    row.sim = pt.v_max;
+    row.fidelity = pt.fidelity;
 
     const core::SsnScenario scenario =
         make_scenario(cal, package, n_drivers, tr, include_c);

@@ -30,6 +30,11 @@ struct DriverSweepConfig {
   /// aborting the whole sweep.
   bool resilient = true;
   sim::RecoveryPolicy recovery;
+  /// Worker threads for the simulation points: 1 = serial (default), 0 =
+  /// auto. Points write index-addressed slots and the summary/rows are
+  /// assembled in sweep order after the join, so the result is
+  /// bit-identical for any value.
+  int threads = 1;
 };
 
 struct DriverSweepRow {
@@ -71,6 +76,7 @@ struct CapacitanceSweepConfig {
   sim::TransientOptions transient;
   bool resilient = true;  ///< see DriverSweepConfig::resilient
   sim::RecoveryPolicy recovery;
+  int threads = 1;  ///< see DriverSweepConfig::threads
 };
 
 struct CapacitanceSweepRow {
@@ -106,14 +112,17 @@ struct SlopeSweepRow {
   sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
 };
 /// When `summary` is non-null the sweep runs resiliently: failing points are
-/// skipped and accounted there instead of throwing.
+/// skipped and accounted there instead of throwing. `threads` follows
+/// DriverSweepConfig::threads (1 = serial, 0 = auto; bit-identical output
+/// for any value).
 std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const process::Package& package,
                                            int n_drivers,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
                                            const sim::TransientOptions& topts = {},
-                                           BatchSummary* summary = nullptr);
+                                           BatchSummary* summary = nullptr,
+                                           int threads = 1);
 
 /// The paper's beta-equivalence claim (Eqn 9/10): configurations with equal
 /// beta = N*L*S have equal predicted V_max. For each driver count in `ns`

@@ -190,13 +190,11 @@ void CoupledInductors::stamp(const StampContext& ctx) const {
     // L1*hist1 + M*hist2 collapses to -(2/h)(L1 i1_n + M i2_n) - v1_n,
     // because v1_n = L1*d1_n + M*d2_n exactly.
     ctx.stamp_branch_current_coeff(node_count_, br1, -l1_ * g);
-    (*ctx.a)(std::size_t(ctx.branch_row(node_count_, br1)),
-             std::size_t(ctx.branch_row(node_count_, br2))) += -m_ * g;
+    ctx.stamp_branch_cross(node_count_, br1, br2, -m_ * g);
     ctx.stamp_branch_rhs(node_count_, br1,
                          -g * (l1_ * i1_prev_ + m_ * i2_prev_) - v1_prev_);
     ctx.stamp_branch_current_coeff(node_count_, br2, -l2_ * g);
-    (*ctx.a)(std::size_t(ctx.branch_row(node_count_, br2)),
-             std::size_t(ctx.branch_row(node_count_, br1))) += -m_ * g;
+    ctx.stamp_branch_cross(node_count_, br2, br1, -m_ * g);
     ctx.stamp_branch_rhs(node_count_, br2,
                          -g * (l2_ * i2_prev_ + m_ * i1_prev_) - v2_prev_);
     return;
@@ -211,12 +209,10 @@ void CoupledInductors::stamp(const StampContext& ctx) const {
     hist2 = -i2_prev_ / c.h;
   }
   ctx.stamp_branch_current_coeff(node_count_, br1, -l1_ * g);
-  (*ctx.a)(std::size_t(ctx.branch_row(node_count_, br1)),
-           std::size_t(ctx.branch_row(node_count_, br2))) += -m_ * g;
+  ctx.stamp_branch_cross(node_count_, br1, br2, -m_ * g);
   ctx.stamp_branch_rhs(node_count_, br1, l1_ * hist1 + m_ * hist2);
   ctx.stamp_branch_current_coeff(node_count_, br2, -l2_ * g);
-  (*ctx.a)(std::size_t(ctx.branch_row(node_count_, br2)),
-           std::size_t(ctx.branch_row(node_count_, br1))) += -m_ * g;
+  ctx.stamp_branch_cross(node_count_, br2, br1, -m_ * g);
   ctx.stamp_branch_rhs(node_count_, br2, l2_ * hist2 + m_ * hist1);
 }
 

@@ -2,14 +2,21 @@
 
 namespace ssnkit::circuit {
 
+void StampContext::add_a(std::size_t r, std::size_t c, double v) const {
+  if (sa)
+    sa->add(r, c, v);
+  else
+    (*a)(r, c) += v;
+}
+
 void StampContext::stamp_conductance(NodeId n1, NodeId n2, double g) const {
   if (n1 != kGround) {
-    (*a)(std::size_t(n1 - 1), std::size_t(n1 - 1)) += g;
-    if (n2 != kGround) (*a)(std::size_t(n1 - 1), std::size_t(n2 - 1)) -= g;
+    add_a(std::size_t(n1 - 1), std::size_t(n1 - 1), g);
+    if (n2 != kGround) add_a(std::size_t(n1 - 1), std::size_t(n2 - 1), -g);
   }
   if (n2 != kGround) {
-    (*a)(std::size_t(n2 - 1), std::size_t(n2 - 1)) += g;
-    if (n1 != kGround) (*a)(std::size_t(n2 - 1), std::size_t(n1 - 1)) -= g;
+    add_a(std::size_t(n2 - 1), std::size_t(n2 - 1), g);
+    if (n1 != kGround) add_a(std::size_t(n2 - 1), std::size_t(n1 - 1), -g);
   }
 }
 
@@ -29,7 +36,7 @@ void StampContext::stamp_vccs(NodeId out_p, NodeId out_m, NodeId cp, NodeId cm,
 void StampContext::stamp_jacobian(NodeId row_node, NodeId col_node,
                                   double g) const {
   if (row_node == kGround || col_node == kGround) return;
-  (*a)(std::size_t(row_node - 1), std::size_t(col_node - 1)) += g;
+  add_a(std::size_t(row_node - 1), std::size_t(col_node - 1), g);
 }
 
 void StampContext::stamp_rhs(NodeId node, double value) const {
@@ -41,24 +48,30 @@ void StampContext::stamp_branch_incidence(int node_count, int branch, NodeId p,
                                           NodeId m) const {
   const std::size_t row = std::size_t(branch_row(node_count, branch));
   // KCL: branch current leaves p, enters m.
-  if (p != kGround) (*a)(std::size_t(p - 1), row) += 1.0;
-  if (m != kGround) (*a)(std::size_t(m - 1), row) -= 1.0;
+  if (p != kGround) add_a(std::size_t(p - 1), row, 1.0);
+  if (m != kGround) add_a(std::size_t(m - 1), row, -1.0);
   // Branch equation voltage terms v(p) - v(m).
-  if (p != kGround) (*a)(row, std::size_t(p - 1)) += 1.0;
-  if (m != kGround) (*a)(row, std::size_t(m - 1)) -= 1.0;
+  if (p != kGround) add_a(row, std::size_t(p - 1), 1.0);
+  if (m != kGround) add_a(row, std::size_t(m - 1), -1.0);
 }
 
 void StampContext::stamp_branch_voltage(int node_count, int branch,
                                         NodeId col_node, double coeff) const {
   if (col_node == kGround) return;
-  (*a)(std::size_t(branch_row(node_count, branch)), std::size_t(col_node - 1)) +=
-      coeff;
+  add_a(std::size_t(branch_row(node_count, branch)), std::size_t(col_node - 1),
+        coeff);
 }
 
 void StampContext::stamp_branch_current_coeff(int node_count, int branch,
                                               double coeff) const {
   const std::size_t row = std::size_t(branch_row(node_count, branch));
-  (*a)(row, row) += coeff;
+  add_a(row, row, coeff);
+}
+
+void StampContext::stamp_branch_cross(int node_count, int row_branch,
+                                      int col_branch, double coeff) const {
+  add_a(std::size_t(branch_row(node_count, row_branch)),
+        std::size_t(branch_row(node_count, col_branch)), coeff);
 }
 
 void StampContext::stamp_branch_rhs(int node_count, int branch,

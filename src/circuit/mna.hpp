@@ -8,6 +8,7 @@
 
 #include "numeric/complex_la.hpp"
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
 
 namespace ssnkit::circuit {
 
@@ -40,12 +41,17 @@ struct IntegrationCoeffs {
 };
 
 /// Everything an element needs to stamp itself for one Newton iteration.
+/// Exactly one Jacobian target is set: `a` (dense, used by whitebox tests
+/// and small one-shot assemblies) or `sa` (the engine's fixed-pattern
+/// sparse workspace). Elements never write either directly — all matrix
+/// writes go through the stamp helpers, which dispatch to the live target.
 struct StampContext {
   AnalysisMode mode = AnalysisMode::kDc;
   double time = 0.0;                 ///< time being solved for
   IntegrationCoeffs coeffs;          ///< valid when mode == kTransient
   const numeric::Vector* x = nullptr;  ///< current Newton iterate
-  numeric::Matrix* a = nullptr;      ///< system Jacobian (pre-zeroed)
+  numeric::Matrix* a = nullptr;      ///< dense Jacobian target (pre-zeroed)
+  numeric::StampedMatrix* sa = nullptr;  ///< sparse Jacobian target
   numeric::Vector* b = nullptr;      ///< system RHS (pre-zeroed)
   double gmin = 0.0;                 ///< homotopy conductance to ground
   double source_scale = 1.0;         ///< DC source-stepping homotopy factor
@@ -88,8 +94,15 @@ struct StampContext {
   /// Coefficient of the branch current itself in the branch row.
   void stamp_branch_current_coeff(int node_count, int branch,
                                   double coeff) const;
+  /// Cross term between two branch currents (coupled inductors).
+  void stamp_branch_cross(int node_count, int row_branch, int col_branch,
+                          double coeff) const;
   /// RHS of the branch row.
   void stamp_branch_rhs(int node_count, int branch, double value) const;
+
+ private:
+  /// Accumulate into the live Jacobian target (dense or sparse).
+  void add_a(std::size_t r, std::size_t c, double v) const;
 };
 
 /// Context for small-signal (AC) stamping: the complex MNA system

@@ -73,6 +73,9 @@ common options:
   --n 8                        simultaneously switching drivers
   --tr 0.1n                    input rise time
   --no-c                       drop the pad capacitance (Section 3 model)
+  --threads T                  (sweep-n, sweep-c, mc) worker threads for the
+                               batch; 1 = serial (default), 0 = auto.
+                               Results are identical for any value
   --extended                   also report the post-ramp (true) peak
   --sim                        (mc) simulator-backed samples with the
                                recovery ladder instead of the closed forms
@@ -171,6 +174,7 @@ int cmd_sweep_n(const Args& args, std::ostream& os) {
   config.driver_counts.clear();
   for (int n = 1; n <= max_n; n += (n < 4 ? 1 : 2))
     config.driver_counts.push_back(n);
+  config.threads = args.get_int("threads", 1);
   const auto result = analysis::run_driver_sweep(config);
   os << "n,sim,this_work,vemuru,song,senthinathan\n";
   for (const auto& r : result.rows)
@@ -189,6 +193,7 @@ int cmd_sweep_c(const Args& args, std::ostream& os) {
   config.golden = golden_from(args);
   config.n_drivers = args.get_int("n", 8);
   config.input_rise_time = args.get_double("tr", 0.1e-9);
+  config.threads = args.get_int("threads", 1);
   const auto result = analysis::run_capacitance_sweep(config);
   os << "c,zeta,sim,lc_model,l_only,err_lc,err_l_only\n";
   for (const auto& r : result.rows)
@@ -250,6 +255,7 @@ int cmd_mc(const Args& args, std::ostream& os) {
     analysis::SimMonteCarloOptions opts;
     opts.samples = args.get_int("samples", 16);
     opts.seed = unsigned(args.get_int("seed", 12345));
+    opts.threads = args.get_int("threads", 1);
     const auto mc = analysis::monte_carlo_vmax_sim(cal, pkg, n, tr, with_c, opts);
     io::TextTable t({"statistic", "V_max [V]"});
     t.add_row({std::string("samples (surviving/total)"),
@@ -271,6 +277,7 @@ int cmd_mc(const Args& args, std::ostream& os) {
   analysis::MonteCarloOptions opts;
   opts.samples = args.get_int("samples", 1000);
   opts.seed = unsigned(args.get_int("seed", 12345));
+  opts.threads = args.get_int("threads", 1);
   const auto mc = analysis::monte_carlo_vmax(scenario, opts);
 
   io::TextTable t({"statistic", "V_max [V]"});

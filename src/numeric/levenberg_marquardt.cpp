@@ -68,7 +68,9 @@ LmResult levenberg_marquardt(const ResidualFn& residual, Vector p0,
     }
 
     // Normal equations: (J^T J + lambda diag(J^T J)) dp = -J^T r.
-    Matrix jtj(n, n);
+    // n is the (tiny, fixed) parameter count of a device fit, not a circuit
+    // size; a per-iteration dense build is the right tool here.
+    Matrix jtj(n, n);  // ssnlint-ignore(SSN-L008)
     Vector jtr(n);
     for (std::size_t a = 0; a < n; ++a) {
       for (std::size_t b = a; b < n; ++b) {

@@ -285,4 +285,338 @@ Vector solve_linear_auto(const Matrix& a, const Vector& b,
   return LuFactorization(a).solve(b);
 }
 
+// --- StampedMatrix -----------------------------------------------------------
+
+void StampedMatrix::begin_pattern(std::size_t n) {
+  n_ = n;
+  discovering_ = true;
+  missed_ = 0;
+  triplets_.clear();
+  row_ptr_.clear();
+  col_idx_.clear();
+  values_.clear();
+}
+
+void StampedMatrix::finalize_pattern() {
+  SSN_REQUIRE(discovering_, "StampedMatrix::finalize_pattern: not discovering");
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.r != b.r ? a.r < b.r : a.c < b.c;
+            });
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    row_ptr_[r] = col_idx_.size();
+    while (i < triplets_.size() && triplets_[i].r == r) {
+      const std::size_t c = triplets_[i].c;
+      double v = 0.0;
+      while (i < triplets_.size() && triplets_[i].r == r && triplets_[i].c == c)
+        v += triplets_[i++].v;
+      col_idx_.push_back(c);
+      values_.push_back(v);
+    }
+  }
+  row_ptr_[n_] = col_idx_.size();
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+  discovering_ = false;
+  ++epoch_;
+}
+
+void StampedMatrix::reset_pattern() {
+  n_ = 0;
+  discovering_ = false;
+  missed_ = 0;
+  triplets_.clear();
+  row_ptr_.clear();
+  col_idx_.clear();
+  values_.clear();
+}
+
+void StampedMatrix::clear() {
+  SSN_REQUIRE(has_pattern(), "StampedMatrix::clear: no finalized pattern");
+  std::fill(values_.begin(), values_.end(), 0.0);
+  missed_ = 0;
+}
+
+void StampedMatrix::add(std::size_t r, std::size_t c, double v) {
+  if (r >= n_ || c >= n_)
+    throw std::out_of_range("StampedMatrix::add: index out of range");
+  if (discovering_) {
+    triplets_.push_back({r, c, v});
+    return;
+  }
+  const std::size_t s = slot(r, c);
+  if (s == kNone) {
+    ++missed_;
+    return;
+  }
+  values_[s] += v;
+}
+
+std::size_t StampedMatrix::slot(std::size_t r, std::size_t c) const {
+  const auto first = col_idx_.begin() + long(row_ptr_[r]);
+  const auto last = col_idx_.begin() + long(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return kNone;
+  return std::size_t(it - col_idx_.begin());
+}
+
+double StampedMatrix::at(std::size_t r, std::size_t c) const {
+  SSN_REQUIRE(has_pattern(), "StampedMatrix::at: no finalized pattern");
+  const std::size_t s = slot(r, c);
+  return s == kNone ? 0.0 : values_[s];
+}
+
+void StampedMatrix::mul_into(const Vector& x, Vector& y) const {
+  SSN_REQUIRE(has_pattern(), "StampedMatrix::mul_into: no finalized pattern");
+  if (x.size() != n_)
+    throw std::invalid_argument("StampedMatrix::mul_into: size");
+  y.resize(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      acc += values_[i] * x[col_idx_[i]];
+    y[r] = acc;
+  }
+}
+
+Matrix StampedMatrix::to_dense() const {
+  SSN_REQUIRE(has_pattern(), "StampedMatrix::to_dense: no finalized pattern");
+  Matrix d(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      d(r, col_idx_[i]) = values_[i];
+  return d;
+}
+
+// --- SparseFactor ------------------------------------------------------------
+
+bool SparseFactor::factorize(const StampedMatrix& a) {
+  SSN_REQUIRE(a.has_pattern(), "SparseFactor::factorize: pattern not finalized");
+  n_ = a.size();
+  epoch_ = a.epoch();
+  singular_ = false;
+  if (n_ == 0) return true;
+
+  // Column-compressed view of A's pattern with a gather map (csc_src_) back
+  // into the CSR values array, so refactorize never rebuilds the transpose.
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  const std::size_t nnz = ci.size();
+  csc_ptr_.assign(n_ + 1, 0);
+  csc_row_.resize(nnz);
+  csc_src_.resize(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) csc_ptr_[ci[i] + 1]++;
+  for (std::size_t c = 0; c < n_; ++c) csc_ptr_[c + 1] += csc_ptr_[c];
+  {
+    std::vector<std::size_t> next(csc_ptr_.begin(), csc_ptr_.end() - 1);
+    for (std::size_t r = 0; r < n_; ++r)
+      for (std::size_t i = rp[r]; i < rp[r + 1]; ++i) {
+        const std::size_t dst = next[ci[i]]++;
+        csc_row_[dst] = r;
+        csc_src_[dst] = i;
+      }
+  }
+
+  pat_.assign(n_, {});
+  l_rows_.assign(n_, {});
+  l_vals_.assign(n_, {});
+  u_rows_.assign(n_, {});
+  u_vals_.assign(n_, {});
+  u_diag_.assign(n_, 0.0);
+  perm_.assign(n_, npos);
+  pinv_.assign(n_, npos);
+  work_.assign(n_, 0.0);
+
+  std::vector<std::size_t> visited(n_, npos);
+  std::vector<std::size_t> postorder, dfs_stack, dfs_edge;
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    // Symbolic: reachability of A(:,j)'s rows through the columns of L,
+    // collected in DFS postorder; reversed it is the topological order the
+    // elimination needs. The reversed order is recorded in pat_[j] so the
+    // numeric refactorization can replay it without redoing the DFS.
+    postorder.clear();
+    for (std::size_t p = csc_ptr_[j]; p < csc_ptr_[j + 1]; ++p) {
+      const std::size_t root = csc_row_[p];
+      if (visited[root] == j) continue;
+      dfs_stack.assign(1, root);
+      dfs_edge.assign(1, 0);
+      visited[root] = j;
+      while (!dfs_stack.empty()) {
+        const std::size_t t = dfs_stack.back();
+        const std::size_t k = pinv_[t];
+        bool descended = false;
+        if (k != npos) {
+          std::size_t& e = dfs_edge.back();
+          while (e < l_rows_[k].size()) {
+            const std::size_t child = l_rows_[k][e++];
+            if (visited[child] != j) {
+              visited[child] = j;
+              dfs_stack.push_back(child);
+              dfs_edge.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended && (k == npos || dfs_edge.back() >= l_rows_[k].size())) {
+          postorder.push_back(t);
+          dfs_stack.pop_back();
+          dfs_edge.pop_back();
+        }
+      }
+    }
+    pat_[j].assign(postorder.rbegin(), postorder.rend());
+
+    // Numeric: scatter A(:,j), eliminate in topological order.
+    for (std::size_t p = csc_ptr_[j]; p < csc_ptr_[j + 1]; ++p)
+      work_[csc_row_[p]] += vals[csc_src_[p]];
+    for (std::size_t t : pat_[j]) {
+      const std::size_t k = pinv_[t];
+      if (k == npos) continue;  // not yet pivotal: nothing to eliminate with
+      const double xt = work_[t];
+      if (xt == 0.0) continue;  // ssnlint-ignore(SSN-L001)
+      const auto& lr = l_rows_[k];
+      const auto& lv = l_vals_[k];
+      for (std::size_t q = 0; q < lr.size(); ++q) work_[lr[q]] -= lv[q] * xt;
+    }
+
+    // Pivot: largest magnitude among not-yet-pivotal rows.
+    std::size_t pivot_row = npos;
+    double pivot_mag = 0.0;
+    for (std::size_t t : pat_[j]) {
+      if (pinv_[t] != npos) continue;
+      const double mag = std::fabs(work_[t]);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = t;
+      }
+    }
+    if (pivot_row == npos ||
+        pivot_mag < std::numeric_limits<double>::min() * 16) {
+      singular_ = true;
+      for (std::size_t t : pat_[j]) work_[t] = 0.0;  // leave workspace clean
+      return false;
+    }
+    const double pivot = work_[pivot_row];
+    u_diag_[j] = pivot;
+    perm_[j] = pivot_row;
+    pinv_[pivot_row] = j;
+    work_[pivot_row] = 0.0;
+
+    // Store every pattern entry — exact zeros included, so the fill pattern
+    // survives refactorization with different values — in pat_[j] order.
+    for (std::size_t t : pat_[j]) {
+      if (t == pivot_row) continue;
+      const double v = work_[t];
+      work_[t] = 0.0;
+      if (pinv_[t] != npos && pinv_[t] < j) {
+        u_rows_[j].push_back(pinv_[t]);
+        u_vals_[j].push_back(v);
+      } else {
+        l_rows_[j].push_back(t);
+        l_vals_[j].push_back(v / pivot);
+      }
+    }
+  }
+  return true;
+}
+
+bool SparseFactor::refactorize(const StampedMatrix& a) {
+  if (n_ == 0 || a.size() != n_ || a.epoch() != epoch_ || perm_.empty() ||
+      perm_[n_ - 1] == npos)
+    return false;
+  const auto& vals = a.values();
+  // Until the replay completes, the stored factors are torn: refuse solves.
+  singular_ = true;
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::vector<std::size_t>& pat = pat_[j];
+    for (std::size_t p = csc_ptr_[j]; p < csc_ptr_[j + 1]; ++p)
+      work_[csc_row_[p]] += vals[csc_src_[p]];
+    for (std::size_t t : pat) {
+      const std::size_t k = pinv_[t];
+      if (k >= j) continue;  // pivotal only after column j in the old order
+      const double xt = work_[t];
+      if (xt == 0.0) continue;  // ssnlint-ignore(SSN-L001)
+      const auto& lr = l_rows_[k];
+      const auto& lv = l_vals_[k];
+      for (std::size_t q = 0; q < lr.size(); ++q) work_[lr[q]] -= lv[q] * xt;
+    }
+
+    // Reused pivot sanity: it must stay comfortably away from zero relative
+    // to the column it is meant to dominate; a degraded pivot means the old
+    // pivot order no longer suits these values and the caller must run a
+    // full factorize() to re-pivot.
+    const std::size_t pivot_row = perm_[j];
+    const double pivot = work_[pivot_row];
+    double colmax = 0.0;
+    for (std::size_t t : pat)
+      if (pinv_[t] >= j) colmax = std::max(colmax, std::fabs(work_[t]));
+    if (!(std::fabs(pivot) >= std::numeric_limits<double>::min() * 16) ||
+        std::fabs(pivot) < 1e-3 * colmax) {
+      for (std::size_t t : pat) work_[t] = 0.0;
+      return false;
+    }
+    u_diag_[j] = pivot;
+    work_[pivot_row] = 0.0;
+
+    // Gather in the exact order factorize stored the pattern.
+    std::size_t ui = 0, li = 0;
+    for (std::size_t t : pat) {
+      if (t == pivot_row) continue;
+      const double v = work_[t];
+      work_[t] = 0.0;
+      if (pinv_[t] < j)
+        u_vals_[j][ui++] = v;
+      else
+        l_vals_[j][li++] = v / pivot;
+    }
+  }
+  singular_ = false;
+  return true;
+}
+
+std::size_t SparseFactor::factor_nonzeros() const {
+  std::size_t nnz = n_;  // U diagonal
+  for (std::size_t j = 0; j < n_; ++j)
+    nnz += l_rows_[j].size() + u_rows_[j].size();
+  return nnz;
+}
+
+void SparseFactor::solve(const Vector& b, Vector& x) const {
+  SSN_REQUIRE(b.size() == n_, "SparseFactor::solve: size mismatch");
+  if (singular_) {
+    support::SolverDiagnostics diag;
+    diag.where = "SparseFactor::solve";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "singular matrix", std::move(diag));
+  }
+  x.resize(n_);
+  // Forward solve L y = P b in place (L unit-diagonal, column-wise with
+  // original row indices; pinv_ maps them to solve order).
+  for (std::size_t k = 0; k < n_; ++k) x[k] = b[perm_[k]];
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double yk = x[k];
+    if (yk == 0.0) continue;  // ssnlint-ignore(SSN-L001)
+    const auto& lr = l_rows_[k];
+    const auto& lv = l_vals_[k];
+    for (std::size_t q = 0; q < lr.size(); ++q) x[pinv_[lr[q]]] -= lv[q] * yk;
+  }
+  // Backward solve U x = y (U column-wise, rows already permuted).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    x[jj] /= u_diag_[jj];
+    const double yj = x[jj];
+    if (yj == 0.0) continue;  // ssnlint-ignore(SSN-L001)
+    const auto& ur = u_rows_[jj];
+    const auto& uv = u_vals_[jj];
+    for (std::size_t q = 0; q < ur.size(); ++q) x[ur[q]] -= uv[q] * yj;
+  }
+}
+
 }  // namespace ssnkit::numeric

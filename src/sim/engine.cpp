@@ -1,12 +1,13 @@
 #include "sim/engine.hpp"
 
-#include "numeric/lu.hpp"
 #include "numeric/sparse.hpp"
 #include "support/contracts.hpp"
 #include "support/faultinject.hpp"
 #include "waveform/source_spec.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <utility>
@@ -20,7 +21,6 @@ using circuit::Element;
 using circuit::IntegrationCoeffs;
 using circuit::Integrator;
 using circuit::StampContext;
-using numeric::Matrix;
 using numeric::Vector;
 using support::FaultKind;
 using support::HomotopyStage;
@@ -30,31 +30,76 @@ using support::SolverErrorKind;
 
 namespace {
 
-/// Assemble the MNA system for one Newton iteration.
-void assemble(Circuit& ckt, const StampContext& base, const Vector& x, Matrix& a,
-              Vector& b) {
-  a.fill(0.0);
-  b.fill(0.0);
+/// Everything solve_newton needs across iterations and timesteps: the
+/// fixed-pattern stamped Jacobian (the cached "stamp plan"), the reusable
+/// RHS/update/residual vectors and the sparse factorization whose symbolic
+/// analysis is reused via numeric-only refactorization. One workspace
+/// serves one (circuit, analysis mode) pair; dc_operating_point and
+/// run_transient each own one, so after the first assembly every Newton
+/// iteration runs without heap allocation.
+struct SolverWorkspace {
+  numeric::StampedMatrix a;   ///< stamped Jacobian, pattern cached
+  Vector b;                   ///< RHS
+  Vector x_new;               ///< Newton update target
+  Vector scratch;             ///< residual work vector
+  numeric::SparseFactor lu;   ///< symbolic analysis reused across iterations
+  std::size_t pattern_rebuilds = 0;  ///< release-mode pattern drift repairs
+
+  void ensure_sized(std::size_t n) {
+    b.resize(n);
+    x_new.resize(n);
+    scratch.resize(n);
+  }
+};
+
+/// Assemble the MNA system for one Newton iteration into the workspace.
+/// The first call (or any call after a pattern reset) runs in discovery
+/// mode and finalizes the sparsity pattern; later calls stamp values into
+/// the cached pattern with zero allocation.
+void assemble(Circuit& ckt, const StampContext& base, const Vector& x,
+              SolverWorkspace& ws) {
+  const std::size_t n = std::size_t(ckt.unknown_count());
+  ws.ensure_sized(n);
+  const bool discovery = !ws.a.has_pattern() || ws.a.size() != n;
+  if (discovery)
+    ws.a.begin_pattern(n);
+  else
+    ws.a.clear();
+  ws.b.fill(0.0);
+
   StampContext ctx = base;
   ctx.x = &x;
-  ctx.a = &a;
-  ctx.b = &b;
+  ctx.a = nullptr;
+  ctx.sa = &ws.a;
+  ctx.b = &ws.b;
   for (const auto& el : ckt.elements()) el->stamp(ctx);
-  if (ctx.gmin > 0.0) {
-    // Homotopy conductance from every node to ground.
-    for (int n = 1; n < ckt.node_count(); ++n)
-      a(std::size_t(n - 1), std::size_t(n - 1)) += ctx.gmin;
+  // Homotopy conductance from every node to ground. Stamped even when
+  // gmin == 0 so the diagonal slots are part of the discovered pattern and
+  // gmin stepping never changes the sparsity (no re-analysis mid-homotopy).
+  for (int node = 1; node < ckt.node_count(); ++node)
+    ws.a.add(std::size_t(node - 1), std::size_t(node - 1), ctx.gmin);
+  if (discovery) {
+    ws.a.finalize_pattern();
+    return;
+  }
+  if (ws.a.missed() != 0) {
+    // An element stamped a coordinate outside the cached pattern. Stamp
+    // patterns are fixed per (circuit, mode), so this is a bug in an
+    // element model; recover in release builds by rediscovering.
+    assert(ws.a.missed() == 0 && "stamp pattern drifted from cached plan");
+    ++ws.pattern_rebuilds;
+    ws.a.reset_pattern();
+    assemble(ckt, base, x, ws);
   }
 }
 
-/// KCL mismatch ||A*x - b||_inf of the linearized system assembled at x —
-/// the residual reported in diagnostics when a solve stalls.
-double kcl_residual(const Matrix& a, const Vector& b, const Vector& x) {
-  const std::size_t n = b.size();
+/// KCL mismatch ||A*x - b||_inf of the linearized system assembled in the
+/// workspace — the residual reported in diagnostics when a solve stalls.
+double kcl_residual(SolverWorkspace& ws, const Vector& x) {
+  ws.a.mul_into(x, ws.scratch);
   double worst = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double row = -b[i];
-    for (std::size_t j = 0; j < n; ++j) row += a(i, j) * x[j];
+  for (std::size_t i = 0; i < ws.scratch.size(); ++i) {
+    const double row = ws.scratch[i] - ws.b[i];
     if (std::isfinite(row)) worst = std::max(worst, std::fabs(row));
   }
   return worst;
@@ -71,45 +116,42 @@ struct NewtonOutcome {
   int worst_node = -1;      ///< node (NodeId) with the largest update
 };
 
+/// Factor the workspace Jacobian: numeric-only refactorization when the
+/// symbolic analysis is still valid for this pattern epoch, full
+/// factorization (which redoes the analysis and re-pivots) otherwise or
+/// when a reused pivot degraded. Returns false on a singular system.
+bool factor_jacobian(SolverWorkspace& ws) {
+  if (ws.lu.pattern_epoch() == ws.a.epoch() && !ws.lu.singular() &&
+      ws.lu.refactorize(ws.a))
+    return true;
+  return ws.lu.factorize(ws.a);
+}
+
 /// Newton–Raphson on the MNA equations; x holds the initial guess on entry
 /// and the solution on (successful) exit.
 NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
-                           const NewtonOptions& opts) {
+                           const NewtonOptions& opts, SolverWorkspace& ws) {
   const int n_nodes = ckt.node_count();
   const std::size_t n = std::size_t(ckt.unknown_count());
-  Matrix a(n, n);
-  Vector b(n);
   NewtonOutcome out;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     ++out.iterations;
-    assemble(ckt, base, x, a, b);
+    assemble(ckt, base, x, ws);
     if (SSN_FAULT_POINT(FaultKind::kNewtonDivergence)) {
       out.injected = true;
-      out.residual = kcl_residual(a, b, x);
+      out.residual = kcl_residual(ws, x);
       return out;
     }
     const bool forced_singular = SSN_FAULT_POINT(FaultKind::kSingularLu);
-    Vector x_new;
-    if (n > opts.sparse_threshold) {
-      numeric::SparseLu lu(numeric::SparseMatrix::from_dense(a));
-      if (lu.singular() || forced_singular) {
-        out.singular = true;
-        out.injected = forced_singular;
-        out.residual = kcl_residual(a, b, x);
-        return out;
-      }
-      x_new = lu.solve(b);
-    } else {
-      numeric::LuFactorization lu(a);
-      if (lu.singular() || forced_singular) {
-        out.singular = true;
-        out.injected = forced_singular;
-        out.residual = kcl_residual(a, b, x);
-        return out;
-      }
-      x_new = lu.solve(b);
+    if (!factor_jacobian(ws) || forced_singular) {
+      out.singular = true;
+      out.injected = forced_singular;
+      out.residual = kcl_residual(ws, x);
+      return out;
     }
+    ws.lu.solve(ws.b, ws.x_new);
+    Vector& x_new = ws.x_new;
     const bool forced_nan = SSN_FAULT_POINT(FaultKind::kNanResidual);
     if (forced_nan && n > 0) x_new[0] = std::nan("");
     if (!ssnkit::detail::contract_all_finite(x_new)) {
@@ -118,7 +160,7 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
       // letting the NaN masquerade as a converged point downstream.
       out.non_finite = true;
       out.injected = forced_nan;
-      out.residual = kcl_residual(a, b, x);
+      out.residual = kcl_residual(ws, x);
       return out;
     }
 
@@ -158,7 +200,9 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
         }
       }
     }
-    x = std::move(x_new);
+    // Swap rather than move: x gets the new iterate and the workspace keeps
+    // the old buffer for the next solve (no per-iteration reallocation).
+    std::swap(x, ws.x_new);
     if (converged) {
       // Convergence contract: the LU solves keep each iterate finite, but a
       // device model returning NaN conductances can still corrupt the final
@@ -171,8 +215,8 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
   }
   // Out of iterations: reassemble at the final iterate so the diagnostic
   // carries the true KCL mismatch the iteration stalled at.
-  assemble(ckt, base, x, a, b);
-  out.residual = kcl_residual(a, b, x);
+  assemble(ckt, base, x, ws);
+  out.residual = kcl_residual(ws, x);
   return out;
 }
 
@@ -237,15 +281,46 @@ std::vector<std::string> collect_signal_names(const Circuit& ckt) {
   return names;
 }
 
-std::vector<double> snapshot(const Circuit& ckt, const Vector& x) {
-  std::vector<double> row;
-  row.reserve(std::size_t(ckt.unknown_count()));
+/// Write the recorded-signal row for state x into `row` (reuses capacity).
+void snapshot_into(const Circuit& ckt, const Vector& x,
+                   std::vector<double>& row) {
+  row.clear();
   for (int n = 1; n < ckt.node_count(); ++n) row.push_back(x[std::size_t(n - 1)]);
   for (const auto& el : ckt.elements())
     for (int k = 0; k < el->branch_count(); ++k)
       row.push_back(x[std::size_t(ckt.branch_unknown_index(*el) + k)]);
-  return row;
 }
+
+/// Ring of the last <= 4 accepted points for the predictor and the LTE
+/// divided differences. Rotation swaps Vector buffers instead of erasing
+/// from the front, so steady-state pushes never reallocate.
+struct StepHistory {
+  std::array<double, 4> t{};
+  std::array<Vector, 4> x{};
+  std::size_t count = 0;
+
+  void reset(double t0, const Vector& x0) {
+    t[0] = t0;
+    x[0] = x0;  // copy-assign at equal size reuses the buffer
+    count = 1;
+  }
+  void push(double tt, const Vector& xx) {
+    if (count < 4) {
+      t[count] = tt;
+      x[count] = xx;
+      ++count;
+      return;
+    }
+    std::swap(x[0], x[1]);
+    std::swap(x[1], x[2]);
+    std::swap(x[2], x[3]);
+    t[0] = t[1];
+    t[1] = t[2];
+    t[2] = t[3];
+    t[3] = tt;
+    x[3] = xx;
+  }
+};
 
 std::vector<double> collect_breakpoints(const Circuit& ckt, double t0, double t1) {
   std::vector<double> bps;
@@ -288,6 +363,11 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
   base.mode = AnalysisMode::kDc;
   base.time = time;
 
+  // One workspace for every homotopy stage: gmin and source_scale only
+  // change stamped values, never the sparsity pattern, so the symbolic
+  // analysis from the first factorization carries through the whole ladder.
+  SolverWorkspace ws;
+
   // Failure bookkeeping: the trail records every stage; the last failed
   // outcome classifies the error and locates the stall.
   NewtonOutcome last_fail;
@@ -307,7 +387,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
   // 1. Plain Newton from zero.
   {
     Vector x(n);
-    const auto r = solve_newton(ckt, base, x, newton);
+    const auto r = solve_newton(ckt, base, x, newton, ws);
     out.iterations += r.iterations;
     record("plain-newton", r);
     if (r.converged) {
@@ -324,7 +404,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
     for (double gmin = 1e-2; gmin >= 1e-12; gmin *= 1e-2) {
       StampContext ctx = base;
       ctx.gmin = gmin;
-      const auto r = solve_newton(ckt, ctx, x, newton);
+      const auto r = solve_newton(ckt, ctx, x, newton, ws);
       out.iterations += r.iterations;
       record(format_scale("gmin=", gmin), r);
       if (!r.converged) {
@@ -333,7 +413,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
       }
     }
     if (ok) {
-      const auto r = solve_newton(ckt, base, x, newton);
+      const auto r = solve_newton(ckt, base, x, newton, ws);
       out.iterations += r.iterations;
       record("gmin-final", r);
       if (r.converged) {
@@ -351,7 +431,7 @@ DcResult dc_operating_point(Circuit& ckt, double time, const NewtonOptions& newt
     for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
       StampContext ctx = base;
       ctx.source_scale = std::min(scale, 1.0);
-      const auto r = solve_newton(ckt, ctx, x, newton);
+      const auto r = solve_newton(ckt, ctx, x, newton, ws);
       out.iterations += r.iterations;
       record(format_scale("source=", std::min(scale, 1.0)), r);
       if (!r.converged) {
@@ -394,6 +474,22 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
   TransientRun run{TransientResult(collect_signal_names(ckt)), std::nullopt};
   TransientResult& result = run.result;
 
+  // Transient workspace: pattern discovery + symbolic analysis happen at the
+  // first Newton iteration of the first step; every later iteration stamps
+  // into the cached pattern and refactorizes numerically.
+  SolverWorkspace ws;
+
+  // Preallocate the result columns and the snapshot row so steady-state
+  // stepping appends without reallocation. The estimate is the fixed-step
+  // point count; adaptive runs that take more points just grow amortized.
+  std::vector<double> snap_row;
+  snap_row.reserve(n);
+  {
+    const double est = span / h + 8.0;
+    const double cap = double(opts.max_steps) + 8.0;
+    result.reserve(std::size_t(std::min(std::min(est, cap), 4.0e6)));
+  }
+
   // Initial state: DC operating point or UIC.
   Vector x(n);
   if (opts.use_ic) {
@@ -426,22 +522,20 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
   }
 
   double t = opts.t_start;
-  result.append(t, snapshot(ckt, x));
+  snapshot_into(ckt, x, snap_row);
+  result.append(t, snap_row);
 
   const std::vector<double> breakpoints =
       collect_breakpoints(ckt, opts.t_start, opts.t_stop);
 
   // Accepted history for predictor + LTE divided differences.
-  std::vector<double> hist_t{t};
-  std::vector<Vector> hist_x{x};
-  const auto push_history = [&](double tt, const Vector& xx) {
-    hist_t.push_back(tt);
-    hist_x.push_back(xx);
-    if (hist_t.size() > 4) {
-      hist_t.erase(hist_t.begin());
-      hist_x.erase(hist_x.begin());
-    }
-  };
+  StepHistory hist;
+  hist.reset(t, x);
+
+  // Persistent per-step vectors: copy-assignment at constant size reuses
+  // their buffers, and accepting a step swaps x_cand with x.
+  Vector x_guess(n);
+  Vector x_cand(n);
 
   StampContext base;
   base.mode = AnalysisMode::kTransient;
@@ -474,22 +568,22 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
     }
 
     const double h_prev =
-        hist_t.size() >= 2 ? hist_t.back() - hist_t[hist_t.size() - 2] : 0.0;
+        hist.count >= 2 ? hist.t[hist.count - 1] - hist.t[hist.count - 2] : 0.0;
     base.time = t + h_step;
     base.coeffs = make_coeffs(opts.method, h_step, h_prev);
 
     // Predictor: linear extrapolation of the last two accepted points.
-    Vector x_guess = x;
-    if (hist_t.size() >= 2 && h_prev > 0.0) {
-      const Vector& x1 = hist_x.back();
-      const Vector& x0 = hist_x[hist_x.size() - 2];
+    x_guess = x;
+    if (hist.count >= 2 && h_prev > 0.0) {
+      const Vector& x1 = hist.x[hist.count - 1];
+      const Vector& x0 = hist.x[hist.count - 2];
       const double r = h_step / h_prev;
       for (std::size_t i = 0; i < n; ++i)
         x_guess[i] = x1[i] + r * (x1[i] - x0[i]);
     }
 
-    Vector x_cand = x_guess;
-    const auto nr = solve_newton(ckt, base, x_cand, opts.newton);
+    x_cand = x_guess;
+    const auto nr = solve_newton(ckt, base, x_cand, opts.newton, ws);
     result.stats.newton_iterations += nr.iterations;
     if (nr.non_finite) ++result.stats.nonfinite_rejections;
     if (!nr.converged) {
@@ -510,7 +604,7 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
         for (double gmin = 1e-3; gmin >= 1e-12; gmin *= 1e-2) {
           StampContext ctx = base;
           ctx.gmin = gmin;
-          const auto rg = solve_newton(ckt, ctx, xg, opts.newton);
+          const auto rg = solve_newton(ckt, ctx, xg, opts.newton, ws);
           rescue_iters += rg.iterations;
           if (!rg.converged) {
             ramp_ok = false;
@@ -518,7 +612,7 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
           }
         }
         if (ramp_ok) {
-          const auto rf = solve_newton(ckt, base, xg, opts.newton);
+          const auto rf = solve_newton(ckt, base, xg, opts.newton, ws);
           rescue_iters += rf.iterations;
           if (rf.converged) {
             x_cand = std::move(xg);
@@ -542,14 +636,14 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
     // resistances are rounding-noise-dominated, and noise divided by h^3
     // would drive the controller to absurdly small steps.
     double err = 0.0;
-    const bool can_lte = opts.adaptive && hist_t.size() >= 3;
+    const bool can_lte = opts.adaptive && hist.count >= 3;
     if (can_lte) {
-      const std::size_t m = hist_t.size();
-      const double t3 = base.time, t2 = hist_t[m - 1], t1 = hist_t[m - 2],
-                   t0 = hist_t[m - 3];
+      const std::size_t m = hist.count;
+      const double t3 = base.time, t2 = hist.t[m - 1], t1 = hist.t[m - 2],
+                   t0 = hist.t[m - 3];
       for (std::size_t i = 0; i < std::size_t(n_nodes - 1); ++i) {
-        const double f3 = x_cand[i], f2 = hist_x[m - 1][i], f1 = hist_x[m - 2][i],
-                     f0 = hist_x[m - 3][i];
+        const double f3 = x_cand[i], f2 = hist.x[m - 1][i], f1 = hist.x[m - 2][i],
+                     f0 = hist.x[m - 3][i];
         double lte;
         if (opts.method == Integrator::kBackwardEuler) {
           // LTE ~ h^2/2 * x''; x''/2 ~ f[t3,t2,t1]
@@ -587,7 +681,7 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
       return run;
     }
     t = base.time;
-    x = std::move(x_cand);
+    std::swap(x, x_cand);  // keep x_cand's buffer alive for the next step
     {
       AcceptContext actx;
       actx.x = &x;
@@ -596,16 +690,16 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
       for (const auto& el : ckt.elements()) el->accept_step(actx);
     }
     ++result.stats.accepted_steps;
-    result.append(t, snapshot(ckt, x));
-    push_history(t, x);
+    snapshot_into(ckt, x, snap_row);
+    result.append(t, snap_row);
+    hist.push(t, x);
 
     // Landed on a breakpoint: restart the integrator history (the source
     // derivative is discontinuous there).
     for (double bp : breakpoints) {
       if (std::fabs(bp - t) <= t_eps) {
         for (const auto& el : ckt.elements()) el->reset_derivative_history();
-        hist_t.assign(1, t);
-        hist_x.assign(1, x);
+        hist.reset(t, x);
         break;
       }
     }

@@ -7,6 +7,12 @@
 // tests/test_sim_*.cpp validate it against closed-form RLC responses and
 // RK45 reference integrations before it is trusted as a golden reference.
 //
+// Hot path: the Jacobian is stamped directly into a fixed-pattern sparse
+// workspace (the pattern is discovered once per circuit/analysis mode) and
+// factored with a symbolic-analysis-reusing sparse LU, so Newton iterations
+// and timesteps run without per-iteration heap allocation. See
+// docs/PERFORMANCE.md.
+//
 // Failure reporting: every solver failure surfaces as a typed
 // support::SolverError (see support/diagnostics.hpp) carrying the failure
 // kind, location and the homotopy/recovery trail. run_transient_ex() is the
@@ -28,9 +34,6 @@ struct NewtonOptions {
   double abstol_v = 1e-9;   ///< volts
   double abstol_i = 1e-12;  ///< amperes (branch unknowns)
   double max_voltage_step = 2.0;  ///< per-iteration damping limit [V]
-  /// Systems larger than this use the sparse LU (Gilbert–Peierls) instead
-  /// of dense factorization. Set very large to force dense.
-  std::size_t sparse_threshold = 48;
 };
 
 struct DcResult {

@@ -18,6 +18,11 @@ void TransientResult::append(double t, const std::vector<double>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) columns_[i].push_back(values[i]);
 }
 
+void TransientResult::reserve(std::size_t points) {
+  times_.reserve(points);
+  for (auto& c : columns_) c.reserve(points);
+}
+
 bool TransientResult::has_signal(const std::string& name) const {
   for (const auto& n : names_)
     if (n == name) return true;

@@ -31,6 +31,10 @@ class TransientResult {
   /// Append one accepted time point; values must match the signal count.
   void append(double t, const std::vector<double>& values);
 
+  /// Preallocate storage for roughly `points` time points so the transient
+  /// hot loop appends without per-step reallocation.
+  void reserve(std::size_t points);
+
   const std::vector<std::string>& signal_names() const { return names_; }
   bool has_signal(const std::string& name) const;
 

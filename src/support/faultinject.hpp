@@ -15,16 +15,28 @@
 // defined (the `fault-injection` CMake preset turns it on globally), so
 // release binaries carry zero overhead and zero attack surface.
 //
-// Determinism: each site owns its own std::mt19937 seeded at arm() time.
-// Identical plan + identical workload => identical fire sequence, which is
-// what lets the test suite assert bit-for-bit reproducibility across runs.
-// The injector is intentionally NOT thread-safe: the solvers are
-// single-threaded, and the tests arm/disarm around each scenario.
+// Determinism: each (thread, site) pair owns a std::mt19937 stream derived
+// from the armed plan's seed. Identical plan + identical workload =>
+// identical fire sequence, which is what lets the test suite assert
+// bit-for-bit reproducibility across runs.
+//
+// Threading: arm()/disarm() must happen while no solver is running (tests
+// and batch drivers arm around each scenario), but should_fire() is safe to
+// call concurrently from the parallel batch runner: per-thread query state
+// lives in thread_local storage and the aggregate counters are atomics.
+// For batches, wrap each item's solver work in a FaultSampleScope(index):
+// every site's stream is then re-derived from (plan seed, item index), so
+// which faults an item sees depends only on its index — never on which
+// worker thread ran it or in what order. That is what keeps fault-injected
+// parallel batches bit-identical to serial ones.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <mutex>
 #include <random>
 
 namespace ssnkit::support {
@@ -58,6 +70,13 @@ struct FaultPlan {
   double probability = 0.0;
   std::size_t fire_on_nth = 0;  ///< 0 = disabled
   std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+  /// Restrict firing to one batch item: when >= 0, the site is live only
+  /// inside a FaultSampleScope whose index equals this value (and dead
+  /// outside any scope). Because every sample owns its own trigger stream,
+  /// this is how a test injects a failure into exactly one Monte Carlo
+  /// sample while the remaining samples stay bit-identical to an
+  /// uninjected run.
+  int only_sample = -1;
 };
 
 class FaultInjector {
@@ -68,25 +87,43 @@ class FaultInjector {
   }
 
   void arm(FaultKind kind, const FaultPlan& plan) {
-    Site& s = site(kind);
-    s.armed = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    Shared& s = shared_[std::size_t(kind)];
     s.plan = plan;
-    s.rng.seed(plan.seed);
-    s.queries = 0;
-    s.fires = 0;
+    s.armed.store(true, std::memory_order_relaxed);
+    queries_[std::size_t(kind)].store(0, std::memory_order_relaxed);
+    fires_[std::size_t(kind)].store(0, std::memory_order_relaxed);
+    // Publish the new plan: thread-local states refresh (reseed + zero
+    // their counters) when they observe the new epoch.
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
-  void disarm(FaultKind kind) { site(kind).armed = false; }
+  void disarm(FaultKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shared_[std::size_t(kind)].armed.store(false, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
 
   void disarm_all() {
-    for (Site& s : sites_) s.armed = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shared& s : shared_) s.armed.store(false, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   /// Queried by the SSN_FAULT_POINT macro at every instrumented site.
   bool should_fire(FaultKind kind) {
-    Site& s = site(kind);
-    if (!s.armed) return false;
+    Local& st = local();
+    refresh(st);
+    const std::size_t k = std::size_t(kind);
+    if (!st.sites[k].armed) return false;
+    LocalSite& s = st.sites[k];
+    // Sample-targeted plans are dead everywhere but the matching scope —
+    // equivalent to the site being disarmed there, so nothing is counted.
+    if (s.plan.only_sample >= 0 &&
+        (!st.scoped || st.sample != std::size_t(s.plan.only_sample)))
+      return false;
     ++s.queries;
+    queries_[k].fetch_add(1, std::memory_order_relaxed);
     if (s.fires >= s.plan.max_fires) return false;
     bool fire = false;
     if (s.plan.fire_on_nth > 0 && s.queries == s.plan.fire_on_nth) fire = true;
@@ -94,26 +131,99 @@ class FaultInjector {
       std::uniform_real_distribution<double> u(0.0, 1.0);
       if (u(s.rng) < s.plan.probability) fire = true;
     }
-    if (fire) ++s.fires;
+    if (fire) {
+      ++s.fires;
+      fires_[k].fetch_add(1, std::memory_order_relaxed);
+    }
     return fire;
   }
 
-  std::size_t query_count(FaultKind kind) const { return site(kind).queries; }
-  std::size_t fire_count(FaultKind kind) const { return site(kind).fires; }
+  /// Total queries/fires across all threads since the site was last armed.
+  std::size_t query_count(FaultKind kind) const {
+    return queries_[std::size_t(kind)].load(std::memory_order_relaxed);
+  }
+  std::size_t fire_count(FaultKind kind) const {
+    return fires_[std::size_t(kind)].load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Site {
+  friend class FaultSampleScope;
+
+  struct Shared {
+    std::atomic<bool> armed{false};
+    FaultPlan plan;  // guarded by mu_; published via epoch_
+  };
+  /// Per-thread view of one site: a private RNG stream plus the query/fire
+  /// counters fire_on_nth and max_fires trigger on.
+  struct LocalSite {
     bool armed = false;
     FaultPlan plan;
     std::mt19937 rng;
     std::size_t queries = 0;
     std::size_t fires = 0;
   };
+  struct Local {
+    std::uint64_t epoch = 0;  ///< 0 forces a refresh on first use
+    bool scoped = false;
+    std::size_t sample = 0;
+    std::array<LocalSite, kFaultKindCount> sites;
+  };
 
-  Site& site(FaultKind kind) { return sites_[std::size_t(kind)]; }
-  const Site& site(FaultKind kind) const { return sites_[std::size_t(kind)]; }
+  static Local& local() {
+    thread_local Local st;
+    return st;
+  }
 
-  std::array<Site, kFaultKindCount> sites_;
+  /// Sync this thread's view with the armed plans. Reseeds every stream and
+  /// zeroes the per-thread counters; inside a FaultSampleScope the seed is
+  /// mixed with the sample index so each item gets its own stream.
+  void refresh(Local& st) {
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (st.epoch == e) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t k = 0; k < std::size_t(kFaultKindCount); ++k) {
+      LocalSite& s = st.sites[k];
+      s.armed = shared_[k].armed.load(std::memory_order_relaxed);
+      s.plan = shared_[k].plan;
+      unsigned seed = s.plan.seed;
+      if (st.scoped)
+        seed += 0x9e3779b9u * (unsigned(st.sample) + 1u);
+      s.rng.seed(seed);
+      s.queries = 0;
+      s.fires = 0;
+    }
+    st.epoch = epoch_.load(std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::array<Shared, kFaultKindCount> shared_;
+  std::array<std::atomic<std::size_t>, kFaultKindCount> queries_{};
+  std::array<std::atomic<std::size_t>, kFaultKindCount> fires_{};
+};
+
+/// RAII marker for one batch item: while alive, this thread's fault streams
+/// are derived from (plan seed, sample index) instead of the plain plan
+/// seed, and the per-thread query/fire counters restart from zero. Entering
+/// and leaving the scope both force a stream refresh, so work outside any
+/// scope is unaffected. Cheap enough to use unconditionally (it only touches
+/// thread-local state); it does nothing observable unless a site is armed.
+class FaultSampleScope {
+ public:
+  explicit FaultSampleScope(std::size_t sample_index) {
+    FaultInjector::Local& st = FaultInjector::local();
+    st.scoped = true;
+    st.sample = sample_index;
+    st.epoch = 0;  // force re-derivation on the next query
+  }
+  ~FaultSampleScope() {
+    FaultInjector::Local& st = FaultInjector::local();
+    st.scoped = false;
+    st.sample = 0;
+    st.epoch = 0;
+  }
+  FaultSampleScope(const FaultSampleScope&) = delete;
+  FaultSampleScope& operator=(const FaultSampleScope&) = delete;
 };
 
 }  // namespace ssnkit::support

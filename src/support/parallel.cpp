@@ -1,0 +1,91 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+namespace ssnkit::support {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return std::min(requested, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return int(std::clamp(hw == 0 ? 1u : hw, 1u, 16u));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*body)(i);
+        // Not a swallow: the exception is stored and rethrown on the
+        // caller's thread after the batch joins (see for_index).
+      } catch (...) {  // ssnlint-ignore(SSN-L005)
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+        // Drain the cursor so siblings stop claiming new items; everyone
+        // still finishes the item they are on.
+        next_.store(count, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_index(std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  body_ = &body;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  active_ = workers_.size();
+  ++generation_;
+  cv_job_.notify_all();
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void parallel_for_index(int threads, std::size_t count,
+                        const std::function<void(std::size_t)>& body) {
+  const int n = resolve_threads(threads);
+  if (n <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(int(std::min<std::size_t>(std::size_t(n), count)));
+  pool.for_index(count, body);
+}
+
+}  // namespace ssnkit::support

@@ -334,6 +334,10 @@ TEST_F(FaultInjection, MonteCarloSurvivorsMatchUninjectedRun) {
   FaultPlan plan;
   plan.fire_on_nth = 1;
   plan.max_fires = 1;
+  // Each sample runs in its own FaultSampleScope with its own trigger
+  // stream, so an untargeted fire_on_nth=1 would hit every sample's first
+  // query; only_sample confines the fault to sample 0.
+  plan.only_sample = 0;
   injector.arm(FaultKind::kStepUnderflow, plan);
   const auto injected =
       analysis::monte_carlo_vmax_sim(cal(), pkg, 2, 0.1e-9, true, opts);

@@ -1,0 +1,113 @@
+// The deterministic batch runner: resolve_threads policy, ThreadPool
+// dispatch, exception propagation, and the serial inline path of
+// parallel_for_index. The bit-identical serial-vs-parallel guarantees of
+// the analysis layer are covered in test_parallel_equivalence.cpp.
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using ssnkit::support::parallel_for_index;
+using ssnkit::support::resolve_threads;
+using ssnkit::support::ThreadPool;
+
+TEST(ResolveThreads, ExplicitCountIsHonored) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(64), 64);
+  // Clamped above to keep a typo from spawning thousands of threads.
+  EXPECT_EQ(resolve_threads(100000), 64);
+}
+
+TEST(ResolveThreads, AutoIsPositiveAndBounded) {
+  for (int req : {0, -1, -100}) {
+    const int n = resolve_threads(req);
+    EXPECT_GE(n, 1) << "requested " << req;
+    EXPECT_LE(n, 16) << "requested " << req;
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.for_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::vector<int> out(10, 0);
+  pool.for_index(out.size(), [&](std::size_t i) { out[i] = int(i); });
+  pool.for_index(out.size(), [&](std::size_t i) { out[i] += int(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * int(i));
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_index(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.for_index(50,
+                              [&](std::size_t i) {
+                                if (i == 7) throw std::runtime_error("boom");
+                              }),
+               std::runtime_error);
+  // The failed batch must not poison the pool.
+  std::atomic<int> count{0};
+  pool.for_index(20, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ParallelForIndex, SerialAndParallelComputeSameSlots) {
+  const std::size_t n = 257;
+  std::vector<double> serial(n), parallel(n);
+  const auto body = [](std::size_t i) { return double(i) * 1.5 + 1.0; };
+  parallel_for_index(1, n, [&](std::size_t i) { serial[i] = body(i); });
+  parallel_for_index(4, n, [&](std::size_t i) { parallel[i] = body(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForIndex, SingleItemRunsInline) {
+  // threads <= 1 or count <= 1 must not spawn; observable via the body
+  // running on the calling thread (thread-id equality).
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_index(8, 1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+  parallel_for_index(1, 1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForIndex, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(1, 5,
+                         [](std::size_t i) {
+                           if (i == 3) throw std::invalid_argument("bad");
+                         }),
+      std::invalid_argument);
+}
+
+TEST(ParallelForIndex, ParallelSumMatchesSerial) {
+  const std::size_t n = 1000;
+  std::vector<long> terms(n, 0);
+  parallel_for_index(4, n, [&](std::size_t i) { terms[i] = long(i) * long(i); });
+  long want = 0;
+  for (std::size_t i = 0; i < n; ++i) want += long(i) * long(i);
+  EXPECT_EQ(std::accumulate(terms.begin(), terms.end(), 0L), want);
+}
+
+}  // namespace

@@ -249,6 +249,75 @@ TEST(SsnlintL007, SuppressionWorks) {
             "SSN-L007"), 0);
 }
 
+// --- SSN-L008: dense matrix builds inside loops in solver code --------------
+
+TEST(SsnlintL008, FlagsMatrixCtorInLoopInSolverLayer) {
+  const std::string src =
+      "void newton() {\n"
+      "  for (int it = 0; it < 50; ++it) {\n"
+      "    Matrix a(n, n);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/engine.cpp", src), "SSN-L008"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/numeric/ode.cpp", src), "SSN-L008"), 1);
+  // Outside the solver layers the pattern is fine.
+  EXPECT_EQ(count_rule(lint_source("src/analysis/sweeps.cpp", src), "SSN-L008"),
+            0);
+  EXPECT_EQ(count_rule(lint_source("fixture.cpp", src), "SSN-L008"), 0);
+}
+
+TEST(SsnlintL008, FlagsFromDenseAndTemporariesInLoops) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/x.cpp",
+                "void f() {\n"
+                "  while (!done) {\n"
+                "    auto s = SparseMatrix::from_dense(a);\n"
+                "  }\n"
+                "}\n"),
+            "SSN-L008"), 1);
+  EXPECT_EQ(count_rule(lint_source(
+                "src/numeric/x.cpp",
+                "void f() { do { use(Matrix(n, n)); } while (again()); }\n"),
+            "SSN-L008"), 1);
+  // Braceless single-statement loop body.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/x.cpp",
+                "void f() {\n"
+                "  for (int i = 0; i < k; ++i) frob(Matrix(n, n));\n"
+                "}\n"),
+            "SSN-L008"), 1);
+}
+
+TEST(SsnlintL008, QuietOutsideLoopsAndForReferences) {
+  // A loop-free dense build (setup / factor-once) is fine.
+  EXPECT_EQ(count_rule(lint_source("src/sim/x.cpp",
+                                   "void f() { Matrix a(n, n); fill(a); }\n"),
+            "SSN-L008"), 0);
+  // References and parameters inside loops are not constructions.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/x.cpp",
+                "void f(const Matrix& a) {\n"
+                "  for (int i = 0; i < k; ++i) { stamp(a, i); }\n"
+                "}\n"),
+            "SSN-L008"), 0);
+  // Member access named from_dense on another object is out of scope.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/sim/x.cpp",
+                "void f(Conv& c) { while (go()) { c.from_dense(a); } }\n"),
+            "SSN-L008"), 0);
+}
+
+TEST(SsnlintL008, SuppressionWorks) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/numeric/levenberg_marquardt.cpp",
+                "void f() {\n"
+                "  for (int it = 0; it < 50; ++it) {\n"
+                "    Matrix jtj(n, n);  // ssnlint-ignore(SSN-L008)\n"
+                "  }\n"
+                "}\n"),
+            "SSN-L008"), 0);
+}
+
 // --- stripper ---------------------------------------------------------------
 
 TEST(SsnlintStrip, CommentsAndStringsDoNotTrigger) {
@@ -269,7 +338,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 7);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 8);
 }
 
 }  // namespace

@@ -20,6 +20,11 @@
 //             hardened parsing helpers in src/io/diagnostics.cpp (they
 //             accept "inf"/"nan"/hex and throw std::out_of_range; use
 //             io::parse_double_prefix / io::parse_int_strict)
+//   SSN-L008  dense Matrix construction or SparseMatrix::from_dense inside
+//             a loop body in src/sim or src/numeric (the solver hot path
+//             stamps into a cached sparse pattern; a per-iteration dense
+//             build reintroduces the O(n^2) allocate-and-convert cost the
+//             stamped workspace exists to avoid)
 //
 // Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
 // allowed) on the offending line or the line directly above it.
@@ -53,6 +58,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L005", "catch (...) swallows the exception"},
       {"SSN-L006", "bare throw std::runtime_error in solver code"},
       {"SSN-L007", "bare std::stod/stoi-family call outside hardened parsers"},
+      {"SSN-L008", "dense Matrix build inside a loop in solver code"},
   };
   return kRules;
 }
@@ -545,6 +551,71 @@ inline void rule_bare_numeric_conversion(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L008: dense-matrix construction or from_dense conversion inside a loop
+// body in solver code. The engine's hot path stamps straight into a cached
+// sparse pattern (StampedMatrix + SparseFactor::refactorize) precisely so no
+// O(n^2) dense build happens per Newton iteration or per time step; a
+// `Matrix a(n, n)` or `SparseMatrix::from_dense(...)` inside a loop quietly
+// reintroduces that cost. Loop-free dense builds (setup, factor once) are
+// fine, as is anything outside src/sim and src/numeric.
+inline void rule_dense_in_loop(const std::vector<Token>& toks,
+                               const std::string& file,
+                               std::vector<Diagnostic>& out) {
+  if (!is_solver_layer_path(file)) return;
+  // Token ranges of every loop body: for/while (...) { ... } or a single
+  // statement up to ';', and do { ... } while (...).
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    std::size_t body = toks.size();
+    if (toks[i].text == "for" || toks[i].text == "while") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close >= toks.size()) continue;
+      body = close + 1;
+    } else if (toks[i].text == "do") {
+      body = i + 1;
+    } else {
+      continue;
+    }
+    if (body >= toks.size()) continue;
+    if (toks[body].text == "{") {
+      bodies.emplace_back(body + 1, match_forward(toks, body, "{", "}"));
+    } else {
+      std::size_t j = body;
+      while (j < toks.size() && toks[j].text != ";") ++j;
+      bodies.emplace_back(body, j);
+    }
+  }
+  if (bodies.empty()) return;
+  const auto in_loop = [&bodies](std::size_t k) {
+    for (const auto& range : bodies)
+      if (k >= range.first && k < range.second) return true;
+    return false;
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member access on an unrelated object
+    if (!in_loop(i)) continue;
+    // `Matrix(...)` temporary, or `Matrix name(...)` / `Matrix name{...}`.
+    const bool ctor_temp = toks[i + 1].text == "(";
+    const bool ctor_named =
+        i + 2 < toks.size() && toks[i + 1].kind == Token::Kind::kIdent &&
+        (toks[i + 2].text == "(" || toks[i + 2].text == "{");
+    if (t.text == "Matrix" && (ctor_temp || ctor_named)) {
+      add(out, file, t.line, "SSN-L008",
+          "dense Matrix constructed inside a loop in solver code; hoist it "
+          "out or stamp into a cached StampedMatrix pattern");
+    } else if (t.text == "from_dense" && ctor_temp) {
+      add(out, file, t.line, "SSN-L008",
+          "SparseMatrix::from_dense inside a loop in solver code; build the "
+          "pattern once and refill with StampedMatrix::clear + stamps");
+    }
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -563,6 +634,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_catch_all_swallow(toks, file, all);
   detail::rule_untyped_solver_throw(toks, file, all);
   detail::rule_bare_numeric_conversion(toks, file, all);
+  detail::rule_dense_in_loop(toks, file, all);
 
   std::vector<Diagnostic> kept;
   for (const Diagnostic& d : all) {
