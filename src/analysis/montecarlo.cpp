@@ -57,8 +57,10 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
   MonteCarloResult out;
   out.samples.resize(std::size_t(opts.samples));
   std::vector<unsigned char> flipped(std::size_t(opts.samples), 0);
-  support::parallel_for_index(
-      opts.threads, std::size_t(opts.samples), [&](std::size_t i) {
+  std::vector<unsigned char> done(std::size_t(opts.samples), 0);
+  const support::BatchStatus status = support::parallel_for_index(
+      opts.threads, std::size_t(opts.samples),
+      [&](std::size_t i) {
         const double* f = &factors[i * stride];
         core::SsnScenario s = nominal;
         std::size_t k = 0;
@@ -71,10 +73,45 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
         out.samples[i] = predict_vmax(s);
         if (with_c && core::LcModel(s).region() != nominal_region)
           flipped[i] = 1;
-      });
+        done[i] = 1;
+      },
+      opts.run_ctx);
+
+  if (status.stopped) {
+    // Keep only the samples that actually finished (in index order). Which
+    // ones those are depends on worker timing — a partial closed-form
+    // population is best-effort, see the header comment.
+    std::vector<double> kept;
+    kept.reserve(status.completed);
+    int flips = 0;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (!done[i]) continue;
+      kept.push_back(out.samples[i]);
+      flips += flipped[i];
+    }
+    out.samples = std::move(kept);
+    out.completed = out.samples.size();
+    // Only report a stop that actually cost samples: workers can observe a
+    // trip that lands after the final item was already claimed.
+    if (out.completed < done.size() && opts.run_ctx != nullptr)
+      out.stop = opts.run_ctx->stop_reason();
+    if (!out.samples.empty()) {
+      out.mean = numeric::mean(out.samples);
+      out.stddev =
+          out.samples.size() > 1 ? numeric::stddev(out.samples) : 0.0;
+      out.min = numeric::min_value(out.samples);
+      out.max = numeric::max_value(out.samples);
+      out.p95 = numeric::quantile(out.samples, 0.95);
+      out.p99 = numeric::quantile(out.samples, 0.99);
+      out.region_flip_fraction = double(flips) / double(out.samples.size());
+    }
+    return out;
+  }
+
   int flips = 0;
   for (unsigned char fl : flipped) flips += fl;
 
+  out.completed = out.samples.size();
   out.mean = numeric::mean(out.samples);
   out.stddev = numeric::stddev(out.samples);
   out.min = numeric::min_value(out.samples);
@@ -93,6 +130,39 @@ void SimMonteCarloOptions::validate() const {
       throw std::invalid_argument(
           "SimMonteCarloOptions: sigmas must be in [0, 0.5] (relative)");
 }
+
+namespace {
+
+/// A completed sample's outcome in journal form. Only the fields the
+/// sequential replay reads are journaled: fidelity, V_max (exact bits) and
+/// the error *kind* (BatchSummary keys notes and counters on the kind
+/// alone), which is exactly what makes a resumed run bit-identical.
+support::PointRecord encode_point(const ResilientMeasurement& rm) {
+  support::PointRecord rec;
+  rec.fidelity = int(rm.fidelity);
+  rec.v_bits = support::double_bits(rm.measurement.v_max);
+  rec.error_kind = rm.error ? int(rm.error->kind()) : -1;
+  return rec;
+}
+
+/// Rebuild the replay-visible slice of a ResilientMeasurement from its
+/// journal record. False when the record's enums are out of range (a
+/// corrupt or future-version journal that still parsed structurally).
+bool decode_point(const support::PointRecord& rec, ResilientMeasurement& rm) {
+  if (rec.fidelity < 0 || rec.fidelity > int(sim::Fidelity::kFailed))
+    return false;
+  if (rec.error_kind < -1 ||
+      rec.error_kind > int(support::SolverErrorKind::kDeadlineExpired))
+    return false;
+  rm.fidelity = sim::Fidelity(rec.fidelity);
+  rm.measurement.v_max = support::bits_double(rec.v_bits);
+  if (rec.error_kind >= 0)
+    rm.error.emplace(support::SolverErrorKind(rec.error_kind),
+                     "restored from journal");
+  return true;
+}
+
+}  // namespace
 
 SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
                                          const process::Package& package,
@@ -126,9 +196,35 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
   // Run the transient batch: each sample is independent, writes only its
   // own slot, and runs inside a FaultSampleScope so any armed fault plan
   // fires identically regardless of thread assignment or completion order.
+  // Per-sample state for the replay: 0 = not run (stopped before it
+  // finished — never journaled, a resume re-runs it), 1 = ran here,
+  // 2 = restored from the resume set.
   std::vector<ResilientMeasurement> measured(out.samples.size());
+  std::vector<unsigned char> state(out.samples.size(), 0);
   support::parallel_for_index(
-      opts.threads, out.samples.size(), [&](std::size_t i) {
+      opts.threads, out.samples.size(),
+      [&](std::size_t i) {
+        // Resume first: a journaled sample is restored for free — no
+        // simulation, no item-budget charge — and re-recorded so the new
+        // journal stays complete.
+        if (opts.resume != nullptr) {
+          const auto it = opts.resume->find(i);
+          if (it != opts.resume->end()) {
+            if (!decode_point(it->second, measured[i]))
+              throw std::invalid_argument(
+                  "monte_carlo_vmax_sim: journal record for sample " +
+                  std::to_string(i) + " has out-of-range fields");
+            state[i] = 2;
+            if (opts.journal != nullptr) opts.journal->record(i, it->second);
+            return;
+          }
+        }
+        // The lifecycle gate: claims one item of the budget; false when the
+        // context is stopped or the budget is spent — the sample stays
+        // not-run.
+        if (opts.run_ctx != nullptr && !opts.run_ctx->try_start_item())
+          return;
+
         const support::FaultSampleScope fault_scope(i);
         const SimMcSample& s = out.samples[i];
         process::Package pkg = package;
@@ -147,6 +243,7 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
 
         MeasureOptions mopts = opts.measure;
         if (mopts.transient.dt_max <= 0.0) mopts.transient.dt_max = tr / 200.0;
+        mopts.transient.run_ctx = opts.run_ctx;
 
         // The calibrated closed form for this sample: K scales with the
         // driver width, everything else comes from the perturbed package
@@ -158,22 +255,51 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
         measured[i] = measure_ssn_resilient(
             spec, mopts, opts.recovery,
             opts.analytic_fallback ? &scenario : nullptr);
-      });
+
+        // A stop-kind failure means the transient was interrupted
+        // mid-flight: the sample is NOT a result. It stays not-run (and is
+        // not journaled) so a resumed run re-simulates it from scratch and
+        // lands on the uninterrupted outcome.
+        if (measured[i].error &&
+            support::is_stop_kind(measured[i].error->kind()))
+          return;
+        state[i] = 1;
+        if (opts.journal != nullptr)
+          opts.journal->record(i, encode_point(measured[i]));
+      },
+      opts.run_ctx);
 
   // Sequential replay in index order: the summary's note ordering and the
-  // survivor statistics come out identical for any thread count.
+  // survivor statistics come out identical for any thread count — and
+  // identical between a clean run and an interrupt + resume, because the
+  // journal restores exactly the fields this loop reads.
   std::vector<double> survivors;
   survivors.reserve(out.samples.size());
   for (SimMcSample& s : out.samples) {
-    const ResilientMeasurement& rm = measured[std::size_t(s.index)];
+    const std::size_t idx = std::size_t(s.index);
+    if (state[idx] == 0) {
+      ++out.summary.not_run;
+      continue;
+    }
+    const ResilientMeasurement& rm = measured[idx];
     out.summary.record("sample=" + std::to_string(s.index), rm.fidelity,
                        rm.error);
     s.fidelity = rm.fidelity;
+    s.completed = true;
+    s.resumed = state[idx] == 2;
+    ++out.completed;
+    if (s.resumed) ++out.resumed;
     if (!rm.ok()) continue;
     s.v_max = rm.measurement.v_max;
     survivors.push_back(s.v_max);
   }
 
+  // Report the stop reason only when it actually cost us samples: a
+  // deadline that expires just after the last sample finished did not stop
+  // anything, and reporting it would make a completed run look partial.
+  if (out.completed < out.samples.size() && opts.run_ctx != nullptr)
+    out.stop = opts.run_ctx->stop_reason();
+  out.summary.stop = out.stop;
   out.surviving = survivors.size();
   if (!survivors.empty()) {
     out.mean = numeric::mean(survivors);

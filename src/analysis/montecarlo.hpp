@@ -10,8 +10,11 @@
 #include "analysis/resilience.hpp"
 #include "core/scenario.hpp"
 #include "sim/recovery.hpp"
+#include "support/journal.hpp"
+#include "support/runcontext.hpp"
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 namespace ssnkit::analysis {
@@ -34,6 +37,9 @@ struct MonteCarloOptions {
   /// (hardware concurrency). Factors are drawn up front and samples write
   /// index-addressed slots, so the result is bit-identical for any value.
   int threads = 1;
+  /// Optional lifecycle context: workers poll it between samples and a stop
+  /// drains the batch, keeping whatever samples already finished. Not owned.
+  const support::RunContext* run_ctx = nullptr;
 
   void validate() const;
 };
@@ -49,6 +55,13 @@ struct MonteCarloResult {
   /// Fraction of samples whose damping region differs from the nominal
   /// scenario's (region flips matter: they change which formula applies).
   double region_flip_fraction = 0.0;
+  /// Samples actually evaluated (== `samples.size()`; less than the
+  /// requested count only when the run was stopped early). Which samples a
+  /// stopped *parallel* run keeps depends on worker timing — partial
+  /// closed-form results are best-effort, not reproducible; only a run that
+  /// completes is bit-identical across thread counts.
+  std::size_t completed = 0;
+  support::StopReason stop = support::StopReason::kNone;
 };
 
 /// Sample V_max over the variation space. Uses LcModel when the nominal
@@ -81,6 +94,20 @@ struct SimMonteCarloOptions {
   int threads = 1;
   sim::RecoveryPolicy recovery;
   MeasureOptions measure;
+  /// Optional lifecycle context, threaded through to every sample's
+  /// transient: a stop drains the batch (unstarted samples stay not-run)
+  /// and interrupts the in-flight transients, whose samples are then
+  /// *discarded* — never journaled, never counted — so a later resume
+  /// re-runs them and reproduces the uninterrupted result. Not owned.
+  const support::RunContext* run_ctx = nullptr;
+  /// Optional checkpoint journal: every completed sample's outcome is
+  /// recorded (atomically) the moment it finishes. Not owned.
+  support::BatchJournal* journal = nullptr;
+  /// Optional resume set (the items of a loaded, validated journal):
+  /// samples present here are restored instead of re-simulated — for free,
+  /// without consuming the item budget — and re-recorded into `journal`
+  /// so the new journal is complete. Not owned.
+  const std::map<std::size_t, support::PointRecord>* resume = nullptr;
 
   void validate() const;
 };
@@ -97,11 +124,21 @@ struct SimMcSample {
   double width_factor = 1.0;
   double v_max = 0.0;  ///< meaningful only when fidelity != kFailed
   sim::Fidelity fidelity = sim::Fidelity::kFailed;
+  /// Whether this sample actually ran (or was restored): false means the
+  /// lifecycle layer stopped the batch before the sample finished.
+  bool completed = false;
+  /// Restored from a journal rather than simulated in this process. The
+  /// *outcome* fields are bit-identical either way; only this flag differs.
+  bool resumed = false;
 };
 
 struct SimMonteCarloResult {
   std::vector<SimMcSample> samples;  ///< one entry per drawn sample
-  std::size_t surviving = 0;         ///< samples with fidelity != kFailed
+  std::size_t surviving = 0;  ///< completed samples with fidelity != kFailed
+  std::size_t completed = 0;  ///< samples that ran (or restored) to the end
+  std::size_t resumed = 0;    ///< of those, how many came from the journal
+  /// Why the batch stopped early (kNone when every sample completed).
+  support::StopReason stop = support::StopReason::kNone;
   /// Statistics over the surviving samples' V_max.
   double mean = 0.0;
   double stddev = 0.0;

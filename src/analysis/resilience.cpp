@@ -66,6 +66,14 @@ ResilientMeasurement measure_ssn_resilient(
   }
 
   out.error = std::move(run.error);
+  // A cooperative stop (cancel / deadline) is not a numerical failure: the
+  // analytic rung must not paper over it, or an interrupted sample would be
+  // reported as kAnalytic and a resumed run could never reproduce the
+  // uninterrupted result. The driver treats stop-kind failures as "not run".
+  if (out.error && support::is_stop_kind(out.error->kind())) {
+    out.fidelity = sim::Fidelity::kFailed;
+    return out;
+  }
   if (analytic_fallback != nullptr) {
     out.measurement = analytic_measurement(*analytic_fallback);
     out.fidelity = sim::Fidelity::kAnalytic;
@@ -107,6 +115,10 @@ std::string BatchSummary::to_string() const {
   if (recovered > 0) s += ", " + std::to_string(recovered) + " recovered";
   if (analytic > 0) s += ", " + std::to_string(analytic) + " analytic";
   if (failed > 0) s += ", " + std::to_string(failed) + " failed";
+  if (not_run > 0) {
+    s += ", " + std::to_string(not_run) + " not run (" +
+         support::to_string(stop) + ")";
+  }
   if (!by_error.empty()) {
     s += "; errors:";
     for (const auto& [kind, count] : by_error)

@@ -11,6 +11,7 @@
 #include "core/scenario.hpp"
 #include "sim/recovery.hpp"
 #include "support/diagnostics.hpp"
+#include "support/runcontext.hpp"
 
 #include <map>
 #include <optional>
@@ -58,6 +59,11 @@ struct BatchSummary {
   std::size_t recovered = 0;      ///< simulation rungs 1-4
   std::size_t analytic = 0;       ///< degraded to the closed forms
   std::size_t failed = 0;         ///< no rung succeeded
+  /// Items the lifecycle layer never ran (cancel / deadline / item budget
+  /// drained the batch before they started). Not counted in `total`.
+  std::size_t not_run = 0;
+  /// Why the batch stopped early (kNone for a run that completed).
+  support::StopReason stop = support::StopReason::kNone;
   std::map<std::string, std::size_t> by_fidelity;  ///< fidelity name -> count
   std::map<std::string, std::size_t> by_error;     ///< error kind -> count
   /// One line per degraded or failed item ("label: fidelity [error]").

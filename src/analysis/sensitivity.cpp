@@ -2,6 +2,7 @@
 
 #include "analysis/design.hpp"
 #include "core/l_only_model.hpp"
+#include "support/diagnostics.hpp"
 #include "support/parallel.hpp"
 
 #include <array>
@@ -60,7 +61,8 @@ double elasticity(const core::SsnScenario& s, double value, double rel_step,
 }  // namespace
 
 SsnSensitivities lc_sensitivities(const core::SsnScenario& scenario,
-                                  double rel_step, int threads) {
+                                  double rel_step, int threads,
+                                  const support::RunContext* run_ctx) {
   scenario.validate();
   if (!(scenario.capacitance > 0.0))
     throw std::invalid_argument("lc_sensitivities: capacitance must be > 0 "
@@ -92,9 +94,23 @@ SsnSensitivities lc_sensitivities(const core::SsnScenario& scenario,
        [](core::SsnScenario& s, double v) { s.device.vx = v; }},
   }};
   std::array<double, 6> e{};
-  support::parallel_for_index(threads, params.size(), [&](std::size_t i) {
-    e[i] = elasticity(scenario, params[i].value, rel_step, params[i].set);
-  });
+  const support::BatchStatus status = support::parallel_for_index(
+      threads, params.size(),
+      [&](std::size_t i) {
+        e[i] = elasticity(scenario, params[i].value, rel_step, params[i].set);
+      },
+      run_ctx);
+  if (status.stopped) {
+    // All six elasticities or nothing: a partial vector would silently
+    // report zeros for the missing parameters.
+    const support::StopReason stop = run_ctx->stop_reason();
+    throw support::SolverError(
+        stop == support::StopReason::kDeadlineExpired
+            ? support::SolverErrorKind::kDeadlineExpired
+            : support::SolverErrorKind::kCancelled,
+        "lc_sensitivities stopped after " + std::to_string(status.completed) +
+            "/6 stencils");
+  }
 
   SsnSensitivities out;
   out.wrt_drivers = e[0];

@@ -30,7 +30,38 @@ struct PointResult {
   double v_max = 0.0;
   sim::Fidelity fidelity = sim::Fidelity::kFullDevice;
   std::optional<support::SolverError> error;
+  /// The point ran (or was restored from a journal). False means the
+  /// lifecycle layer stopped the sweep before this point — it is not-run,
+  /// not failed, and must not be recorded in the summary.
+  bool attempted = false;
+  bool resumed = false;  ///< restored from the resume set
 };
+
+/// A completed point's journal form / its restoration. The fields mirror
+/// the Monte Carlo driver's encode/decode: fidelity, exact V_max bits, and
+/// the error kind — everything the row-assembly loops read.
+support::PointRecord encode_point(const PointResult& r) {
+  support::PointRecord rec;
+  rec.fidelity = int(r.fidelity);
+  rec.v_bits = support::double_bits(r.v_max);
+  rec.error_kind = r.error ? int(r.error->kind()) : -1;
+  return rec;
+}
+
+bool decode_point(const support::PointRecord& rec, PointResult& r) {
+  if (rec.fidelity < 0 || rec.fidelity > int(sim::Fidelity::kFailed))
+    return false;
+  if (rec.error_kind < -1 ||
+      rec.error_kind > int(support::SolverErrorKind::kDeadlineExpired))
+    return false;
+  r.fidelity = sim::Fidelity(rec.fidelity);
+  r.v_max = support::bits_double(rec.v_bits);
+  r.ok = r.fidelity != sim::Fidelity::kFailed;
+  if (rec.error_kind >= 0)
+    r.error.emplace(support::SolverErrorKind(rec.error_kind),
+                    "restored from journal");
+  return true;
+}
 
 /// Measure every (spec, transient-options) point, in parallel when asked.
 /// Each point runs in its own FaultSampleScope and writes only its slot, so
@@ -38,26 +69,60 @@ struct PointResult {
 /// replay summary records and assemble rows in sweep order afterwards. In
 /// non-resilient mode a failing point throws — the first exception (by
 /// completion order) propagates after the batch joins.
+///
+/// Lifecycle: `ctx` gates each point through try_start_item and is threaded
+/// into the point's transient; a point whose transient was interrupted
+/// mid-flight stays not-attempted (and is never journaled), so resuming
+/// re-runs it and reproduces the uninterrupted sweep bit-for-bit.
 std::vector<PointResult> measure_points(
     const std::vector<circuit::SsnBenchSpec>& specs,
     const std::vector<MeasureOptions>& mopts, bool resilient,
-    const sim::RecoveryPolicy& policy, int threads) {
+    const sim::RecoveryPolicy& policy, int threads,
+    const support::RunContext* ctx = nullptr,
+    support::BatchJournal* journal = nullptr,
+    const std::map<std::size_t, support::PointRecord>* resume = nullptr) {
   std::vector<PointResult> out(specs.size());
-  support::parallel_for_index(threads, specs.size(), [&](std::size_t i) {
-    const support::FaultSampleScope fault_scope(i);
-    PointResult& r = out[i];
-    if (!resilient) {
-      r.v_max = measure_ssn(specs[i], mopts[i]).v_max;
-      r.fidelity = sim::Fidelity::kFullDevice;
-      r.ok = true;
-      return;
-    }
-    ResilientMeasurement rm = measure_ssn_resilient(specs[i], mopts[i], policy);
-    r.ok = rm.ok();
-    r.v_max = rm.measurement.v_max;
-    r.fidelity = rm.fidelity;
-    r.error = std::move(rm.error);
-  });
+  support::parallel_for_index(
+      threads, specs.size(),
+      [&](std::size_t i) {
+        PointResult& r = out[i];
+        if (resume != nullptr) {
+          const auto it = resume->find(i);
+          if (it != resume->end()) {
+            if (!decode_point(it->second, r))
+              throw std::invalid_argument(
+                  "measure_points: journal record for point " +
+                  std::to_string(i) + " has out-of-range fields");
+            r.attempted = true;
+            r.resumed = true;
+            if (journal != nullptr) journal->record(i, it->second);
+            return;
+          }
+        }
+        if (ctx != nullptr && !ctx->try_start_item()) return;
+
+        const support::FaultSampleScope fault_scope(i);
+        MeasureOptions mo = mopts[i];
+        mo.transient.run_ctx = ctx;
+        if (!resilient) {
+          r.v_max = measure_ssn(specs[i], mo).v_max;
+          r.fidelity = sim::Fidelity::kFullDevice;
+          r.ok = true;
+          r.attempted = true;
+          return;
+        }
+        ResilientMeasurement rm = measure_ssn_resilient(specs[i], mo, policy);
+        // An interrupted transient is not a result: leave the point
+        // not-attempted so a resume re-simulates it.
+        if (rm.error && support::is_stop_kind(rm.error->kind())) return;
+        r.ok = rm.ok();
+        r.v_max = rm.measurement.v_max;
+        r.fidelity = rm.fidelity;
+        r.error = std::move(rm.error);
+        r.attempted = true;
+        if (journal != nullptr) journal->record(i, encode_point(r));
+      },
+      ctx);
   return out;
 }
 
@@ -79,6 +144,15 @@ circuit::SsnBenchSpec bench_spec_for(const process::Technology& tech,
 
 }  // namespace
 
+std::vector<double> default_capacitance_sweep() {
+  // Log sweep 0.1 pF .. 20 pF, 17 points.
+  std::vector<double> cs;
+  const double lo = std::log10(0.1e-12), hi = std::log10(20e-12);
+  for (int i = 0; i < 17; ++i)
+    cs.push_back(std::pow(10.0, lo + (hi - lo) * double(i) / 16.0));
+  return cs;
+}
+
 DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
   SSN_REQUIRE(!config.driver_counts.empty(),
               "run_driver_sweep: no driver counts");
@@ -98,13 +172,19 @@ DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
                                    config.include_pullup));
   const std::vector<PointResult> points = measure_points(
       specs, std::vector<MeasureOptions>(specs.size(), mopts),
-      config.resilient, config.recovery, config.threads);
+      config.resilient, config.recovery, config.threads, config.run_ctx,
+      config.journal, config.resume);
 
   for (std::size_t i = 0; i < config.driver_counts.size(); ++i) {
     const int n = config.driver_counts[i];
     const PointResult& pt = points[i];
     DriverSweepRow row;
     row.n = n;
+    if (!pt.attempted) {
+      ++out.summary.not_run;
+      continue;
+    }
+    if (pt.resumed) ++out.resumed;
     if (config.resilient)
       out.summary.record("n=" + std::to_string(n), pt.fidelity, pt.error);
     if (!pt.ok) continue;
@@ -130,6 +210,8 @@ DriverSweepResult run_driver_sweep(const DriverSweepConfig& config) {
     row.err_senthinathan = numeric::relative_error(row.senthinathan, row.sim);
     out.rows.push_back(row);
   }
+  if (out.summary.not_run > 0 && config.run_ctx != nullptr)
+    out.summary.stop = config.run_ctx->stop_reason();
   return out;
 }
 
@@ -138,12 +220,7 @@ CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& confi
   out.calibration = calibrate(config.tech, config.golden);
 
   std::vector<double> cs = config.capacitances;
-  if (cs.empty()) {
-    // Log sweep 0.1 pF .. 20 pF, 17 points.
-    const double lo = std::log10(0.1e-12), hi = std::log10(20e-12);
-    for (int i = 0; i < 17; ++i)
-      cs.push_back(std::pow(10.0, lo + (hi - lo) * double(i) / 16.0));
-  }
+  if (cs.empty()) cs = default_capacitance_sweep();
 
   MeasureOptions mopts;
   mopts.transient = tuned_transient(config.transient, config.input_rise_time);
@@ -165,13 +242,19 @@ CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& confi
   }
   const std::vector<PointResult> points = measure_points(
       specs, std::vector<MeasureOptions>(specs.size(), mopts),
-      config.resilient, config.recovery, config.threads);
+      config.resilient, config.recovery, config.threads, config.run_ctx,
+      config.journal, config.resume);
 
   for (std::size_t i = 0; i < cs.size(); ++i) {
     const double c = cs[i];
     const PointResult& pt = points[i];
     CapacitanceSweepRow row;
     row.c = c;
+    if (!pt.attempted) {
+      ++out.summary.not_run;
+      continue;
+    }
+    if (pt.resumed) ++out.resumed;
     if (config.resilient) {
       char label[32];
       std::snprintf(label, sizeof(label), "c=%.3gF", c);
@@ -191,6 +274,8 @@ CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& confi
     row.err_l_only = numeric::relative_error(row.l_only, row.sim);
     out.rows.push_back(row);
   }
+  if (out.summary.not_run > 0 && config.run_ctx != nullptr)
+    out.summary.stop = config.run_ctx->stop_reason();
   return out;
 }
 
@@ -200,7 +285,8 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const std::vector<double>& rise_times,
                                            bool include_c,
                                            const sim::TransientOptions& topts,
-                                           BatchSummary* summary, int threads) {
+                                           BatchSummary* summary, int threads,
+                                           const support::RunContext* run_ctx) {
   SSN_REQUIRE(!rise_times.empty(), "run_slope_sweep: no rise times");
   std::vector<SlopeSweepRow> rows;
 
@@ -223,7 +309,7 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
   }
   const std::vector<PointResult> points =
       measure_points(specs, mopts_per_point, /*resilient=*/summary != nullptr,
-                     {}, threads);
+                     {}, threads, run_ctx);
 
   for (std::size_t i = 0; i < rise_times.size(); ++i) {
     const double tr = rise_times[i];
@@ -231,6 +317,10 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
     SlopeSweepRow row;
     row.rise_time = tr;
     row.slope = cal.tech.vdd / tr;
+    if (!pt.attempted) {
+      if (summary) ++summary->not_run;
+      continue;
+    }
     if (summary) {
       char label[32];
       std::snprintf(label, sizeof(label), "tr=%.3gs", tr);
@@ -247,6 +337,8 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
     row.err = numeric::relative_error(row.model, row.sim);
     rows.push_back(row);
   }
+  if (summary != nullptr && summary->not_run > 0 && run_ctx != nullptr)
+    summary->stop = run_ctx->stop_reason();
   return rows;
 }
 

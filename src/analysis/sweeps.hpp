@@ -9,7 +9,10 @@
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
 #include "sim/recovery.hpp"
+#include "support/journal.hpp"
+#include "support/runcontext.hpp"
 
+#include <map>
 #include <vector>
 
 namespace ssnkit::analysis {
@@ -35,6 +38,14 @@ struct DriverSweepConfig {
   /// assembled in sweep order after the join, so the result is
   /// bit-identical for any value.
   int threads = 1;
+  /// Optional lifecycle context (see SimMonteCarloOptions::run_ctx): a stop
+  /// drains the sweep; unstarted / interrupted points are reported as
+  /// not-run in the summary. Not owned.
+  const support::RunContext* run_ctx = nullptr;
+  /// Optional checkpoint journal / resume set, exactly as in
+  /// SimMonteCarloOptions. Not owned.
+  support::BatchJournal* journal = nullptr;
+  const std::map<std::size_t, support::PointRecord>* resume = nullptr;
 };
 
 struct DriverSweepRow {
@@ -57,8 +68,11 @@ struct DriverSweepResult {
   Calibration calibration;
   std::vector<DriverSweepRow> rows;
   /// Per-fidelity / per-failure accounting; failed points appear here (and
-  /// in `notes`) rather than as rows.
+  /// in `notes`) rather than as rows. Not-run points (lifecycle stop)
+  /// appear only in `summary.not_run`.
   BatchSummary summary;
+  /// Points restored from the resume journal rather than simulated here.
+  std::size_t resumed = 0;
 };
 
 DriverSweepResult run_driver_sweep(const DriverSweepConfig& config);
@@ -77,6 +91,10 @@ struct CapacitanceSweepConfig {
   bool resilient = true;  ///< see DriverSweepConfig::resilient
   sim::RecoveryPolicy recovery;
   int threads = 1;  ///< see DriverSweepConfig::threads
+  /// Lifecycle / checkpoint knobs; see DriverSweepConfig. Not owned.
+  const support::RunContext* run_ctx = nullptr;
+  support::BatchJournal* journal = nullptr;
+  const std::map<std::size_t, support::PointRecord>* resume = nullptr;
 };
 
 struct CapacitanceSweepRow {
@@ -96,9 +114,16 @@ struct CapacitanceSweepResult {
   double critical_capacitance = 0.0;
   std::vector<CapacitanceSweepRow> rows;
   BatchSummary summary;
+  std::size_t resumed = 0;  ///< see DriverSweepResult::resumed
 };
 
 CapacitanceSweepResult run_capacitance_sweep(const CapacitanceSweepConfig& config);
+
+/// The default capacitance grid used when CapacitanceSweepConfig::
+/// capacitances is empty (log sweep 0.1..20 pF, 17 points). Exposed so the
+/// CLI can know the point count up front — a checkpoint journal must be
+/// bound to the batch size before the sweep runs.
+std::vector<double> default_capacitance_sweep();
 
 // --- extensions --------------------------------------------------------------
 
@@ -114,7 +139,8 @@ struct SlopeSweepRow {
 /// When `summary` is non-null the sweep runs resiliently: failing points are
 /// skipped and accounted there instead of throwing. `threads` follows
 /// DriverSweepConfig::threads (1 = serial, 0 = auto; bit-identical output
-/// for any value).
+/// for any value). `run_ctx`, when set, lets the sweep be cancelled /
+/// deadlined cooperatively (stopped points are not-run in `summary`).
 std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            const process::Package& package,
                                            int n_drivers,
@@ -122,7 +148,9 @@ std::vector<SlopeSweepRow> run_slope_sweep(const Calibration& cal,
                                            bool include_c,
                                            const sim::TransientOptions& topts = {},
                                            BatchSummary* summary = nullptr,
-                                           int threads = 1);
+                                           int threads = 1,
+                                           const support::RunContext* run_ctx =
+                                               nullptr);
 
 /// The paper's beta-equivalence claim (Eqn 9/10): configurations with equal
 /// beta = N*L*S have equal predicted V_max. For each driver count in `ns`

@@ -10,11 +10,17 @@
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
 #include "io/ascii_chart.hpp"
+#include "io/atomic_file.hpp"
 #include "io/table.hpp"
 #include "sim/ac.hpp"
 #include "sim/engine.hpp"
+#include "support/journal.hpp"
+#include "support/runcontext.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -46,6 +52,125 @@ void warn_unused(const Args& args, std::ostream& os) {
   for (const auto& key : args.unused_keys())
     os << "warning: unrecognized option --" << key << "\n";
 }
+
+// --- job lifecycle wiring ---------------------------------------------------
+
+/// One RunContext configured from the lifecycle flags, with the
+/// SIGINT/SIGTERM watcher installed for its lifetime. Every batch command
+/// constructs one: even without flags, the watcher is what turns Ctrl-C
+/// into a graceful drain instead of a lost batch.
+struct Lifecycle {
+  support::RunContext ctx;
+  support::ScopedSignalCancel watcher{ctx};
+
+  explicit Lifecycle(const Args& args) {
+    double seconds = -1.0;
+    if (args.has("deadline"))
+      seconds = args.get_double("deadline", -1.0);
+    else if (args.has("max-wall"))
+      seconds = args.get_double("max-wall", -1.0);
+    if (seconds >= 0.0) ctx.set_timeout(seconds);
+    ctx.set_item_budget(args.get_int("max-samples", -1));
+  }
+};
+
+/// Standard epilogue for a batch that may have been stopped early: reports
+/// what was (not) done and maps a stop onto kExitInterrupted. A completed
+/// run returns 0 untouched.
+int finish_batch(std::ostream& os, support::StopReason stop,
+                 std::size_t completed, std::size_t total,
+                 const char* what, const std::string& journal_path) {
+  if (stop == support::StopReason::kNone) return 0;
+  os << "interrupted (" << support::to_string(stop) << "): " << completed
+     << "/" << total << " " << what << " done";
+  const int sig = support::ScopedSignalCancel::last_signal();
+  if (sig != 0) os << " [signal " << sig << "]";
+  os << '\n';
+  if (!journal_path.empty())
+    os << "resume with: --resume " << journal_path << '\n';
+  return kExitInterrupted;
+}
+
+/// FNV-1a over the canonical batch configuration. Doubles enter as their
+/// exact bit patterns: "the same configuration" means the same IEEE values,
+/// not the same rounded text. Thread count is deliberately absent — results
+/// are bit-identical for any value, so a journal written at --threads 8 is
+/// valid for a resume at --threads 1.
+std::uint64_t batch_config_hash(const std::string& kind,
+                                const std::string& tech_name,
+                                const std::string& golden,
+                                const process::Package& pkg, int n, double tr,
+                                bool with_c, long long items, unsigned seed) {
+  std::string s = kind;
+  s += '|';
+  s += tech_name;
+  s += '|';
+  s += golden;
+  s += '|';
+  s += support::hex_u64(support::double_bits(pkg.inductance));
+  s += '|';
+  s += support::hex_u64(support::double_bits(pkg.capacitance));
+  s += '|';
+  s += std::to_string(n);
+  s += '|';
+  s += support::hex_u64(support::double_bits(tr));
+  s += '|';
+  s += with_c ? 'c' : '-';
+  s += '|';
+  s += std::to_string(items);
+  s += '|';
+  s += std::to_string(seed);
+  return support::fnv1a(s);
+}
+
+/// The --journal / --resume plumbing shared by mc --sim and the sweeps:
+/// loads + validates a resume journal, and opens the checkpoint journal
+/// (defaulting to the resume path, so an interrupted resume keeps
+/// checkpointing into the same file).
+struct JournalSetup {
+  std::optional<support::BatchJournal> journal;
+  std::map<std::size_t, support::PointRecord> resume_items;
+  bool resuming = false;
+  std::string path;  ///< checkpoint path ("" = no journal)
+};
+
+// Out-param because BatchJournal is pinned in place (it owns a mutex).
+void setup_journal(const Args& args, const std::string& kind,
+                   std::uint64_t config_hash, std::size_t total,
+                   JournalSetup& out) {
+  out.path = args.get_or("journal", "");
+  const std::string resume = args.get_or("resume", "");
+  if (!resume.empty()) {
+    const support::BatchJournal::Loaded loaded =
+        support::BatchJournal::load(resume);
+    support::BatchJournal::validate_against(loaded, kind, config_hash, total,
+                                            resume);
+    out.resume_items = loaded.items;
+    out.resuming = true;
+    if (out.path.empty()) out.path = resume;
+  }
+  if (!out.path.empty())
+    out.journal.emplace(out.path, kind, config_hash, total);
+}
+
+/// Render rows into a CSV string at full double precision (17 significant
+/// digits round-trips every double exactly) and publish it atomically.
+/// Shared by every --out artifact so "clean run" and "interrupt + resume"
+/// can be compared byte-for-byte.
+class ArtifactCsv {
+ public:
+  explicit ArtifactCsv(const std::string& header) {
+    ss_.precision(17);
+    ss_ << header << '\n';
+  }
+  std::ostringstream& row() { return ss_; }
+  void write(const std::string& path) const {
+    io::write_file_atomic(path, ss_.str());
+  }
+
+ private:
+  std::ostringstream ss_;
+};
 
 }  // namespace
 
@@ -79,6 +204,30 @@ common options:
   --extended                   also report the post-ramp (true) peak
   --sim                        (mc) simulator-backed samples with the
                                recovery ladder instead of the closed forms
+
+job lifecycle (sweep-n, sweep-c, mc, simulate):
+  --deadline S | --max-wall S  stop cooperatively after S seconds of wall
+                               clock; partial results are kept and flushed
+  --max-samples K              (mc --sim, sweeps) start at most K new items
+                               (resumed items are free)
+  --journal FILE               (mc --sim, sweeps) checkpoint each finished
+                               item to FILE (atomic rewrite, crash-safe)
+  --resume FILE                restore finished items from FILE instead of
+                               re-running them; the final result is
+                               bit-identical to an uninterrupted run.
+                               Keeps checkpointing into FILE unless
+                               --journal names a different file
+  --out FILE                   write the result CSV to FILE atomically at
+                               full precision (clean vs resumed runs are
+                               byte-identical)
+  SIGINT/SIGTERM               first signal drains the batch gracefully
+                               (journal + partial CSV flushed); second
+                               signal hard-kills
+
+exit codes:
+  0  success        1  error          2  usage
+  75 interrupted (deadline, signal, or item budget; partial results were
+     written — re-run with --resume to finish)
 )";
 }
 
@@ -175,15 +324,39 @@ int cmd_sweep_n(const Args& args, std::ostream& os) {
   for (int n = 1; n <= max_n; n += (n < 4 ? 1 : 2))
     config.driver_counts.push_back(n);
   config.threads = args.get_int("threads", 1);
+
+  Lifecycle life(args);
+  config.run_ctx = &life.ctx;
+  const std::uint64_t hash = batch_config_hash(
+      "sweep-n", config.tech.name, args.get_or("golden", "alpha"),
+      config.package, max_n, config.input_rise_time, config.include_package_c,
+      (long long)(config.driver_counts.size()), 0);
+  JournalSetup js;
+  setup_journal(args, "sweep-n", hash, config.driver_counts.size(), js);
+  if (js.journal) config.journal = &*js.journal;
+  if (js.resuming) config.resume = &js.resume_items;
+
   const auto result = analysis::run_driver_sweep(config);
   os << "n,sim,this_work,vemuru,song,senthinathan\n";
   for (const auto& r : result.rows)
     os << r.n << ',' << r.sim << ',' << r.this_work << ',' << r.vemuru << ','
        << r.song << ',' << r.senthinathan << '\n';
-  if (!result.summary.all_full_fidelity())
+  if (!result.summary.all_full_fidelity() || result.summary.not_run > 0)
     os << "# resilience: " << result.summary.to_string() << '\n';
+
+  const std::string out_path = args.get_or("out", "");
+  if (!out_path.empty()) {
+    ArtifactCsv csv("n,sim,this_work,vemuru,song,senthinathan,fidelity");
+    for (const auto& r : result.rows)
+      csv.row() << r.n << ',' << r.sim << ',' << r.this_work << ','
+                << r.vemuru << ',' << r.song << ',' << r.senthinathan << ','
+                << int(r.fidelity) << '\n';
+    csv.write(out_path);
+  }
   warn_unused(args, os);
-  return 0;
+  return finish_batch(os, result.summary.stop,
+                      config.driver_counts.size() - result.summary.not_run,
+                      config.driver_counts.size(), "points", js.path);
 }
 
 int cmd_sweep_c(const Args& args, std::ostream& os) {
@@ -194,15 +367,40 @@ int cmd_sweep_c(const Args& args, std::ostream& os) {
   config.n_drivers = args.get_int("n", 8);
   config.input_rise_time = args.get_double("tr", 0.1e-9);
   config.threads = args.get_int("threads", 1);
+  config.capacitances = analysis::default_capacitance_sweep();
+
+  Lifecycle life(args);
+  config.run_ctx = &life.ctx;
+  const std::uint64_t hash = batch_config_hash(
+      "sweep-c", config.tech.name, args.get_or("golden", "alpha"),
+      config.package, config.n_drivers, config.input_rise_time, true,
+      (long long)(config.capacitances.size()), 0);
+  JournalSetup js;
+  setup_journal(args, "sweep-c", hash, config.capacitances.size(), js);
+  if (js.journal) config.journal = &*js.journal;
+  if (js.resuming) config.resume = &js.resume_items;
+
   const auto result = analysis::run_capacitance_sweep(config);
   os << "c,zeta,sim,lc_model,l_only,err_lc,err_l_only\n";
   for (const auto& r : result.rows)
     os << r.c << ',' << r.zeta << ',' << r.sim << ',' << r.lc_model << ','
        << r.l_only << ',' << r.err_lc << ',' << r.err_l_only << '\n';
-  if (!result.summary.all_full_fidelity())
+  if (!result.summary.all_full_fidelity() || result.summary.not_run > 0)
     os << "# resilience: " << result.summary.to_string() << '\n';
+
+  const std::string out_path = args.get_or("out", "");
+  if (!out_path.empty()) {
+    ArtifactCsv csv("c,zeta,sim,lc_model,l_only,err_lc,err_l_only,fidelity");
+    for (const auto& r : result.rows)
+      csv.row() << r.c << ',' << r.zeta << ',' << r.sim << ',' << r.lc_model
+                << ',' << r.l_only << ',' << r.err_lc << ',' << r.err_l_only
+                << ',' << int(r.fidelity) << '\n';
+    csv.write(out_path);
+  }
   warn_unused(args, os);
-  return 0;
+  return finish_batch(os, result.summary.stop,
+                      config.capacitances.size() - result.summary.not_run,
+                      config.capacitances.size(), "points", js.path);
 }
 
 int cmd_design(const Args& args, std::ostream& os) {
@@ -256,6 +454,17 @@ int cmd_mc(const Args& args, std::ostream& os) {
     opts.samples = args.get_int("samples", 16);
     opts.seed = unsigned(args.get_int("seed", 12345));
     opts.threads = args.get_int("threads", 1);
+
+    Lifecycle life(args);
+    opts.run_ctx = &life.ctx;
+    const std::uint64_t hash = batch_config_hash(
+        "mc-sim", tech.name, args.get_or("golden", "alpha"), pkg, n, tr,
+        with_c, opts.samples, opts.seed);
+    JournalSetup js;
+    setup_journal(args, "mc-sim", hash, std::size_t(opts.samples), js);
+    if (js.journal) opts.journal = &*js.journal;
+    if (js.resuming) opts.resume = &js.resume_items;
+
     const auto mc = analysis::monte_carlo_vmax_sim(cal, pkg, n, tr, with_c, opts);
     io::TextTable t({"statistic", "V_max [V]"});
     t.add_row({std::string("samples (surviving/total)"),
@@ -268,8 +477,27 @@ int cmd_mc(const Args& args, std::ostream& os) {
     os << t.to_string();
     os << "resilience: " << mc.summary.to_string() << '\n';
     for (const auto& note : mc.summary.notes) os << "  " << note << '\n';
+    if (mc.resumed > 0)
+      os << "resumed " << mc.resumed << " samples from "
+         << args.get_or("resume", js.path) << '\n';
+
+    // The CSV artifact holds only per-sample *outcomes*: identical between
+    // a clean run and an interrupt + resume (only completed rows appear).
+    const std::string out_path = args.get_or("out", "");
+    if (!out_path.empty()) {
+      ArtifactCsv csv(
+          "index,l_factor,c_factor,rise_factor,width_factor,fidelity,v_max");
+      for (const auto& s : mc.samples) {
+        if (!s.completed) continue;
+        csv.row() << s.index << ',' << s.l_factor << ',' << s.c_factor << ','
+                  << s.rise_factor << ',' << s.width_factor << ','
+                  << int(s.fidelity) << ',' << s.v_max << '\n';
+      }
+      csv.write(out_path);
+    }
     warn_unused(args, os);
-    return 0;
+    return finish_batch(os, mc.stop, mc.completed, mc.samples.size(),
+                        "samples", js.path);
   }
 
   const auto scenario = analysis::make_scenario(cal, pkg, n, tr, with_c);
@@ -278,9 +506,14 @@ int cmd_mc(const Args& args, std::ostream& os) {
   opts.samples = args.get_int("samples", 1000);
   opts.seed = unsigned(args.get_int("seed", 12345));
   opts.threads = args.get_int("threads", 1);
+
+  Lifecycle life(args);
+  opts.run_ctx = &life.ctx;
   const auto mc = analysis::monte_carlo_vmax(scenario, opts);
 
   io::TextTable t({"statistic", "V_max [V]"});
+  t.add_row({std::string("samples"), std::to_string(mc.completed) + "/" +
+                                         std::to_string(opts.samples)});
   t.add_row({std::string("mean"), io::si_format(mc.mean, 4)});
   t.add_row({std::string("sigma"), io::si_format(mc.stddev, 4)});
   t.add_row({std::string("min / max"),
@@ -291,7 +524,8 @@ int cmd_mc(const Args& args, std::ostream& os) {
              io::si_format(100.0 * mc.region_flip_fraction, 3) + "%"});
   os << t.to_string();
   warn_unused(args, os);
-  return 0;
+  return finish_batch(os, mc.stop, mc.completed, std::size_t(opts.samples),
+                      "samples", "");
 }
 
 int cmd_ac(const Args& args, std::ostream& os) {
@@ -372,10 +606,22 @@ int cmd_simulate(const Args& args, std::ostream& os) {
   sim::TransientOptions topts;
   topts.t_stop = parsed.tran->tstop;
   topts.dt_initial = parsed.tran->tstep;
-  const auto result = sim::run_transient(parsed.circuit, topts);
+
+  // Lifecycle: Ctrl-C / --deadline stop the transient at an accepted-step
+  // boundary with the partial waveform intact; any other solver failure
+  // still throws (typed) exactly as before.
+  Lifecycle life(args);
+  topts.run_ctx = &life.ctx;
+  const auto run = sim::run_transient_ex(parsed.circuit, topts);
+  if (run.error && !support::is_stop_kind(run.error->kind()))
+    throw *run.error;
+  const auto& result = run.result;
 
   const std::string probe = args.get_or("probe", "");
-  if (!probe.empty()) {
+  if (!probe.empty() && result.point_count() == 0) {
+    // A run stopped before the first accepted step has nothing to chart.
+    os << probe << ": no points\n";
+  } else if (!probe.empty()) {
     if (!result.has_signal(probe))
       throw std::invalid_argument("simulate: no signal '" + probe + "'");
     const auto wave = result.waveform(probe);
@@ -399,7 +645,31 @@ int cmd_simulate(const Args& args, std::ostream& os) {
       os << '\n';
     }
   }
+
+  const std::string out_path = args.get_or("out", "");
+  if (!out_path.empty()) {
+    std::string header = "time";
+    for (const auto& name : result.signal_names()) header += ',' + name;
+    ArtifactCsv csv(header);
+    std::vector<waveform::Waveform> waves;
+    for (const auto& name : result.signal_names())
+      waves.push_back(result.waveform(name));
+    for (std::size_t i = 0; i < result.point_count(); ++i) {
+      csv.row() << result.times()[i];
+      for (const auto& w : waves) csv.row() << ',' << w.value(i);
+      csv.row() << '\n';
+    }
+    csv.write(out_path);
+  }
   warn_unused(args, os);
+  if (run.error) {
+    os << "interrupted (" << support::to_string(run.error->kind() ==
+                                 support::SolverErrorKind::kCancelled
+                             ? support::StopReason::kCancelled
+                             : support::StopReason::kDeadlineExpired)
+       << "): " << result.point_count() << " points written\n";
+    return kExitInterrupted;
+  }
   return 0;
 }
 

@@ -21,6 +21,13 @@
 
 namespace ssnkit::cli {
 
+/// Exit code for a run that was interrupted cooperatively (SIGINT/SIGTERM,
+/// --deadline, --max-samples) and wound down cleanly with partial results
+/// flushed. Distinct from 1 (error) and 2 (usage) so scripts can tell
+/// "re-run with --resume" from "fix your invocation"; 75 follows the
+/// sysexits EX_TEMPFAIL convention ("temporary failure, try again").
+constexpr int kExitInterrupted = 75;
+
 int cmd_calibrate(const Args& args, std::ostream& os);
 int cmd_estimate(const Args& args, std::ostream& os);
 int cmd_sweep_n(const Args& args, std::ostream& os);

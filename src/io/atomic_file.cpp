@@ -1,0 +1,150 @@
+#include "io/atomic_file.hpp"
+
+#include "io/diagnostics.hpp"
+
+#include <cstdio>
+#include <string>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ssnkit::io {
+
+#if defined(_WIN32)
+
+// Fallback without POSIX fsync/rename-over semantics: plain temp + rename.
+// Windows is not a supported production target for the batch runners; this
+// keeps the API portable for development builds.
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw IoError(IoError::Kind::kOpenFailed, tmp, "cannot create temp file");
+    out.write(contents.data(), std::streamsize(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw IoError(IoError::Kind::kWriteFailed, tmp, "short write");
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError(IoError::Kind::kWriteFailed, path, "rename failed");
+  }
+}
+
+#else
+
+namespace {
+
+[[noreturn]] void fail_and_unlink(const std::string& tmp, int fd,
+                                  IoError::Kind kind, const std::string& path,
+                                  const std::string& what) {
+  const int err = errno;
+  if (fd >= 0) ::close(fd);
+  ::unlink(tmp.c_str());
+  throw IoError(kind, path, what + " (" + std::strerror(err) + ")");
+}
+
+/// Direct write for non-regular targets (/dev/null, a FIFO, ...): rename
+/// would replace the special file with a regular one instead of writing
+/// through it, and write errors such as ENOSPC on /dev/full would never be
+/// observed.
+void write_file_direct(const std::string& path, const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    const int err = errno;
+    throw IoError(IoError::Kind::kOpenFailed, path,
+                  std::string("cannot open for writing (") +
+                      std::strerror(err) + ")");
+  }
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw IoError(IoError::Kind::kWriteFailed, path,
+                    std::string("write failed (") + std::strerror(err) + ")");
+    }
+    off += std::size_t(n);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    throw IoError(IoError::Kind::kWriteFailed, path,
+                  std::string("close failed (") + std::strerror(err) + ")");
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  // Temp + rename only makes sense for regular files; if the destination
+  // already exists as something else (a character device, a FIFO) write
+  // through it directly so the caller sees the device's own semantics.
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    write_file_direct(path, contents);
+    return;
+  }
+  // The temp file must live in the destination directory: rename() is only
+  // atomic within one filesystem. The pid suffix keeps concurrent processes
+  // writing the same target from clobbering each other's temporaries.
+  std::string dir = ".";
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    fail_and_unlink(tmp, -1, IoError::Kind::kOpenFailed, tmp,
+                    "cannot create temp file");
+
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_and_unlink(tmp, fd, IoError::Kind::kWriteFailed, path,
+                      "short write to temp file");
+    }
+    off += std::size_t(n);
+  }
+  // Flush the data before the rename publishes the name: otherwise a crash
+  // can leave a correctly named file with missing bytes — exactly the
+  // torn-state the helper exists to rule out.
+  if (::fsync(fd) != 0)
+    fail_and_unlink(tmp, fd, IoError::Kind::kWriteFailed, path,
+                    "fsync of temp file failed");
+  if (::close(fd) != 0)
+    fail_and_unlink(tmp, -1, IoError::Kind::kWriteFailed, path,
+                    "close of temp file failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail_and_unlink(tmp, -1, IoError::Kind::kWriteFailed, path,
+                    "rename over destination failed");
+  // Make the rename itself durable. A failure here is not a torn file (the
+  // rename already happened), so report it but nothing needs unlinking.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+#endif
+
+}  // namespace ssnkit::io

@@ -1,0 +1,19 @@
+// Crash-safe file replacement: write to a temporary file in the target's
+// directory, fsync it, then rename() over the destination. A reader (or a
+// resumed job) therefore sees either the complete old content or the
+// complete new content — never a truncated half-write, which is the
+// property the batch journal and the CSV outputs rely on.
+#pragma once
+
+#include <string>
+
+namespace ssnkit::io {
+
+/// Atomically replace `path` with `contents`. The temporary file lives in
+/// the same directory (rename across filesystems is not atomic) and is
+/// unlinked on any failure. Throws IoError{kOpenFailed} when the temporary
+/// cannot be created and IoError{kWriteFailed} when writing, syncing, or
+/// renaming fails.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace ssnkit::io

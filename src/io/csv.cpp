@@ -1,5 +1,7 @@
 #include "io/csv.hpp"
 
+#include "io/atomic_file.hpp"
+
 #include <cmath>
 #include <fstream>
 #include <ostream>
@@ -41,19 +43,12 @@ void CsvWriter::write(std::ostream& os) const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out)
-    throw IoError(IoError::Kind::kOpenFailed, path, "cannot open for writing");
-  try {
-    write(out);
-  } catch (const IoError&) {
-    throw IoError(IoError::Kind::kWriteFailed, path,
-                  "short write (disk full?)");
-  }
-  out.flush();
-  if (!out)
-    throw IoError(IoError::Kind::kWriteFailed, path,
-                  "flush failed (disk full?)");
+  // Render fully in memory, then publish atomically: a reader (or a crash)
+  // never observes a half-written CSV, and an interrupted batch that
+  // rewrites its output file cannot truncate a previous good version.
+  std::ostringstream buffer;
+  write(buffer);
+  write_file_atomic(path, buffer.str());
 }
 
 // ---------------------------------------------------------------------------

@@ -549,6 +549,22 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
 
   const double t_eps = span * 1e-12;
   while (t < opts.t_stop - t_eps) {
+    // Cooperative lifecycle poll: a cancelled token or an expired deadline
+    // winds the run down here, at an accepted-step boundary, so the partial
+    // waveform in `result` is always a consistent high-fidelity prefix.
+    if (opts.run_ctx != nullptr) {
+      const support::StopReason stop = opts.run_ctx->stop_requested();
+      if (stop != support::StopReason::kNone) {
+        SolverDiagnostics diag;
+        diag.time = t;
+        const bool cancelled = stop == support::StopReason::kCancelled;
+        fail(cancelled ? SolverErrorKind::kCancelled
+                       : SolverErrorKind::kDeadlineExpired,
+             cancelled ? "run cancelled" : "deadline expired",
+             std::move(diag));
+        return run;
+      }
+    }
     // Never step across a source breakpoint.
     double h_step = std::min({h, h_max, opts.t_stop - t});
     for (double bp : breakpoints) {

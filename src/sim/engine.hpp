@@ -23,6 +23,7 @@
 #include "circuit/circuit.hpp"
 #include "sim/result.hpp"
 #include "support/diagnostics.hpp"
+#include "support/runcontext.hpp"
 
 #include <optional>
 
@@ -76,6 +77,11 @@ struct TransientOptions {
   /// giving up. Off by default; the RecoveryPolicy ladder enables it on
   /// its gmin rung.
   bool newton_gmin_recovery = false;
+  /// Optional job lifecycle context. When set, the accepted-step loop polls
+  /// it and winds down with a typed kCancelled / kDeadlineExpired error —
+  /// the partial waveform up to the stop is preserved, exactly like any
+  /// other solver failure surfaced through run_transient_ex. Not owned.
+  const support::RunContext* run_ctx = nullptr;
   NewtonOptions newton;
 };
 

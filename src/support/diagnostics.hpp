@@ -35,6 +35,8 @@ enum class SolverErrorKind {
   kStepUnderflow,        ///< adaptive timestep fell below dt_min
   kStepBudgetExhausted,  ///< max_steps hit (pathological grinding)
   kHomotopyExhausted,    ///< every DC homotopy (plain/gmin/source) failed
+  kCancelled,            ///< the job's RunContext was cancelled mid-solve
+  kDeadlineExpired,      ///< the job's RunContext deadline passed mid-solve
 };
 
 inline const char* to_string(SolverErrorKind kind) {
@@ -45,6 +47,8 @@ inline const char* to_string(SolverErrorKind kind) {
     case SolverErrorKind::kStepUnderflow: return "step-underflow";
     case SolverErrorKind::kStepBudgetExhausted: return "step-budget-exhausted";
     case SolverErrorKind::kHomotopyExhausted: return "homotopy-exhausted";
+    case SolverErrorKind::kCancelled: return "cancelled";
+    case SolverErrorKind::kDeadlineExpired: return "deadline-expired";
   }
   return "unknown";
 }
@@ -62,9 +66,21 @@ inline bool is_retryable(SolverErrorKind kind) {
     case SolverErrorKind::kSingularMatrix:
       return true;
     case SolverErrorKind::kHomotopyExhausted:
+    case SolverErrorKind::kCancelled:
+    case SolverErrorKind::kDeadlineExpired:
       return false;
   }
   return false;
+}
+
+/// Whether this failure is a cooperative stop (the job was told to wind
+/// down) rather than a numerical failure. Stop kinds must never be "fixed":
+/// the recovery ladder does not climb past them (they are non-retryable)
+/// and the analytic measurement fallback must not paper over them — a
+/// cancelled sample is *not run*, not *degraded*.
+inline bool is_stop_kind(SolverErrorKind kind) {
+  return kind == SolverErrorKind::kCancelled ||
+         kind == SolverErrorKind::kDeadlineExpired;
 }
 
 /// One leg of the DC homotopy (plain Newton, one gmin value, one source

@@ -1,0 +1,197 @@
+#include "support/journal.hpp"
+
+#include "io/atomic_file.hpp"
+#include "io/diagnostics.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ssnkit::support {
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string hex_u64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex_u64(const std::string& text, std::uint64_t& out) {
+  // Exactly the writer's format: 16 lowercase digits, no prefix, no sign.
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = 10 + (c - 'a');
+    else
+      return false;
+    v = (v << 4) | std::uint64_t(digit);
+  }
+  out = v;
+  return true;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    hash ^= std::uint64_t(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Strict non-negative decimal parse for indices/totals; the int-sized
+/// io::parse_int_strict covers every other integer field.
+bool parse_size(const std::string& text, std::size_t& out) {
+  const io::IntParse p = io::parse_int_strict(text);
+  if (!p.ok || p.value < 0) return false;
+  out = std::size_t(p.value);
+  return true;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream ss(line);
+  std::string f;
+  while (ss >> f) fields.push_back(std::move(f));
+  return fields;
+}
+
+}  // namespace
+
+BatchJournal::BatchJournal(std::string path, std::string kind,
+                           std::uint64_t config_hash, std::size_t total)
+    : path_(std::move(path)) {
+  header_.kind = std::move(kind);
+  header_.config_hash = config_hash;
+  header_.total = total;
+}
+
+std::size_t BatchJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::string BatchJournal::render_locked() const {
+  std::string out = "ssnkit-journal v1\n";
+  out += "kind " + header_.kind + "\n";
+  out += "config " + hex_u64(header_.config_hash) + "\n";
+  out += "total " + std::to_string(header_.total) + "\n";
+  for (const auto& [index, rec] : items_) {
+    out += "item " + std::to_string(index) + " " +
+           std::to_string(rec.fidelity) + " " + hex_u64(rec.v_bits) + " " +
+           std::to_string(rec.error_kind) + "\n";
+  }
+  return out;
+}
+
+void BatchJournal::record(std::size_t index, const PointRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_[index] = record;
+  // Full atomic rewrite per record: the file on disk is always a complete
+  // journal, whatever instant the process dies at.
+  io::write_file_atomic(path_, render_locked());
+}
+
+BatchJournal::Loaded BatchJournal::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw JournalError(JournalError::Kind::kOpenFailed, path,
+                       "cannot open for reading");
+  Loaded out;
+  std::string line;
+  int line_no = 0;
+  const auto bad = [&](const std::string& what) -> JournalError {
+    return JournalError(JournalError::Kind::kBadFormat, path,
+                        "line " + std::to_string(line_no) + ": " + what);
+  };
+
+  if (!std::getline(in, line) || line != "ssnkit-journal v1") {
+    ++line_no;
+    throw bad("missing 'ssnkit-journal v1' header");
+  }
+  ++line_no;
+
+  // Fixed header fields, in order.
+  const auto header_field = [&](const char* name) -> std::string {
+    if (!std::getline(in, line)) throw bad("truncated header");
+    ++line_no;
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() != 2 || f[0] != name)
+      throw bad(std::string("expected '") + name + " <value>'");
+    return f[1];
+  };
+  out.header.version = 1;
+  out.header.kind = header_field("kind");
+  if (!parse_hex_u64(header_field("config"), out.header.config_hash))
+    throw bad("config hash is not 16-digit hex");
+  if (!parse_size(header_field("total"), out.header.total))
+    throw bad("total is not a non-negative integer");
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() != 5 || f[0] != "item")
+      throw bad("expected 'item <index> <fidelity> <vbits> <errkind>'");
+    std::size_t index = 0;
+    if (!parse_size(f[1], index) || index >= out.header.total)
+      throw bad("item index out of range");
+    PointRecord rec;
+    const io::IntParse fid = io::parse_int_strict(f[2]);
+    if (!fid.ok || fid.value < 0) throw bad("bad fidelity field");
+    rec.fidelity = fid.value;
+    if (!parse_hex_u64(f[3], rec.v_bits)) throw bad("bad vbits field");
+    const io::IntParse err = io::parse_int_strict(f[4]);
+    if (!err.ok || err.value < -1) throw bad("bad error-kind field");
+    rec.error_kind = err.value;
+    out.items[index] = rec;
+  }
+  return out;
+}
+
+void BatchJournal::validate_against(const Loaded& loaded,
+                                    const std::string& kind,
+                                    std::uint64_t config_hash,
+                                    std::size_t total,
+                                    const std::string& path) {
+  const auto mismatch = [&](const std::string& what) -> JournalError {
+    return JournalError(JournalError::Kind::kMismatch, path, what);
+  };
+  if (loaded.header.kind != kind)
+    throw mismatch("journal is for a '" + loaded.header.kind +
+                   "' batch, this run is '" + kind + "'");
+  if (loaded.header.config_hash != config_hash)
+    throw mismatch(
+        "configuration hash mismatch (the journal was written by a run with "
+        "different parameters); re-run with the original options or drop "
+        "--resume");
+  if (loaded.header.total != total)
+    throw mismatch("journal covers " + std::to_string(loaded.header.total) +
+                   " items, this run has " + std::to_string(total));
+}
+
+}  // namespace ssnkit::support

@@ -1,0 +1,141 @@
+// Crash-safe checkpoint journal for the batch drivers (Monte Carlo and the
+// sweeps). One journal = one batch: a versioned header binding the journal
+// to a specific job configuration, then one record per completed item,
+// keyed by the item's index.
+//
+// Why this is enough for bit-identical resume: the batch drivers draw every
+// item's randomness up front from the seed and each item's computation
+// depends only on its index (PR 4's determinism contract). A record
+// therefore only needs the item's *outcome* — fidelity, V_max (as the raw
+// IEEE-754 bit pattern, so the text round-trip is exact), and the error
+// kind — and a resumed run re-derives everything else, making the final
+// result indistinguishable from an uninterrupted run.
+//
+// Durability: every record() rewrites the whole journal through
+// io::write_file_atomic (temp + fsync + rename), so the on-disk file is
+// always a complete, parseable journal — kill the process at any instant
+// and at worst the most recent item is lost (and simply re-runs on resume).
+// Journals are small (tens of bytes per item); the O(items^2) total write
+// volume is noise next to one transient solve.
+//
+// File format (line-oriented text, all integers decimal except the 16-digit
+// lowercase hex fields):
+//
+//   ssnkit-journal v1
+//   kind mc-sim
+//   config 9ae16a3b2f90404f
+//   total 16
+//   item 3 5 3fb999999999999a 4
+//
+// item fields: index, fidelity (sim::Fidelity as int), V_max bit pattern,
+// error kind (support::SolverErrorKind as int, -1 = no error).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ssnkit::support {
+
+// --- exact double <-> text helpers ------------------------------------------
+
+/// The raw IEEE-754 bit pattern of a double (and back). Used wherever a
+/// double must survive a text round-trip bit-exactly — "%.17g" would too,
+/// but bit patterns make the exactness obvious and greppable.
+std::uint64_t double_bits(double value);
+double bits_double(std::uint64_t bits);
+
+/// 16-digit lowercase hex encoding of a u64 and its strict parser. The
+/// parser is hand-rolled: the strto* family is banned outside the hardened
+/// io parsers (ssnlint SSN-L007) and accepts prefixes/whitespace we do not
+/// want in a journal anyway.
+std::string hex_u64(std::uint64_t value);
+bool parse_hex_u64(const std::string& text, std::uint64_t& out);
+
+/// FNV-1a over a canonical configuration string; binds a journal to the
+/// exact job parameters so a resume against a different configuration is
+/// rejected instead of silently producing garbage.
+std::uint64_t fnv1a(const std::string& text);
+
+// --- the journal -------------------------------------------------------------
+
+/// One completed batch item's outcome, in the representation the drivers
+/// need to replay it: enums as ints (the support layer cannot see
+/// sim::Fidelity), V_max as its bit pattern.
+struct PointRecord {
+  int fidelity = 0;
+  std::uint64_t v_bits = 0;
+  int error_kind = -1;  ///< SolverErrorKind as int; -1 = no error
+};
+
+/// Typed journal failure: distinguishes "file missing" from "corrupt" from
+/// "valid journal for a different job".
+class JournalError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kOpenFailed,   ///< journal file cannot be read
+    kBadFormat,    ///< header/record does not parse as a v1 journal
+    kMismatch,     ///< parses, but kind/config/total disagree with this job
+  };
+
+  JournalError(Kind kind, const std::string& path, const std::string& message)
+      : std::runtime_error("journal '" + path + "': " + message),
+        kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Incremental, thread-safe checkpoint writer plus the strict loader for
+/// resume. record() may be called concurrently from batch workers; each
+/// call atomically rewrites the file so it is always complete on disk.
+class BatchJournal {
+ public:
+  struct Header {
+    int version = 1;
+    std::string kind;            ///< "mc-sim", "sweep-n", "sweep-c"
+    std::uint64_t config_hash = 0;
+    std::size_t total = 0;       ///< items in the full batch
+  };
+
+  struct Loaded {
+    Header header;
+    std::map<std::size_t, PointRecord> items;
+  };
+
+  BatchJournal(std::string path, std::string kind, std::uint64_t config_hash,
+               std::size_t total);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const;
+
+  /// Checkpoint one completed item (thread-safe; last write per index
+  /// wins). Flushes the whole journal atomically before returning.
+  void record(std::size_t index, const PointRecord& record);
+
+  /// Strict load: throws JournalError on unreadable files, unknown
+  /// versions, or malformed headers/records. Configuration *matching* is
+  /// the caller's job — it knows the current run's kind/hash/total — via
+  /// validate_against().
+  static Loaded load(const std::string& path);
+
+  /// Reject a loaded journal that belongs to a different job. Throws
+  /// JournalError{kMismatch} naming the first disagreeing field.
+  static void validate_against(const Loaded& loaded, const std::string& kind,
+                               std::uint64_t config_hash, std::size_t total,
+                               const std::string& path);
+
+ private:
+  std::string render_locked() const;
+
+  const std::string path_;
+  Header header_;
+  mutable std::mutex mu_;
+  std::map<std::size_t, PointRecord> items_;  // guarded by mu_
+};
+
+}  // namespace ssnkit::support

@@ -30,6 +30,7 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* body = nullptr;
+    const RunContext* ctx = nullptr;
     std::size_t count = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -37,13 +38,23 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen = generation_;
       body = body_;
+      ctx = ctx_;
       count = count_;
     }
     for (;;) {
+      // Cooperative cancellation: poll before claiming, so a stop drains
+      // the batch (in-flight items finish, unclaimed items stay unclaimed)
+      // without being mistaken for a crash.
+      if (ctx != nullptr && ctx->stop_requested() != StopReason::kNone) {
+        drained_.store(true, std::memory_order_relaxed);
+        next_.store(count, std::memory_order_relaxed);
+        break;
+      }
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       try {
         (*body)(i);
+        completed_.fetch_add(1, std::memory_order_relaxed);
         // Not a swallow: the exception is stored and rethrown on the
         // caller's thread after the batch joins (see for_index).
       } catch (...) {  // ssnlint-ignore(SSN-L005)
@@ -61,31 +72,49 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::for_index(std::size_t count,
-                           const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
+BatchStatus ThreadPool::for_index(std::size_t count,
+                                  const std::function<void(std::size_t)>& body,
+                                  const RunContext* ctx) {
+  if (count == 0) return {};
   std::unique_lock<std::mutex> lock(mu_);
   body_ = &body;
+  ctx_ = ctx;
   count_ = count;
   next_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  drained_.store(false, std::memory_order_relaxed);
   error_ = nullptr;
   active_ = workers_.size();
   ++generation_;
   cv_job_.notify_all();
   cv_done_.wait(lock, [&] { return active_ == 0; });
   body_ = nullptr;
+  ctx_ = nullptr;
+  // An exception outranks a concurrent cancellation: the caller must see
+  // the crash even if the token also tripped while draining.
   if (error_) std::rethrow_exception(error_);
+  return {completed_.load(std::memory_order_relaxed),
+          drained_.load(std::memory_order_relaxed)};
 }
 
-void parallel_for_index(int threads, std::size_t count,
-                        const std::function<void(std::size_t)>& body) {
+BatchStatus parallel_for_index(int threads, std::size_t count,
+                               const std::function<void(std::size_t)>& body,
+                               const RunContext* ctx) {
   const int n = resolve_threads(threads);
   if (n <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
+    BatchStatus status;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (ctx != nullptr && ctx->stop_requested() != StopReason::kNone) {
+        status.stopped = true;
+        return status;
+      }
+      body(i);
+      ++status.completed;
+    }
+    return status;
   }
   ThreadPool pool(int(std::min<std::size_t>(std::size_t(n), count)));
-  pool.for_index(count, body);
+  return pool.for_index(count, body, ctx);
 }
 
 }  // namespace ssnkit::support

@@ -15,7 +15,16 @@
 // Exceptions thrown by a body are captured; the first one (by completion
 // order) is rethrown on the calling thread after all workers finish the
 // items they already claimed. Remaining unclaimed items are skipped.
+//
+// Cancellation: when a job carries a RunContext, every worker polls it
+// before claiming the next item. A tripped token (or an expired deadline)
+// drains the batch exactly like an exception does — in-flight items finish,
+// unclaimed items are skipped — but *without* an error: the returned
+// BatchStatus reports `stopped` so the driver can tell "cancelled" from
+// "crashed" and account the unclaimed items as not-run.
 #pragma once
+
+#include "support/runcontext.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -28,6 +37,14 @@
 #include <vector>
 
 namespace ssnkit::support {
+
+/// What a batch actually did: how many bodies ran to completion and whether
+/// a RunContext stop drained the job early. (An exception rethrows instead;
+/// `stopped` is only ever set by cooperative cancellation.)
+struct BatchStatus {
+  std::size_t completed = 0;
+  bool stopped = false;
+};
 
 /// Normalize a thread-count knob: values > 0 pass through (capped at 64);
 /// 0 or negative means "auto" = hardware concurrency clamped to [1, 16].
@@ -50,8 +67,11 @@ class ThreadPool {
 
   /// Run body(i) for every i in [0, count); blocks until all items finish.
   /// The first exception a body throws is rethrown here after the join.
-  void for_index(std::size_t count,
-                 const std::function<void(std::size_t)>& body);
+  /// When `ctx` is non-null, workers poll it before claiming each item and
+  /// drain cleanly on stop (reported via the returned status).
+  BatchStatus for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& body,
+                        const RunContext* ctx = nullptr);
 
  private:
   void worker_loop();
@@ -61,8 +81,11 @@ class ThreadPool {
   std::condition_variable cv_job_;   ///< wakes workers on a new job / stop
   std::condition_variable cv_done_;  ///< wakes the caller when a job drains
   const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mu_
+  const RunContext* ctx_ = nullptr;  ///< current job's context; guarded by mu_
   std::size_t count_ = 0;            ///< items in the current job
   std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  std::atomic<std::size_t> completed_{0};  ///< bodies finished this job
+  std::atomic<bool> drained_{false};  ///< a RunContext stop drained the job
   std::size_t active_ = 0;           ///< workers still inside the job
   std::uint64_t generation_ = 0;     ///< bumped per job
   bool stop_ = false;
@@ -72,8 +95,10 @@ class ThreadPool {
 /// Run body(i) for every i in [0, count), distributing items over
 /// `threads` workers (after resolve_threads). threads <= 1 — and any
 /// count <= 1 — runs inline on the caller with no pool at all, so the
-/// serial path is exactly the plain loop.
-void parallel_for_index(int threads, std::size_t count,
-                        const std::function<void(std::size_t)>& body);
+/// serial path is exactly the plain loop (including the per-item
+/// RunContext poll when `ctx` is non-null).
+BatchStatus parallel_for_index(int threads, std::size_t count,
+                               const std::function<void(std::size_t)>& body,
+                               const RunContext* ctx = nullptr);
 
 }  // namespace ssnkit::support

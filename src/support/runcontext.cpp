@@ -1,0 +1,80 @@
+#include "support/runcontext.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace ssnkit::support {
+
+namespace {
+
+// The handler may only touch lock-free atomics; RunContext::request_cancel
+// is a single atomic store, which keeps the whole path async-signal-safe.
+std::atomic<RunContext*> g_signal_ctx{nullptr};
+std::atomic<int> g_last_signal{0};
+
+extern "C" void lifecycle_signal_handler(int sig) {
+  RunContext* ctx = g_signal_ctx.load(std::memory_order_acquire);
+  if (ctx == nullptr) return;
+  if (ctx->cancel_requested()) {
+    // Second signal: the user really means it. _Exit is async-signal-safe;
+    // 128+sig is the conventional killed-by-signal status.
+    std::_Exit(128 + sig);
+  }
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  ctx->request_cancel();
+}
+
+#if defined(_WIN32)
+using SavedHandler = void (*)(int);
+SavedHandler g_old_int = SIG_DFL;
+SavedHandler g_old_term = SIG_DFL;
+
+void install_handlers() {
+  g_old_int = std::signal(SIGINT, lifecycle_signal_handler);
+  g_old_term = std::signal(SIGTERM, lifecycle_signal_handler);
+}
+void restore_handlers() {
+  std::signal(SIGINT, g_old_int);
+  std::signal(SIGTERM, g_old_term);
+}
+#else
+struct sigaction g_old_int;
+struct sigaction g_old_term;
+
+void install_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = lifecycle_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: interrupted syscalls (worker joins, file writes) resume;
+  // the workers observe the cancellation through the token, not EINTR.
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, &g_old_int);
+  sigaction(SIGTERM, &sa, &g_old_term);
+}
+void restore_handlers() {
+  sigaction(SIGINT, &g_old_int, nullptr);
+  sigaction(SIGTERM, &g_old_term, nullptr);
+}
+#endif
+
+}  // namespace
+
+ScopedSignalCancel::ScopedSignalCancel(RunContext& ctx) {
+  g_last_signal.store(0, std::memory_order_relaxed);
+  // Publish the context before installing the handlers so a signal arriving
+  // mid-constructor sees either no handler or a valid context.
+  g_signal_ctx.store(&ctx, std::memory_order_release);
+  install_handlers();
+}
+
+ScopedSignalCancel::~ScopedSignalCancel() {
+  restore_handlers();
+  g_signal_ctx.store(nullptr, std::memory_order_release);
+}
+
+int ScopedSignalCancel::last_signal() {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace ssnkit::support

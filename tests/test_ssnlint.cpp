@@ -338,7 +338,84 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 8);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 9);
+}
+
+// --- SSN-L009: lifecycle hygiene --------------------------------------------
+
+TEST(SsnlintL009, FlagsRawSignalCallsOutsideSupport) {
+  const std::string sig = "void f() { signal(2, handler); }\n";
+  const std::string act =
+      "void f() { struct sigaction sa; sigaction(15, &sa, nullptr); }\n";
+  const std::string rse = "void f() { std::raise(15); }\n";
+  EXPECT_EQ(count_rule(lint_source("src/cli/commands.cpp", sig), "SSN-L009"), 1);
+  // The declaration `struct sigaction sa;` is not a call; only the actual
+  // sigaction(...) invocation fires.
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp", act), "SSN-L009"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/io/x.cpp", rse), "SSN-L009"), 1);
+  // The support layer owns signal handling (ScopedSignalCancel lives there).
+  EXPECT_EQ(count_rule(lint_source("src/support/runcontext.cpp", sig),
+                       "SSN-L009"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/support/runcontext.cpp", act),
+                       "SSN-L009"), 0);
+  // Member calls on unrelated objects are not signal management.
+  EXPECT_EQ(count_rule(lint_source("src/cli/x.cpp",
+                                   "void f() { bus.raise(alarm); }\n"),
+            "SSN-L009"), 0);
+}
+
+TEST(SsnlintL009, FlagsUnboundedAnalysisLoopsWithoutLifecyclePolling) {
+  const std::string spin =
+      "void drain() {\n"
+      "  while (true) {\n"
+      "    step();\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_source("src/analysis/montecarlo.cpp", spin),
+                       "SSN-L009"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "void f() { while (1) step(); }\n"),
+            "SSN-L009"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "void f() { for (;;) { step(); } }\n"),
+            "SSN-L009"), 1);
+  // Outside src/analysis the loop rule does not apply (the engine's stepping
+  // loop is bounded by t_stop/max_steps and polls run_ctx itself).
+  EXPECT_EQ(count_rule(lint_source("src/sim/engine.cpp", spin), "SSN-L009"), 0);
+}
+
+TEST(SsnlintL009, QuietWhenLoopPollsLifecycleLayer) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/analysis/x.cpp",
+                "void f(const RunContext* ctx) {\n"
+                "  while (true) {\n"
+                "    if (ctx->stop_requested() != StopReason::kNone) break;\n"
+                "    step();\n"
+                "  }\n"
+                "}\n"),
+            "SSN-L009"), 0);
+  EXPECT_EQ(count_rule(lint_source(
+                "src/analysis/x.cpp",
+                "void f(const RunContext& ctx) {\n"
+                "  for (;;) {\n"
+                "    if (!ctx.try_start_item()) break;\n"
+                "    step();\n"
+                "  }\n"
+                "}\n"),
+            "SSN-L009"), 0);
+  // Bounded loops are fine regardless.
+  EXPECT_EQ(count_rule(lint_source(
+                "src/analysis/x.cpp",
+                "void f() { for (int i = 0; i < n; ++i) step(i); }\n"),
+            "SSN-L009"), 0);
+}
+
+TEST(SsnlintL009, SuppressionWorks) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/cli/x.cpp",
+                "// ssnlint-ignore(SSN-L009)\n"
+                "void f() { signal(2, handler); }\n"),
+            "SSN-L009"), 0);
 }
 
 }  // namespace

@@ -25,6 +25,14 @@
 //             stamps into a cached sparse pattern; a per-iteration dense
 //             build reintroduces the O(n^2) allocate-and-convert cost the
 //             stamped workspace exists to avoid)
+//   SSN-L009  lifecycle hygiene: raw signal/sigaction/raise outside
+//             src/support (signal handling must go through
+//             support::ScopedSignalCancel so SIGINT/SIGTERM trip the shared
+//             RunContext instead of racing ad-hoc handlers), or an unbounded
+//             loop (while(true)/while(1)/for(;;)) in src/analysis batch code
+//             whose body never consults the lifecycle layer
+//             (stop_requested/try_start_item/RunContext) — such a loop can
+//             not be cancelled or deadlined cooperatively
 //
 // Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
 // allowed) on the offending line or the line directly above it.
@@ -59,6 +67,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L006", "bare throw std::runtime_error in solver code"},
       {"SSN-L007", "bare std::stod/stoi-family call outside hardened parsers"},
       {"SSN-L008", "dense Matrix build inside a loop in solver code"},
+      {"SSN-L009", "raw signal handling or uncancellable batch loop"},
   };
   return kRules;
 }
@@ -616,6 +625,102 @@ inline void rule_dense_in_loop(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L009: job-lifecycle hygiene. Two patterns:
+//
+//  (a) A raw signal()/sigaction()/raise() call outside src/support. The CLI
+//      installs exactly one handler pair through support::ScopedSignalCancel
+//      (which trips the shared RunContext and restores the previous handler
+//      on scope exit); a second ad-hoc handler silently replaces it and the
+//      batch stops responding to Ctrl-C. std::raise in tests is fine — the
+//      linter only runs over src/.
+//
+//  (b) An unbounded loop — `while (true)`, `while (1)`, `for (;;)` — in
+//      src/analysis whose body never consults the lifecycle layer
+//      (stop_requested / try_start_item / RunContext / cancel_requested).
+//      Batch drivers are exactly the code --deadline and SIGINT must be able
+//      to stop; an unbounded loop that never polls is uncancellable.
+inline bool is_support_layer_path(const std::string& file) {
+  for (const auto& part : std::filesystem::path(file))
+    if (part == "support") return true;
+  return false;
+}
+
+inline bool is_analysis_layer_path(const std::string& file) {
+  for (const auto& part : std::filesystem::path(file))
+    if (part == "analysis") return true;
+  return false;
+}
+
+inline void rule_lifecycle_hygiene(const std::vector<Token>& toks,
+                                   const std::string& file,
+                                   std::vector<Diagnostic>& out) {
+  // (a) raw signal-management calls outside the support layer.
+  if (!is_support_layer_path(file)) {
+    static const std::set<std::string> kSignalCalls = {"signal", "sigaction",
+                                                       "raise"};
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent || kSignalCalls.count(t.text) == 0)
+        continue;
+      if (toks[i + 1].text != "(") continue;  // must look like a call
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+        continue;  // member call on an unrelated object
+      // `struct sigaction sa;` declares the type, `sigaction(...)` calls it;
+      // the call-position check above already separates them.
+      add(out, file, t.line, "SSN-L009",
+          "raw '" + t.text +
+              "' outside src/support; install handlers through "
+              "support::ScopedSignalCancel so the shared RunContext is "
+              "tripped");
+    }
+  }
+
+  // (b) unbounded loops in analysis batch code that never poll the
+  // lifecycle layer.
+  if (!is_analysis_layer_path(file)) return;
+  static const std::set<std::string> kLifecycleTokens = {
+      "stop_requested", "try_start_item", "RunContext", "cancel_requested"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    bool unbounded = false;
+    std::size_t close = toks.size();
+    if ((toks[i].text == "while" || toks[i].text == "for") &&
+        toks[i + 1].text == "(") {
+      close = match_forward(toks, i + 1, "(", ")");
+      if (close >= toks.size()) continue;
+      if (toks[i].text == "while") {
+        // while (true) / while (1)
+        unbounded = close == i + 3 &&
+                    (toks[i + 2].text == "true" || toks[i + 2].text == "1");
+      } else {
+        // for (;;)
+        unbounded =
+            close == i + 4 && toks[i + 2].text == ";" && toks[i + 3].text == ";";
+      }
+    }
+    if (!unbounded) continue;
+    std::size_t body_end = toks.size();
+    std::size_t body = close + 1;
+    if (body < toks.size() && toks[body].text == "{") {
+      body_end = match_forward(toks, body, "{", "}");
+      ++body;
+    } else {
+      body_end = body;
+      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+    }
+    bool polls = false;
+    for (std::size_t k = body; k < body_end && !polls; ++k)
+      if (toks[k].kind == Token::Kind::kIdent &&
+          kLifecycleTokens.count(toks[k].text) != 0)
+        polls = true;
+    if (!polls)
+      add(out, file, toks[i].line, "SSN-L009",
+          "unbounded loop in analysis batch code never polls the lifecycle "
+          "layer; check RunContext::stop_requested (or gate items with "
+          "try_start_item) so --deadline and SIGINT can stop it");
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -635,6 +740,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_untyped_solver_throw(toks, file, all);
   detail::rule_bare_numeric_conversion(toks, file, all);
   detail::rule_dense_in_loop(toks, file, all);
+  detail::rule_lifecycle_hygiene(toks, file, all);
 
   std::vector<Diagnostic> kept;
   for (const Diagnostic& d : all) {
