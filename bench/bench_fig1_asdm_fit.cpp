@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 
 #include "devices/fit.hpp"
-#include "io/ascii_chart.hpp"
+#include "waveform/render.hpp"
 #include "io/table.hpp"
 #include "process/technology.hpp"
 #include "waveform/waveform.hpp"
@@ -86,7 +86,7 @@ void run_for(const process::Technology& tech, process::GoldenKind kind,
   copts.title = "Fig.1  I_D [mA] vs V_G [V]  (" + tech.name + ")";
   copts.x_label = "V_G [V]";
   copts.y_label = "I_D [mA]";
-  std::printf("%s", io::ascii_chart(ptrs, names, copts).c_str());
+  std::printf("%s", waveform::ascii_chart(ptrs, names, copts).c_str());
   (void)vs_points;
 }
 

@@ -9,7 +9,7 @@
 #include "analysis/calibrate.hpp"
 #include "analysis/measure.hpp"
 #include "core/l_only_model.hpp"
-#include "io/ascii_chart.hpp"
+#include "waveform/render.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "waveform/metrics.hpp"
@@ -49,7 +49,7 @@ int main() {
   io::ChartOptions copts;
   copts.title = "Fig.2a  V_IN, V_OUT, V_n(vssi) [V] vs t [s]";
   copts.y_label = "V";
-  std::printf("%s", io::ascii_chart({&sim.vin, &sim.vout, &sim.vssi},
+  std::printf("%s", waveform::ascii_chart({&sim.vin, &sim.vout, &sim.vssi},
                                     {"V_IN", "V_OUT", "V_n"}, copts)
                         .c_str());
 
@@ -58,7 +58,7 @@ int main() {
   const auto model_vn = model.vn_waveform(512);
   copts.title = "Fig.2b  V_n [V]: model (Eqn 6) vs simulator";
   const auto sim_vn_window = sim.vssi.windowed(0.0, t_rise);
-  std::printf("%s", io::ascii_chart({&sim_vn_window, &model_vn},
+  std::printf("%s", waveform::ascii_chart({&sim_vn_window, &model_vn},
                                     {"simulated", "model"}, copts)
                         .c_str());
   const auto err_v =
@@ -80,7 +80,7 @@ int main() {
   const auto sim_il_window = sim.i_l.windowed(0.0, t_rise);
   copts.title = "Fig.2c  I_L [A]: model (Eqn 8 x N) vs simulator";
   copts.y_label = "I";
-  std::printf("%s", io::ascii_chart({&sim_il_window, &model_il},
+  std::printf("%s", waveform::ascii_chart({&sim_il_window, &model_il},
                                     {"simulated", "model"}, copts)
                         .c_str());
   const auto err_i =

@@ -45,7 +45,7 @@ int main() {
     const char* name;
     circuit::Integrator method;
     bool adaptive;
-    double dt;
+    double dt = 0.0;
   };
   const Config configs[] = {
       {"backward Euler", circuit::Integrator::kBackwardEuler, true, 0.0},

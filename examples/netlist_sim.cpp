@@ -6,7 +6,7 @@
 //   $ ./netlist_sim                      # built-in SSN demo
 //   $ ./netlist_sim my.cir [node]        # your netlist (needs .tran)
 #include "circuit/netlist.hpp"
-#include "io/ascii_chart.hpp"
+#include "waveform/render.hpp"
 #include "io/csv.hpp"
 #include "sim/engine.hpp"
 
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     io::ChartOptions copts;
     copts.title = "v(" + probe + ") vs t";
     copts.y_label = probe;
-    std::printf("%s", io::ascii_chart(wave, copts).c_str());
+    std::printf("%s", waveform::ascii_chart(wave, copts).c_str());
     std::printf("%s: min %.6g, max %.6g, final %.6g; %zu time points, "
                 "%zu Newton iterations\n",
                 probe.c_str(), wave.minimum().value, wave.maximum().value,
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
       waves.push_back(result.waveform(n));
     for (const auto& w : waves) wave_ptrs.push_back(&w);
     std::ofstream out("netlist_sim.csv");
-    io::write_waveforms_csv(out, result.signal_names(), wave_ptrs);
+    waveform::write_waveforms_csv(out, result.signal_names(), wave_ptrs);
     std::printf("wrote netlist_sim.csv\n");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

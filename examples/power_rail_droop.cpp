@@ -8,7 +8,7 @@
 //   $ ./power_rail_droop
 #include "analysis/calibrate.hpp"
 #include "core/l_only_model.hpp"
-#include "io/ascii_chart.hpp"
+#include "waveform/render.hpp"
 #include "io/table.hpp"
 #include "sim/engine.hpp"
 
@@ -72,7 +72,7 @@ int main() {
   io::ChartOptions copts;
   copts.title = "V_DD droop [V] vs t: simulator vs dual closed form";
   copts.y_label = "droop";
-  std::printf("%s", io::ascii_chart({&droop, &model_droop},
+  std::printf("%s", waveform::ascii_chart({&droop, &model_droop},
                                     {"simulated", "model (dual Eqn 6)"}, copts)
                         .c_str());
 

@@ -6,6 +6,7 @@
 # Usage: scripts/check.sh [--preset NAME] [--all-tidy] [--fuzz] [--tsan]
 #   --preset NAME  CMake preset to use (default: release)
 #   --all-tidy     clang-tidy every src/ file instead of only changed ones
+#   --lint         build ssnlint and run only the whole-repo scan (timed)
 #   --fuzz         shorthand for --preset fuzz (builds the tests/fuzz
 #                  harness and replays the seed corpora; real libFuzzer
 #                  mutation needs clang — see tests/fuzz/CMakeLists.txt)
@@ -16,10 +17,12 @@ cd "$(dirname "$0")/.."
 
 PRESET=release
 ALL_TIDY=0
+LINT_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
     --all-tidy) ALL_TIDY=1; shift ;;
+    --lint) LINT_ONLY=1; shift ;;
     --fuzz) PRESET=fuzz; shift ;;
     --tsan) PRESET=tsan; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -34,6 +37,26 @@ case "$PRESET" in
   fuzz) BUILD_DIR=build-fuzz ;;
 esac
 
+# The full-repo scan mirrors CI's lint-full job: every first-party tree,
+# full-surface registry checking, the checked-in baseline enforced, and
+# --stats so the phase timings land in the terminal.
+run_lint() {
+  echo "=== ssnlint (standalone, full repo, timed) ==="
+  "$BUILD_DIR"/tools/ssnlint --stats --full-surface \
+    --baseline tests/lint/ssnlint-baseline.txt \
+    src tools bench examples
+}
+
+if [ "$LINT_ONLY" = 1 ]; then
+  echo "=== configure ($PRESET) ==="
+  cmake --preset "$PRESET" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  echo "=== build ssnlint ==="
+  cmake --build --preset "$PRESET" -j --target ssnlint
+  run_lint
+  echo "check.sh: lint gate passed"
+  exit 0
+fi
+
 echo "=== configure ($PRESET) ==="
 cmake --preset "$PRESET" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
@@ -43,8 +66,7 @@ cmake --build --preset "$PRESET" -j
 echo "=== ctest (includes ssnlint gate) ==="
 ctest --preset "$PRESET"
 
-echo "=== ssnlint (standalone, full tree) ==="
-"$BUILD_DIR"/tools/ssnlint src
+run_lint
 
 # Sanitizer presets slow each sample ~10-30x, which breaks the smoke's
 # timing assumptions (the SIGTERM would land during the *clean* leg's

@@ -7,6 +7,11 @@
 #include <numbers>
 #include <stdexcept>
 
+// Dimensions for the SSN-L011 units pass (docs/STATIC_ANALYSIS.md): the
+// element constructors take their primary value in SI base units.
+// ssn-units: ohms=Ohm, ohms_=Ohm, farads=F, farads_=F, henries=H, henries_=H
+// ssn-units: omega=Hz
+
 namespace ssnkit::circuit {
 
 void Element::stamp_ac(const AcStampContext& ctx) const {

@@ -9,8 +9,8 @@
 #include "circuit/netlist.hpp"
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
-#include "io/ascii_chart.hpp"
-#include "io/atomic_file.hpp"
+#include "waveform/render.hpp"
+#include "support/atomic_file.hpp"
 #include "io/table.hpp"
 #include "sim/ac.hpp"
 #include "sim/engine.hpp"
@@ -165,7 +165,7 @@ class ArtifactCsv {
   }
   std::ostringstream& row() { return ss_; }
   void write(const std::string& path) const {
-    io::write_file_atomic(path, ss_.str());
+    support::write_file_atomic(path, ss_.str());
   }
 
  private:
@@ -330,7 +330,7 @@ int cmd_sweep_n(const Args& args, std::ostream& os) {
   const std::uint64_t hash = batch_config_hash(
       "sweep-n", config.tech.name, args.get_or("golden", "alpha"),
       config.package, max_n, config.input_rise_time, config.include_package_c,
-      (long long)(config.driver_counts.size()), 0);
+      static_cast<long long>(config.driver_counts.size()), 0);
   JournalSetup js;
   setup_journal(args, "sweep-n", hash, config.driver_counts.size(), js);
   if (js.journal) config.journal = &*js.journal;
@@ -374,7 +374,7 @@ int cmd_sweep_c(const Args& args, std::ostream& os) {
   const std::uint64_t hash = batch_config_hash(
       "sweep-c", config.tech.name, args.get_or("golden", "alpha"),
       config.package, config.n_drivers, config.input_rise_time, true,
-      (long long)(config.capacitances.size()), 0);
+      static_cast<long long>(config.capacitances.size()), 0);
   JournalSetup js;
   setup_journal(args, "sweep-c", hash, config.capacitances.size(), js);
   if (js.journal) config.journal = &*js.journal;
@@ -580,7 +580,7 @@ int cmd_simulate(const Args& args, std::ostream& os) {
   popts.filename = path;
   std::ifstream in(path, std::ios::ate);
   if (!in)
-    throw io::IoError(io::IoError::Kind::kOpenFailed, path, "cannot open");
+    throw support::IoError(support::IoError::Kind::kOpenFailed, path, "cannot open");
   // Reject oversized files before slurping them into memory; the parser
   // would refuse anyway, but only after the allocation.
   const auto size = in.tellg();
@@ -628,7 +628,7 @@ int cmd_simulate(const Args& args, std::ostream& os) {
     io::ChartOptions copts;
     copts.title = "v(" + probe + ")";
     copts.y_label = probe;
-    os << io::ascii_chart(wave, copts);
+    os << waveform::ascii_chart(wave, copts);
     os << probe << ": min " << wave.minimum().value << ", max "
        << wave.maximum().value << "\n";
   } else {

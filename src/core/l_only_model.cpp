@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+// Dimensions for the SSN-L011 units pass (docs/STATIC_ANALYSIS.md):
+// scenario fields, ASDM constants, and the accessor methods used below.
+// ssn-units: inductance=H, capacitance=F, slope=V/s, vdd=V, k=A/V, lambda=1
+// ssn-units: n_drivers=1
+// ssn-units: vx=V, t=s, t_on=s, t_ramp_end=s, active_ramp=s, tau=s
+// ssn-units: beta=V^2/A, v_inf=V, vn=V, vn_dot=V/s, i_driver=A, i_inductor=A
+
 namespace ssnkit::core {
 
 LOnlyModel::LOnlyModel(SsnScenario scenario) : scenario_(std::move(scenario)) {

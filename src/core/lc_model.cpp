@@ -7,6 +7,19 @@
 #include <numbers>
 #include <stdexcept>
 
+// Dimensions for the SSN-L011 units pass (docs/STATIC_ANALYSIS.md). The
+// resonator members carry their Eqn 13 units: omega0, sigma, omega_d and
+// the characteristic roots s1/s2 are rates [1/s]; zeta is dimensionless.
+// ssn-units: inductance=H, capacitance=F, slope=V/s, vdd=V, k=A/V, lambda=1
+// ssn-units: n_drivers=1
+// ssn-units: vx=V, t=s, dt=s, t_on=s, t_ramp_end=s, active_ramp=s
+// ssn-units: beta=V^2/A, v_inf=V, vn=V, vn_dot=V/s, vn_raw=V, vn_dot_raw=V/s
+// ssn-units: i_driver=A, i_inductor=A, i_capacitor=A
+// ssn-units: omega0_=Hz, zeta_=1, sigma_=Hz, omega_d_=Hz, s1_=Hz, s2_=Hz
+// ssn-units: omega0=Hz, zeta=1, sigma=Hz, omega_d=Hz
+// ssn-units: pi=1, v0=V, dv0=V/s, v_max=V, t_first_peak=s, free_response=V
+// ssn-units: free_response_dot=V/s, vn_extended=V
+
 namespace ssnkit::core {
 
 namespace {

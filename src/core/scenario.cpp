@@ -2,6 +2,10 @@
 
 #include "support/contracts.hpp"
 
+// ssn-units: inductance=H, capacitance=F, slope=V/s, vdd=V, k=A/V, lambda=1
+// ssn-units: n_drivers=1
+// ssn-units: vx=V, critical_capacitance=F
+
 namespace ssnkit::core {
 
 void SsnScenario::validate() const {

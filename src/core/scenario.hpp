@@ -5,6 +5,14 @@
 
 #include "devices/asdm.hpp"
 
+// Dimensions for the SSN-L011 units pass (docs/STATIC_ANALYSIS.md): the
+// scenario's fields and derived figures. beta = N*L*S is V^2/A so that
+// V_inf = K*beta comes out in volts.
+// ssn-units: inductance=H, capacitance=F, slope=V/s, vdd=V, k=A/V, lambda=1
+// ssn-units: n_drivers=1
+// ssn-units: vx=V, t_on=s, t_ramp_end=s, active_ramp=s, beta=V^2/A
+// ssn-units: v_inf=V, critical_capacitance=F
+
 namespace ssnkit::core {
 
 /// One simultaneous-switching event:

@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+// Dimensions for the SSN-L011 units pass (docs/STATIC_ANALYSIS.md). The ASDM
+// transconductance K maps overdrive volts to amps; lambda and the softplus
+// slope are dimensionless.
+// ssn-units: k=A/V, lambda=1, vx=V, eps_smooth=V
+// ssn-units: vg=V, vs=V, vgs=V, vds=V, vbs=V, overdrive=V, slope=1
+// ssn-units: ids=A, ids_gate_source=A, turn_on_vg=V, gm=A/V, gds=A/V, gmb=A/V
+// ssn-units: softplus=V, softplus_deriv=1
+
 namespace ssnkit::devices {
 
 void AsdmParams::validate() const {

@@ -13,19 +13,21 @@ namespace {
 
 constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
 
-std::string render_grid(const std::vector<std::vector<std::pair<double, double>>>& pts,
-                        const std::vector<std::string>& names,
-                        const ChartOptions& opts) {
-  if (pts.empty()) throw std::invalid_argument("ascii_chart: no series");
-  if (pts.size() != names.size())
+}  // namespace
+
+std::string ascii_series_chart(
+    const std::vector<std::vector<std::pair<double, double>>>& series,
+    const std::vector<std::string>& names, const ChartOptions& opts) {
+  if (series.empty()) throw std::invalid_argument("ascii_chart: no series");
+  if (series.size() != names.size())
     throw std::invalid_argument("ascii_chart: names/series mismatch");
   const int w = std::max(opts.width, 16);
   const int h = std::max(opts.height, 6);
 
   double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
   double ymin = xmin, ymax = -xmin;
-  for (const auto& series : pts)
-    for (const auto& [x, y] : series) {
+  for (const auto& s : series)
+    for (const auto& [x, y] : s) {
       xmin = std::min(xmin, x);
       xmax = std::max(xmax, x);
       ymin = std::min(ymin, y);
@@ -42,9 +44,9 @@ std::string render_grid(const std::vector<std::vector<std::pair<double, double>>
   ymax += ypad;
 
   std::vector<std::string> grid(std::size_t(h), std::string(std::size_t(w), ' '));
-  for (std::size_t s = 0; s < pts.size(); ++s) {
+  for (std::size_t s = 0; s < series.size(); ++s) {
     const char glyph = kGlyphs[s % sizeof(kGlyphs)];
-    for (const auto& [x, y] : pts[s]) {
+    for (const auto& [x, y] : series[s]) {
       const int col = int(std::lround((x - xmin) / (xmax - xmin) * (w - 1)));
       const int row = int(std::lround((ymax - y) / (ymax - ymin) * (h - 1)));
       if (col >= 0 && col < w && row >= 0 && row < h)
@@ -80,32 +82,6 @@ std::string render_grid(const std::vector<std::vector<std::pair<double, double>>
   return os.str();
 }
 
-}  // namespace
-
-std::string ascii_chart(const std::vector<const waveform::Waveform*>& series,
-                        const std::vector<std::string>& names,
-                        const ChartOptions& opts) {
-  std::vector<std::vector<std::pair<double, double>>> pts;
-  for (const auto* wv : series) {
-    if (wv == nullptr || wv->empty())
-      throw std::invalid_argument("ascii_chart: null/empty waveform");
-    std::vector<std::pair<double, double>> p;
-    // Resample densely so lines look continuous.
-    const int n = std::max(opts.width, 16) * 2;
-    for (int i = 0; i < n; ++i) {
-      const double t =
-          wv->t_begin() + (wv->t_end() - wv->t_begin()) * double(i) / double(n - 1);
-      p.emplace_back(t, wv->sample(t));
-    }
-    pts.push_back(std::move(p));
-  }
-  return render_grid(pts, names, opts);
-}
-
-std::string ascii_chart(const waveform::Waveform& wave, const ChartOptions& opts) {
-  return ascii_chart({&wave}, {opts.y_label}, opts);
-}
-
 std::string ascii_xy_chart(const std::vector<double>& x,
                            const std::vector<std::vector<double>>& ys,
                            const std::vector<std::string>& names,
@@ -118,7 +94,7 @@ std::string ascii_xy_chart(const std::vector<double>& x,
     for (std::size_t i = 0; i < x.size(); ++i) p.emplace_back(x[i], y[i]);
     pts.push_back(std::move(p));
   }
-  return render_grid(pts, names, opts);
+  return ascii_series_chart(pts, names, opts);
 }
 
 }  // namespace ssnkit::io

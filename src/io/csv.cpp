@@ -1,6 +1,6 @@
 #include "io/csv.hpp"
 
-#include "io/atomic_file.hpp"
+#include "support/atomic_file.hpp"
 
 #include <cmath>
 #include <fstream>
@@ -48,7 +48,7 @@ void CsvWriter::write_file(const std::string& path) const {
   // rewrites its output file cannot truncate a previous good version.
   std::ostringstream buffer;
   write(buffer);
-  write_file_atomic(path, buffer.str());
+  support::write_file_atomic(path, buffer.str());
 }
 
 // ---------------------------------------------------------------------------
@@ -224,25 +224,5 @@ CsvReader::Table CsvReader::read_file(const std::string& path) const {
   return table;
 }
 
-void write_waveforms_csv(std::ostream& os, const std::vector<std::string>& names,
-                         const std::vector<const waveform::Waveform*>& waves) {
-  if (names.size() != waves.size())
-    throw std::invalid_argument("write_waveforms_csv: names/waves mismatch");
-  if (waves.empty() || waves[0] == nullptr || waves[0]->empty())
-    throw std::invalid_argument("write_waveforms_csv: need a non-empty lead waveform");
-  os << "time";
-  for (const auto& n : names) os << ',' << n;
-  os << '\n';
-  os.precision(12);
-  for (std::size_t i = 0; i < waves[0]->size(); ++i) {
-    const double t = waves[0]->time(i);
-    os << t;
-    for (const auto* w : waves) os << ',' << w->sample(t);
-    os << '\n';
-  }
-  if (!os)
-    throw IoError(IoError::Kind::kWriteFailed, "<stream>",
-                  "stream entered a failed state while writing waveforms");
-}
 
 }  // namespace ssnkit::io

@@ -5,7 +5,6 @@
 #pragma once
 
 #include "io/diagnostics.hpp"
-#include "waveform/waveform.hpp"
 
 #include <iosfwd>
 #include <string>
@@ -81,11 +80,5 @@ class CsvReader {
  private:
   CsvLimits limits_;
 };
-
-/// Dump one or more waveforms (sampled at the first waveform's times) as
-/// time,name1,name2,... CSV.
-void write_waveforms_csv(std::ostream& os,
-                         const std::vector<std::string>& names,
-                         const std::vector<const waveform::Waveform*>& waves);
 
 }  // namespace ssnkit::io

@@ -149,12 +149,6 @@ ParseError::ParseError(std::vector<Diagnostic> diagnostics)
     : std::invalid_argument(parse_error_what(diagnostics)),
       diagnostics_(std::move(diagnostics)) {}
 
-IoError::IoError(Kind kind, std::string path, const std::string& message)
-    : std::runtime_error("IoError[" + std::string(io::to_string(kind)) + "] " +
-                         path + ": " + message),
-      kind_(kind),
-      path_(std::move(path)) {}
-
 // ---------------------------------------------------------------------------
 // Hardened numeric parsing.
 // ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@
 //     into a proper diagnosis instead of an unrelated exception type.
 #pragma once
 
+#include "support/atomic_file.hpp"
 #include "support/srcloc.hpp"
 
 #include <cstddef>
@@ -117,31 +118,12 @@ class ParseError : public std::invalid_argument {
   std::vector<Diagnostic> diagnostics_;
 };
 
-/// Typed stream/file failure. Distinguishes "could not open" from "wrote
-/// less than asked" (disk full, quota, yanked mount) — the latter used to
-/// truncate CSV output silently.
-class IoError : public std::runtime_error {
- public:
-  enum class Kind { kOpenFailed, kWriteFailed, kReadFailed };
-
-  IoError(Kind kind, std::string path, const std::string& message);
-
-  Kind kind() const { return kind_; }
-  const std::string& path() const { return path_; }
-
- private:
-  Kind kind_;
-  std::string path_;
-};
-
-inline const char* to_string(IoError::Kind k) {
-  switch (k) {
-    case IoError::Kind::kOpenFailed: return "open-failed";
-    case IoError::Kind::kWriteFailed: return "write-failed";
-    case IoError::Kind::kReadFailed: return "read-failed";
-  }
-  return "unknown";
-}
+/// Typed stream/file failure (open failed, short write, short read). The
+/// class itself lives in support/atomic_file.hpp — the bottom layer owns
+/// the crash-safe writer that throws it — and io re-exports it so parsing
+/// and serialization callers keep writing io::IoError.
+using support::IoError;
+using support::to_string;
 
 // ---------------------------------------------------------------------------
 // Hardened numeric parsing. These are the only sanctioned call sites of

@@ -1,11 +1,12 @@
 // Emit self-contained gnuplot scripts (data inlined via heredoc blocks) so
-// every bench figure can be turned into a real plot offline.
+// every bench figure can be turned into a real plot offline. Like the ascii
+// charts, this layer consumes plain point series; the Waveform adapters
+// live in waveform/render.hpp (SSN-L010 layering).
 #pragma once
-
-#include "waveform/waveform.hpp"
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ssnkit::io {
@@ -18,11 +19,11 @@ struct GnuplotOptions {
   std::string output;  ///< output file for the terminal; empty = interactive
 };
 
-/// Write a script plotting the given waveforms as lines.
-void write_gnuplot_script(std::ostream& os,
-                          const std::vector<const waveform::Waveform*>& series,
-                          const std::vector<std::string>& names,
-                          const GnuplotOptions& opts = {});
+/// Write a script plotting the given point series as lines.
+void write_gnuplot_series_script(
+    std::ostream& os,
+    const std::vector<std::vector<std::pair<double, double>>>& series,
+    const std::vector<std::string>& names, const GnuplotOptions& opts = {});
 
 /// Write a script plotting y-columns against an x vector (sweep results).
 void write_gnuplot_xy_script(std::ostream& os, const std::vector<double>& x,

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+// ssn-units: inductance=H, capacitance=F, resistance=Ohm
+
 namespace ssnkit::process {
 
 void Package::validate() const {

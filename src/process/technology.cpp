@@ -4,6 +4,9 @@
 
 #include <stdexcept>
 
+// ssn-units: vdd=V, vt0=V, vd0=V, vsat_v=V, phi2f=V
+// ssn-units: load_cap=F, gate_cap=F, id0=A
+
 namespace ssnkit::process {
 
 std::unique_ptr<devices::MosfetModel> Technology::make_golden(

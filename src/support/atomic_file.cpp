@@ -1,6 +1,4 @@
-#include "io/atomic_file.hpp"
-
-#include "io/diagnostics.hpp"
+#include "support/atomic_file.hpp"
 
 #include <cstdio>
 #include <string>
@@ -16,7 +14,13 @@
 #include <cstring>
 #endif
 
-namespace ssnkit::io {
+namespace ssnkit::support {
+
+IoError::IoError(Kind kind, std::string path, const std::string& message)
+    : std::runtime_error("IoError[" + std::string(to_string(kind)) + "] " +
+                         path + ": " + message),
+      kind_(kind),
+      path_(std::move(path)) {}
 
 #if defined(_WIN32)
 
@@ -147,4 +151,4 @@ void write_file_atomic(const std::string& path, const std::string& contents) {
 
 #endif
 
-}  // namespace ssnkit::io
+}  // namespace ssnkit::support

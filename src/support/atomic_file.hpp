@@ -1,0 +1,51 @@
+// Crash-safe file replacement: write to a temporary file in the target's
+// directory, fsync it, then rename() over the destination. A reader (or a
+// resumed job) therefore sees either the complete old content or the
+// complete new content — never a truncated half-write, which is the
+// property the batch journal and the CSV outputs rely on.
+//
+// Lives in the support layer (the bottom of the include DAG — see
+// docs/STATIC_ANALYSIS.md, SSN-L010) so the checkpoint journal can use it
+// without reaching up into the io layer; io re-exports IoError as
+// io::IoError for its own stream/file failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ssnkit::support {
+
+/// Typed stream/file failure. Distinguishes "could not open" from "wrote
+/// less than asked" (disk full, quota, yanked mount) — the latter used to
+/// truncate CSV output silently.
+class IoError : public std::runtime_error {
+ public:
+  enum class Kind { kOpenFailed, kWriteFailed, kReadFailed };
+
+  IoError(Kind kind, std::string path, const std::string& message);
+
+  Kind kind() const { return kind_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Kind kind_;
+  std::string path_;
+};
+
+inline const char* to_string(IoError::Kind k) {
+  switch (k) {
+    case IoError::Kind::kOpenFailed: return "open-failed";
+    case IoError::Kind::kWriteFailed: return "write-failed";
+    case IoError::Kind::kReadFailed: return "read-failed";
+  }
+  return "unknown";
+}
+
+/// Atomically replace `path` with `contents`. The temporary file lives in
+/// the same directory (rename across filesystems is not atomic) and is
+/// unlinked on any failure. Throws IoError{kOpenFailed} when the temporary
+/// cannot be created and IoError{kWriteFailed} when writing, syncing, or
+/// renaming fails.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace ssnkit::support

@@ -1,10 +1,10 @@
 #include "support/journal.hpp"
 
-#include "io/atomic_file.hpp"
-#include "io/diagnostics.hpp"
+#include "support/atomic_file.hpp"
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -63,12 +63,33 @@ std::uint64_t fnv1a(const std::string& text) {
 
 namespace {
 
-/// Strict non-negative decimal parse for indices/totals; the int-sized
-/// io::parse_int_strict covers every other integer field.
+/// Strict decimal integer parse, journal-local so the support layer does
+/// not reach up into io's hardened parsers (SSN-L010 layering). Matches the
+/// writer's own output exactly: an optional '-', then decimal digits — no
+/// whitespace, hex, suffixes, or overflow past long long.
+bool parse_decimal_ll(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative && text.size() == 1) return false;
+  if (negative) i = 1;
+  long long v = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    const int digit = c - '0';
+    if (v > (std::numeric_limits<long long>::max() - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = negative ? -v : v;
+  return true;
+}
+
+/// Strict non-negative decimal parse for indices/totals.
 bool parse_size(const std::string& text, std::size_t& out) {
-  const io::IntParse p = io::parse_int_strict(text);
-  if (!p.ok || p.value < 0) return false;
-  out = std::size_t(p.value);
+  long long v = 0;
+  if (!parse_decimal_ll(text, v) || v < 0) return false;
+  out = std::size_t(v);
   return true;
 }
 
@@ -113,7 +134,7 @@ void BatchJournal::record(std::size_t index, const PointRecord& record) {
   items_[index] = record;
   // Full atomic rewrite per record: the file on disk is always a complete
   // journal, whatever instant the process dies at.
-  io::write_file_atomic(path_, render_locked());
+  write_file_atomic(path_, render_locked());
 }
 
 BatchJournal::Loaded BatchJournal::load(const std::string& path) {
@@ -161,13 +182,17 @@ BatchJournal::Loaded BatchJournal::load(const std::string& path) {
     if (!parse_size(f[1], index) || index >= out.header.total)
       throw bad("item index out of range");
     PointRecord rec;
-    const io::IntParse fid = io::parse_int_strict(f[2]);
-    if (!fid.ok || fid.value < 0) throw bad("bad fidelity field");
-    rec.fidelity = fid.value;
+    long long fid = 0;
+    if (!parse_decimal_ll(f[2], fid) || fid < 0 ||
+        fid > std::numeric_limits<int>::max())
+      throw bad("bad fidelity field");
+    rec.fidelity = int(fid);
     if (!parse_hex_u64(f[3], rec.v_bits)) throw bad("bad vbits field");
-    const io::IntParse err = io::parse_int_strict(f[4]);
-    if (!err.ok || err.value < -1) throw bad("bad error-kind field");
-    rec.error_kind = err.value;
+    long long err = 0;
+    if (!parse_decimal_ll(f[4], err) || err < -1 ||
+        err > std::numeric_limits<int>::max())
+      throw bad("bad error-kind field");
+    rec.error_kind = int(err);
     out.items[index] = rec;
   }
   return out;

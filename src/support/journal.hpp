@@ -12,7 +12,7 @@
 // result indistinguishable from an uninterrupted run.
 //
 // Durability: every record() rewrites the whole journal through
-// io::write_file_atomic (temp + fsync + rename), so the on-disk file is
+// support::write_file_atomic (temp + fsync + rename), so the on-disk file is
 // always a complete, parseable journal — kill the process at any instant
 // and at worst the most recent item is lost (and simply re-runs on resume).
 // Journals are small (tens of bytes per item); the O(items^2) total write

@@ -1,0 +1,11 @@
+// Fixture: io and numeric share rank 1; including each other is a layer
+// cycle even though neither edge is "upward".
+#pragma once
+
+#include "numeric/table.hpp"
+
+namespace fixture {
+struct Reader {
+  int rows = 0;
+};
+}  // namespace fixture

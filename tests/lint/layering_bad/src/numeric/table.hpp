@@ -1,0 +1,10 @@
+// Fixture: second half of the io <-> numeric same-rank layer cycle.
+#pragma once
+
+#include "io/reader.hpp"
+
+namespace fixture {
+struct Table {
+  int cols = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: sim -> support is a legal downward include, but together with
+// support/buffer.hpp's upward edge it closes a file-level include cycle.
+#pragma once
+
+#include "support/buffer.hpp"
+
+namespace fixture {
+struct Stepper {
+  int steps = 0;
+};
+}  // namespace fixture

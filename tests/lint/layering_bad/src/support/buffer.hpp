@@ -1,0 +1,10 @@
+// Fixture: the support layer (rank 0) must never reach up into sim (rank 3).
+#pragma once
+
+#include "sim/stepper.hpp"
+
+namespace fixture {
+struct Buffer {
+  int capacity = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: numeric (rank 1) -> support (rank 0) flows down: legal.
+#pragma once
+
+#include "support/base.hpp"
+
+namespace fixture {
+struct Vec {
+  int size = 0;
+};
+}  // namespace fixture

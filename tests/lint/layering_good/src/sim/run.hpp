@@ -1,0 +1,10 @@
+// Fixture: sim (rank 3) -> numeric (rank 1) flows down: legal.
+#pragma once
+
+#include "numeric/vec.hpp"
+
+namespace fixture {
+struct Run {
+  int iterations = 0;
+};
+}  // namespace fixture

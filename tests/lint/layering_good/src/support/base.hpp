@@ -1,0 +1,8 @@
+// Fixture: rank-0 leaf with no project includes.
+#pragma once
+
+namespace fixture {
+struct Base {
+  int id = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: emits a diagnostic code that the catalog does not document.
+#include <string>
+
+namespace fixture {
+
+std::string undocumented_code() { return "SSN-E901: fixture boom"; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: every emitted diagnostic code has exactly one catalog row.
+#include <string>
+
+namespace fixture {
+
+std::string documented_code() { return "SSN-E901: fixture boom"; }
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: deliberately wrong dimensional arithmetic. Adding a voltage to a
+// current (and an inductance to a capacitance) must trip SSN-L011.
+// ssn-units: v_noise=V, i_load=A, l_gnd=H, c_pad=F
+
+namespace fixture {
+
+double broken_sum() {
+  const double v_noise = 0.3;
+  const double i_load = 0.01;
+  const double l_gnd = 5e-9;
+  const double c_pad = 1e-12;
+  const double bad = v_noise + i_load;
+  const double worse = l_gnd + c_pad;
+  return bad * worse;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: dimensionally consistent dataflow through the same operations the
+// bad twin abuses. SSN-L011 must stay quiet here.
+// ssn-units: v_a=V, v_b=V, i_out=A, g_load=A/V, t_rise=s, tau_g=s
+
+namespace fixture {
+
+double settle(double v_a, double v_b, double g_load, double t_rise,
+              double tau_g) {
+  const double v_sum = v_a + v_b;
+  const double i_out = g_load * v_sum;
+  const double ratio = t_rise / tau_g;
+  return i_out * ratio;
+}
+
+}  // namespace fixture

@@ -3,6 +3,7 @@
 #include "io/csv.hpp"
 #include "io/gnuplot.hpp"
 #include "io/table.hpp"
+#include "waveform/render.hpp"
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,9 @@ namespace {
 
 using namespace ssnkit::io;
 using ssnkit::waveform::Waveform;
+using ssnkit::waveform::ascii_chart;
+using ssnkit::waveform::write_gnuplot_script;
+using ssnkit::waveform::write_waveforms_csv;
 
 TEST(Csv, HeaderAndRows) {
   CsvWriter csv({"n", "vmax"});

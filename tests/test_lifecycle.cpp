@@ -7,7 +7,7 @@
 #include "analysis/resilience.hpp"
 #include "analysis/sweeps.hpp"
 #include "cli/commands.hpp"
-#include "io/atomic_file.hpp"
+#include "support/atomic_file.hpp"
 #include "io/csv.hpp"
 #include "support/faultinject.hpp"
 #include "support/journal.hpp"
@@ -346,7 +346,7 @@ TEST(Lifecycle, JournalLoadRejectsMissingAndMalformed) {
            "ssnkit-journal v1\nkind mc-sim\nconfig 0000000000000000\n"
            "total 1\nitem 5 0 0000000000000000 -1\n",  // index >= total
        }) {
-    io::write_file_atomic(path, body);
+    support::write_file_atomic(path, body);
     try {
       BatchJournal::load(path);
       FAIL() << "expected JournalError for: " << body;
@@ -383,7 +383,7 @@ TEST(Lifecycle, DriverRejectsJournalWithOutOfRangeFidelity) {
   // The support-layer loader is sim-agnostic (fidelity is just a
   // non-negative int there); the driver's decode enforces the enum range.
   const std::string path = temp_path("oor_fidelity_journal.txt");
-  io::write_file_atomic(
+  support::write_file_atomic(
       path,
       "ssnkit-journal v1\nkind mc-sim\nconfig 0000000000000000\n"
       "total 2\nitem 0 99 0000000000000000 -1\n");
@@ -402,8 +402,8 @@ TEST(Lifecycle, DriverRejectsJournalWithOutOfRangeFidelity) {
 
 TEST(Lifecycle, AtomicWriteReplacesContentCompletely) {
   const std::string path = temp_path("atomic_write.txt");
-  io::write_file_atomic(path, "first version\n");
-  io::write_file_atomic(path, "second\n");
+  support::write_file_atomic(path, "first version\n");
+  support::write_file_atomic(path, "second\n");
   std::ifstream in(path);
   std::stringstream got;
   got << in.rdbuf();
@@ -412,8 +412,8 @@ TEST(Lifecycle, AtomicWriteReplacesContentCompletely) {
 }
 
 TEST(Lifecycle, AtomicWriteFailureLeavesNoTemporary) {
-  EXPECT_THROW(io::write_file_atomic("/no/such/dir/x.txt", "data"),
-               io::IoError);
+  EXPECT_THROW(support::write_file_atomic("/no/such/dir/x.txt", "data"),
+               support::IoError);
 }
 
 // --- interrupted + resumed Monte Carlo is bit-identical ---------------------

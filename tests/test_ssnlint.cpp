@@ -2,10 +2,17 @@
 // against fixture snippets, both firing and staying quiet, plus the
 // suppression syntax and the comment/string stripper.
 #include "ssnlint_core.hpp"
+#include "ssnlint_output.hpp"
+#include "ssnlint_project.hpp"
+#include "ssnlint_registry.hpp"
+#include "ssnlint_units.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -338,7 +345,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 9);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 12);
 }
 
 // --- SSN-L009: lifecycle hygiene --------------------------------------------
@@ -416,6 +423,241 @@ TEST(SsnlintL009, SuppressionWorks) {
                 "// ssnlint-ignore(SSN-L009)\n"
                 "void f() { signal(2, handler); }\n"),
             "SSN-L009"), 0);
+}
+
+// --- tokenizer edge cases ---------------------------------------------------
+
+TEST(SsnlintStrip, RawStringsSpanningLinesKeepLineNumbers) {
+  const auto d = lint(
+      "const char* s = R\"(line1\n"
+      "x == 0.3\n"
+      ")\";\n"
+      "bool f(double x) { return x == 0.5; }\n");
+  ASSERT_EQ(int(d.size()), 1);
+  EXPECT_EQ(d[0].rule, "SSN-L001");
+  EXPECT_EQ(d[0].line, 4);
+}
+
+TEST(SsnlintStrip, CustomRawDelimitersAndEncodingPrefixes) {
+  const auto d = lint(
+      "const char* a = R\"ssn(x == 0.25)ssn\";\n"
+      "const wchar_t* b = LR\"(x == 0.25)\";\n"
+      "const char* c = u8R\"(x == 0.25)\";\n"
+      "bool f(double x) { return x == 0.5; }\n");
+  ASSERT_EQ(int(d.size()), 1);
+  EXPECT_EQ(d[0].line, 4);
+}
+
+TEST(SsnlintStrip, DigitSeparatorsAreNotCharLiterals) {
+  // If 1'000'000 opened a char literal, everything after it would be
+  // swallowed as string content and the comparison below would vanish.
+  const auto d =
+      lint("bool f(double x) { int big = 1'000'000; return x == 0.25; }\n");
+  EXPECT_EQ(count_rule(d, "SSN-L001"), 1);
+  EXPECT_EQ(count_rule(lint("double g() { return 1'000.5; }\n"), "SSN-L001"), 0);
+}
+
+TEST(SsnlintStrip, EncodedCharLiteralsAreStillCharLiterals) {
+  // u8'...' / L'...' open character literals (their quotes are not digit
+  // separators); the quote inside survives without desyncing the lexer.
+  const auto d = lint(
+      "bool f(double x) { char c = u8'\"'; wchar_t w = L'\\''; "
+      "return x == 0.5; }\n");
+  EXPECT_EQ(count_rule(d, "SSN-L001"), 1);
+}
+
+TEST(SsnlintStrip, BackslashNewlineInsideStringKeepsLineNumbers) {
+  const auto d = lint(
+      "const char* s = \"abc\\\n"
+      "def\";\n"
+      "bool f(double x) { return x == 0.5; }\n");
+  ASSERT_EQ(int(d.size()), 1);
+  EXPECT_EQ(d[0].line, 3);
+}
+
+TEST(SsnlintStrip, UserDefinedLiteralsLexAsOneToken) {
+  const auto d = lint(
+      "bool f(double x) { auto y = 12.5_nH; (void)y; return x == 0.5; }\n");
+  EXPECT_EQ(count_rule(d, "SSN-L001"), 1);
+}
+
+// --- fingerprints / baseline / SARIF ----------------------------------------
+
+TEST(SsnlintFingerprint, StableAcrossLineShiftsAndReindentation) {
+  const auto a = lint("bool f(double x) { return x == 0.25; }\n");
+  const auto b = lint("\n\n    bool f(double x) { return x == 0.25; }\n");
+  ASSERT_EQ(int(a.size()), 1);
+  ASSERT_EQ(int(b.size()), 1);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].fingerprint, b[0].fingerprint);
+  EXPECT_EQ(int(a[0].fingerprint.size()), 16);
+  // The basename, not the directory, participates: a move between layers
+  // does not invalidate a baseline.
+  const auto c = lint_source("src/analysis/fixture.cpp",
+                             "bool f(double x) { return x == 0.25; }\n");
+  ASSERT_EQ(int(c.size()), 1);
+  EXPECT_EQ(a[0].fingerprint, c[0].fingerprint);
+}
+
+TEST(SsnlintBaseline, AppliedFingerprintsSuppressFindings) {
+  const auto d = lint("bool f(double x) { return x == 0.25; }\n");
+  ASSERT_EQ(int(d.size()), 1);
+  std::size_t suppressed = 0;
+  const auto kept =
+      ssnlint::apply_baseline(d, {d[0].fingerprint}, &suppressed);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(suppressed, 1u);
+  std::ostringstream os;
+  ssnlint::write_baseline(os, d);
+  // Round-trip: the written file's first field is the same fingerprint.
+  EXPECT_NE(os.str().find("\n" + d[0].fingerprint + " SSN-L001"),
+            std::string::npos);
+}
+
+TEST(SsnlintSarif, EmitsCatalogResultsAndPartialFingerprints) {
+  const auto d = lint("bool f(double x) { return x == 0.25; }\n");
+  std::ostringstream os;
+  ssnlint::write_sarif(os, d);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\": \"SSN-L012\""), std::string::npos);  // catalog
+  EXPECT_NE(s.find("\"ruleId\": \"SSN-L001\""), std::string::npos);
+  EXPECT_NE(s.find("\"ssnlintFingerprint/v1\": \"" + d[0].fingerprint),
+            std::string::npos);
+}
+
+// --- whole-project fixtures (tests/lint/) -----------------------------------
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> tree_files(const std::string& tree) {
+  std::vector<fs::path> files;
+  for (const auto& e : fs::recursive_directory_iterator(
+           fs::path(SSNLINT_FIXTURE_DIR) / tree))
+    if (e.is_regular_file() && ssnlint::lintable_extension(e.path()))
+      files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int count_message(const std::vector<Diagnostic>& diags, const std::string& s) {
+  return int(std::count_if(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.message.find(s) != std::string::npos;
+  }));
+}
+
+TEST(SsnlintL010, FiresOnUpwardIncludesAndCycles) {
+  const auto proj = ssnlint::load_project(tree_files("layering_bad"));
+  std::vector<Diagnostic> out;
+  ssnlint::pass_layering(proj, out);
+  EXPECT_EQ(count_rule(out, "SSN-L010"), 4);
+  EXPECT_EQ(count_message(out, "upward include"), 1);
+  EXPECT_EQ(count_message(out, "include cycle"), 2);
+  EXPECT_EQ(count_message(out, "layer cycle"), 1);
+}
+
+TEST(SsnlintL010, QuietOnDownwardIncludes) {
+  const auto proj = ssnlint::load_project(tree_files("layering_good"));
+  std::vector<Diagnostic> out;
+  ssnlint::pass_layering(proj, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SsnlintL011, FiresOnFixtureUnitMixes) {
+  const auto proj = ssnlint::load_project(tree_files("units_bad"));
+  std::vector<Diagnostic> out;
+  ssnlint::pass_units(proj, out);
+  ASSERT_EQ(count_rule(out, "SSN-L011"), 2);
+  EXPECT_EQ(count_message(out, "[V] and [A]"), 1);
+  EXPECT_EQ(count_message(out, "[H] and [F]"), 1);
+}
+
+TEST(SsnlintL011, QuietOnConsistentFixture) {
+  const auto proj = ssnlint::load_project(tree_files("units_good"));
+  std::vector<Diagnostic> out;
+  ssnlint::pass_units(proj, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// In-memory units checks: suffix conventions and transcendental arguments.
+
+std::vector<Diagnostic> lint_units(const std::string& path,
+                                   const std::string& src) {
+  ssnlint::FileInfo info;
+  info.display = path;
+  info.path = fs::path(path);
+  ssnlint::detail::classify_layer(info.path, info.layer, info.rank, info.root);
+  info.source = src;
+  info.stripped = ssnlint::strip_source(src);
+  std::vector<Diagnostic> out;
+  ssnlint::pass_units_file(info, out);
+  return out;
+}
+
+TEST(SsnlintL011, SuffixConventionSeedsUnits) {
+  EXPECT_EQ(count_rule(lint_units("src/core/x.cpp",
+                                  "double f(double l_h, double c_f) {\n"
+                                  "  return l_h + c_f;\n"
+                                  "}\n"),
+            "SSN-L011"), 1);
+  EXPECT_EQ(count_rule(lint_units("src/core/x.cpp",
+                                  "double f(double v_a, double v_b) {\n"
+                                  "  return v_a + v_b;\n"  // both amps
+                                  "}\n"),
+            "SSN-L011"), 0);
+}
+
+TEST(SsnlintL011, TranscendentalsWantDimensionlessArguments) {
+  EXPECT_EQ(count_rule(lint_units("src/core/x.cpp",
+                                  "// ssn-units: t=s\n"
+                                  "double f(double t) { return std::exp(t); }\n"),
+            "SSN-L011"), 1);
+  EXPECT_EQ(count_rule(lint_units("src/core/x.cpp",
+                                  "// ssn-units: t=s, tau=s\n"
+                                  "double f(double t, double tau) {\n"
+                                  "  return std::exp(t / tau);\n"
+                                  "}\n"),
+            "SSN-L011"), 0);
+}
+
+TEST(SsnlintL011, OutsideModelLayersOnlyAnnotatedFilesParticipate) {
+  const std::string src =
+      "double f(double l_h, double c_f) { return l_h + c_f; }\n";
+  EXPECT_EQ(count_rule(lint_units("src/io/x.cpp", src), "SSN-L011"), 0);
+  EXPECT_EQ(count_rule(lint_units("src/io/x.cpp",
+                                  "// ssn-units: scale=1\n" + src),
+            "SSN-L011"), 1);
+}
+
+TEST(SsnlintL012, FiresOnBrokenRegistryFixture) {
+  const auto proj = ssnlint::load_project(tree_files("registry_bad"));
+  ssnlint::RegistryOptions reg;
+  reg.doc_files = {fs::path(SSNLINT_FIXTURE_DIR) / "registry_bad" / "docs" /
+                   "CATALOG.md"};
+  reg.full_surface = true;
+  std::vector<Diagnostic> out;
+  ssnlint::pass_registry(proj, reg, out);
+  EXPECT_EQ(count_rule(out, "SSN-L012"), 3);
+  EXPECT_EQ(count_message(out, "undocumented diagnostic code SSN-E901"), 1);
+  EXPECT_EQ(count_message(out, "duplicate catalog row for SSN-E902"), 1);
+  EXPECT_EQ(count_message(out, "dead catalog row: SSN-E902"), 1);
+  // Without the full-surface claim the dead-row check stands down.
+  std::vector<Diagnostic> partial;
+  reg.full_surface = false;
+  ssnlint::pass_registry(proj, reg, partial);
+  EXPECT_EQ(count_rule(partial, "SSN-L012"), 2);
+  EXPECT_EQ(count_message(partial, "dead catalog row"), 0);
+}
+
+TEST(SsnlintL012, QuietOnCleanRegistryFixture) {
+  const auto proj = ssnlint::load_project(tree_files("registry_good"));
+  ssnlint::RegistryOptions reg;
+  reg.doc_files = {fs::path(SSNLINT_FIXTURE_DIR) / "registry_good" / "docs" /
+                   "CATALOG.md"};
+  reg.full_surface = true;
+  std::vector<Diagnostic> out;
+  ssnlint::pass_registry(proj, reg, out);
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

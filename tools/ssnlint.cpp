@@ -1,51 +1,366 @@
-// ssnlint command-line driver. See ssnlint_core.hpp for the rule engine.
+// ssnlint command-line driver. The per-file rule engine lives in
+// ssnlint_core.hpp; the whole-project passes (include-graph layering,
+// physical-units dataflow, diagnostic-code registry) live in
+// ssnlint_project.hpp / ssnlint_units.hpp / ssnlint_registry.hpp; SARIF and
+// baseline back-ends in ssnlint_output.hpp.
 //
-// Usage: ssnlint [--list-rules] [path...]
-//   path   file or directory (recursed for .hpp/.cpp); defaults to ./src
+// Usage: ssnlint [options] [path...]
+//   path                 file or directory (recursed for .hpp/.cpp/.h/.cc);
+//                        defaults to ./src
+//   --list-rules         print the rule catalog and exit
+//   --sarif FILE         also write a SARIF 2.1.0 log ('-' for stdout)
+//   --baseline FILE      suppress findings whose fingerprints FILE records
+//   --write-baseline FILE  record current findings as the new baseline
+//   --threads N          file-scanning threads (default: hardware, min 1)
+//   --docs PATH          docs catalog file/dir for SSN-L012 (repeatable;
+//                        defaults to <project-root>/docs when detectable)
+//   --exclude SUBSTR     skip paths containing SUBSTR (repeatable)
+//   --no-project         per-file rules only; skip SSN-L010/L011/L012
+//   --full-surface       assert the scan covers all emission sites, enabling
+//                        the SSN-L012 dead-code check (auto-detected when
+//                        the scanned paths cover <root>/src and <root>/tools)
+//   --stats              per-rule counts and phase timings on stderr
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
 #include "ssnlint_core.hpp"
+#include "ssnlint_output.hpp"
+#include "ssnlint_project.hpp"
+#include "ssnlint_registry.hpp"
+#include "ssnlint_units.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
-int main(int argc, char** argv) {
+namespace {
+
+struct Options {
   std::vector<std::string> paths;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::filesystem::path> docs;
+  std::vector<std::string> excludes;
+  unsigned threads = 0;  // 0: hardware_concurrency
+  bool project_passes = true;
+  bool full_surface = false;
+  bool stats = false;
+};
+
+int usage_error(const std::string& message) {
+  std::cerr << "ssnlint: " << message << " (see --help)\n";
+  return 2;
+}
+
+void print_help() {
+  std::cout <<
+      "usage: ssnlint [options] [path...]\n"
+      "Scans .hpp/.cpp files for ssnkit hygiene violations: per-file\n"
+      "numeric rules (SSN-L001..L009) plus whole-project passes for\n"
+      "include-graph layering (SSN-L010), physical-units dataflow\n"
+      "(SSN-L011), and the diagnostic-code registry (SSN-L012).\n"
+      "\n"
+      "  --list-rules           print the rule catalog and exit\n"
+      "  --sarif FILE           also write a SARIF 2.1.0 log ('-' = stdout)\n"
+      "  --baseline FILE        suppress findings recorded in FILE\n"
+      "  --write-baseline FILE  record current findings as the new baseline\n"
+      "  --threads N            file-scanning threads (default: hardware)\n"
+      "  --docs PATH            docs catalog for SSN-L012 (repeatable)\n"
+      "  --exclude SUBSTR       skip paths containing SUBSTR (repeatable)\n"
+      "  --no-project           per-file rules only\n"
+      "  --full-surface         enable the SSN-L012 dead-code check\n"
+      "  --stats                per-rule counts and timings on stderr\n"
+      "\n"
+      "Suppress a finding with // ssnlint-ignore(RULE) on the offending\n"
+      "line or the line above; annotate units with // ssn-units: name=V.\n";
+}
+
+/// Collect lintable files under the requested paths, honoring --exclude.
+std::vector<std::filesystem::path> collect_files(const Options& opts,
+                                                 bool& io_error) {
+  std::vector<std::filesystem::path> files;
+  const auto excluded = [&](const std::filesystem::path& p) {
+    const std::string s = p.generic_string();
+    for (const std::string& e : opts.excludes)
+      if (s.find(e) != std::string::npos) return true;
+    return false;
+  };
+  for (const std::string& p : opts.paths) {
+    if (!std::filesystem::exists(p)) {
+      std::cerr << "ssnlint: no such path '" << p << "'\n";
+      io_error = true;
+      return files;
+    }
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::recursive_directory_iterator(p))
+        if (e.is_regular_file() && ssnlint::lintable_extension(e.path()) &&
+            !excluded(e.path()))
+          files.push_back(e.path());
+    } else if (!excluded(p)) {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+/// True when the scanned path set covers <root>/src and <root>/tools.
+bool covers_full_surface(const Options& opts,
+                         const std::filesystem::path& root) {
+  if (root.empty()) return false;
+  const auto covers = [&](const std::filesystem::path& target) {
+    if (!std::filesystem::exists(target)) return true;  // nothing to cover
+    const std::string t =
+        std::filesystem::absolute(target).lexically_normal().generic_string();
+    for (const std::string& p : opts.paths) {
+      const std::string a =
+          std::filesystem::absolute(p).lexically_normal().generic_string();
+      if (t == a || t.rfind(a + "/", 0) == 0) return true;
+    }
+    return false;
+  };
+  return covers(root / "src") && covers(root / "tools");
+}
+
+/// Run the per-file rules over `files` with a worker pool; results land in
+/// deterministic (sorted-input) order regardless of thread interleaving.
+std::vector<ssnlint::Diagnostic> lint_files_parallel(
+    const std::vector<std::filesystem::path>& files, unsigned threads) {
+  std::vector<std::vector<ssnlint::Diagnostic>> per_file(files.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) break;
+      per_file[i] = ssnlint::lint_file(files[i]);
+    }
+  };
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = unsigned(std::min<std::size_t>(threads,
+                                           std::max<std::size_t>(files.size(), 1)));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  std::vector<ssnlint::Diagnostic> out;
+  for (auto& d : per_file) out.insert(out.end(), d.begin(), d.end());
+  return out;
+}
+
+/// Apply in-source suppressions and attach hint/fingerprint to diagnostics
+/// produced by the project passes (lint_file already does this for the
+/// per-file rules).
+std::vector<ssnlint::Diagnostic> finalize_project_diags(
+    const ssnlint::Project& proj, std::vector<ssnlint::Diagnostic> diags) {
+  std::map<std::string, std::size_t> by_display;
+  for (std::size_t i = 0; i < proj.files.size(); ++i)
+    by_display.emplace(proj.files[i].display, i);
+  std::map<std::size_t, std::vector<std::string>> lines_cache;
+  std::vector<ssnlint::Diagnostic> kept;
+  static const std::vector<std::string> kNoLines;
+  for (ssnlint::Diagnostic& d : diags) {
+    const auto it = by_display.find(d.file);
+    if (it != by_display.end()) {
+      const ssnlint::FileInfo& f = proj.files[it->second];
+      bool suppressed = false;
+      for (int l : {d.line, d.line - 1}) {
+        const auto sup = f.stripped.suppressions.find(l);
+        if (sup != f.stripped.suppressions.end() &&
+            (sup->second.count(d.rule) || sup->second.count("all")))
+          suppressed = true;
+      }
+      if (suppressed) continue;
+      auto& lines = lines_cache[it->second];
+      if (lines.empty()) lines = ssnlint::split_lines(f.source);
+      ssnlint::finalize_diagnostic(d, lines);
+    } else {
+      // Docs-anchored findings (L012 catalog rows) fingerprint on message.
+      ssnlint::finalize_diagnostic(d, kNoLines);
+    }
+    kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ssnlint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: ssnlint [--list-rules] [path...]\n"
-                   "Scans .hpp/.cpp files for ssnkit numeric-hygiene "
-                   "violations.\nSuppress with // ssnlint-ignore(RULE) on the "
-                   "offending line or the line above.\n";
+      print_help();
       return 0;
-    }
-    if (arg == "--list-rules") {
+    } else if (arg == "--list-rules") {
       for (const auto& [id, text] : ssnlint::rule_catalog())
         std::cout << id << "  " << text << "\n";
       return 0;
+    } else if (arg == "--sarif") {
+      const char* v = value("--sarif");
+      if (!v) return 2;
+      opts.sarif_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (!v) return 2;
+      opts.baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value("--write-baseline");
+      if (!v) return 2;
+      opts.write_baseline_path = v;
+    } else if (arg == "--threads") {
+      const char* v = value("--threads");
+      if (!v) return 2;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);  // ssnlint-ignore(SSN-L007)
+      if (end == v || *end != '\0' || n < 1 || n > 256)
+        return usage_error("--threads wants an integer in [1, 256]");
+      opts.threads = unsigned(n);
+    } else if (arg == "--docs") {
+      const char* v = value("--docs");
+      if (!v) return 2;
+      opts.docs.emplace_back(v);
+    } else if (arg == "--exclude") {
+      const char* v = value("--exclude");
+      if (!v) return 2;
+      opts.excludes.push_back(v);
+    } else if (arg == "--no-project") {
+      opts.project_passes = false;
+    } else if (arg == "--full-surface") {
+      opts.full_surface = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown option '" + arg + "'");
+    } else {
+      opts.paths.push_back(arg);
     }
-    if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "ssnlint: unknown option '" << arg << "'\n";
-      return 2;
-    }
-    paths.push_back(arg);
   }
-  if (paths.empty()) paths.push_back("src");
+  if (opts.paths.empty()) opts.paths.push_back("src");
 
-  for (const std::string& p : paths) {
-    if (!std::filesystem::exists(p)) {
-      std::cerr << "ssnlint: no such path '" << p << "'\n";
-      return 2;
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  bool io_error = false;
+  const std::vector<std::filesystem::path> files = collect_files(opts, io_error);
+  if (io_error) return 2;
+
+  // Per-file rules (embarrassingly parallel per file).
+  std::vector<ssnlint::Diagnostic> diags =
+      lint_files_parallel(files, opts.threads);
+  const auto t_files = Clock::now();
+
+  // Whole-project passes.
+  if (opts.project_passes) {
+    const ssnlint::Project proj = ssnlint::load_project(files);
+    std::filesystem::path root;
+    for (const auto& f : proj.files)
+      if (!f.root.empty()) {
+        root = f.root;
+        break;
+      }
+    std::vector<ssnlint::Diagnostic> project_diags;
+    ssnlint::pass_layering(proj, project_diags);
+    ssnlint::pass_units(proj, project_diags);
+    ssnlint::RegistryOptions reg;
+    reg.full_surface = opts.full_surface || covers_full_surface(opts, root);
+    std::vector<std::filesystem::path> doc_sources = opts.docs;
+    if (doc_sources.empty() && !root.empty() &&
+        std::filesystem::is_directory(root / "docs"))
+      doc_sources.push_back(root / "docs");
+    for (const auto& d : doc_sources) {
+      if (std::filesystem::is_directory(d)) {
+        for (const auto& e : std::filesystem::directory_iterator(d))
+          if (e.is_regular_file() && e.path().extension() == ".md")
+            reg.doc_files.push_back(e.path());
+      } else {
+        reg.doc_files.push_back(d);
+      }
     }
+    std::sort(reg.doc_files.begin(), reg.doc_files.end());
+    ssnlint::pass_registry(proj, reg, project_diags);
+    std::vector<ssnlint::Diagnostic> finalized =
+        finalize_project_diags(proj, std::move(project_diags));
+    diags.insert(diags.end(), finalized.begin(), finalized.end());
+  }
+  const auto t_project = Clock::now();
+
+  std::sort(diags.begin(), diags.end(),
+            [](const ssnlint::Diagnostic& a, const ssnlint::Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+
+  // Baseline handling.
+  if (!opts.write_baseline_path.empty()) {
+    std::ofstream out(opts.write_baseline_path);
+    if (!out)
+      return usage_error("cannot write baseline file '" +
+                         opts.write_baseline_path + "'");
+    ssnlint::write_baseline(out, diags);
+    std::cout << "ssnlint: recorded " << diags.size() << " finding"
+              << (diags.size() == 1 ? "" : "s") << " into "
+              << opts.write_baseline_path << "\n";
+    return 0;
+  }
+  std::size_t baselined = 0;
+  if (!opts.baseline_path.empty()) {
+    if (!std::filesystem::exists(opts.baseline_path))
+      return usage_error("baseline file '" + opts.baseline_path +
+                         "' does not exist");
+    diags = ssnlint::apply_baseline(
+        diags, ssnlint::load_baseline(opts.baseline_path), &baselined);
   }
 
-  std::size_t files = 0;
-  const std::vector<ssnlint::Diagnostic> diags = ssnlint::lint_paths(paths, &files);
-  for (const auto& d : diags)
+  for (const auto& d : diags) {
     std::cout << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
               << "\n";
-  std::cout << "ssnlint: " << files << " files scanned, " << diags.size()
-            << " violation" << (diags.size() == 1 ? "" : "s") << "\n";
+    if (!d.hint.empty()) std::cout << "    fix: " << d.hint << "\n";
+  }
+  std::cout << "ssnlint: " << files.size() << " files scanned, " << diags.size()
+            << " violation" << (diags.size() == 1 ? "" : "s");
+  if (baselined) std::cout << " (" << baselined << " baselined)";
+  std::cout << "\n";
+
+  if (!opts.sarif_path.empty()) {
+    if (opts.sarif_path == "-") {
+      ssnlint::write_sarif(std::cout, diags);
+    } else {
+      std::ofstream out(opts.sarif_path);
+      if (!out)
+        return usage_error("cannot write SARIF file '" + opts.sarif_path + "'");
+      ssnlint::write_sarif(out, diags);
+    }
+  }
+
+  if (opts.stats) {
+    std::map<std::string, std::size_t> per_rule;
+    for (const auto& d : diags) ++per_rule[d.rule];
+    const auto ms = [](Clock::duration d) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+    };
+    std::cerr << "ssnlint: per-file rules " << ms(t_files - t0)
+              << " ms, project passes " << ms(t_project - t_files) << " ms\n";
+    for (const auto& [rule, count] : per_rule)
+      std::cerr << "  " << rule << "  " << count << "\n";
+  }
   return diags.empty() ? 0 : 1;
 }

@@ -34,12 +34,22 @@
 //             (stop_requested/try_start_item/RunContext) — such a loop can
 //             not be cancelled or deadlined cooperatively
 //
+// Whole-project passes (ssnlint_project.hpp / _units.hpp / _registry.hpp):
+//   SSN-L010  include-graph layering: upward includes against the
+//             architecture order and include cycles
+//   SSN-L011  physical-units dataflow: unit-incompatible arithmetic on
+//             annotated / conventionally named quantities
+//   SSN-L012  diagnostic-code registry: duplicate, undocumented, or dead
+//             SSN-Exxx/Wxxx/Lxxx codes vs. the docs/ catalog
+//
 // Suppression: append `// ssnlint-ignore(SSN-L001)` (comma-separated list
 // allowed) on the offending line or the line directly above it.
 #pragma once
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -55,6 +65,8 @@ struct Diagnostic {
   int line = 0;
   std::string rule;
   std::string message;
+  std::string hint;         ///< fix-it guidance, shown under the finding
+  std::string fingerprint;  ///< line-content hash for baseline matching
 };
 
 inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
@@ -68,8 +80,57 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L007", "bare std::stod/stoi-family call outside hardened parsers"},
       {"SSN-L008", "dense Matrix build inside a loop in solver code"},
       {"SSN-L009", "raw signal handling or uncancellable batch loop"},
+      {"SSN-L010", "include-graph layering violation (upward include or cycle)"},
+      {"SSN-L011", "physical-units mismatch in annotated arithmetic"},
+      {"SSN-L012", "diagnostic code is duplicated, undocumented, or dead"},
   };
   return kRules;
+}
+
+/// One-line fix-it guidance per rule, attached to every diagnostic and
+/// emitted as the SARIF rule help text.
+inline std::string rule_fixit(const std::string& rule) {
+  static const std::map<std::string, std::string> kHints = {
+      {"SSN-L001",
+       "compare with an explicit tolerance (std::abs(a - b) < eps), or "
+       "ssnlint-ignore an intentional exact-zero/default check"},
+      {"SSN-L002",
+       "use a seeded std::mt19937/std::mt19937_64 engine from <random>"},
+      {"SSN-L003",
+       "add an SSN_REQUIRE precondition or SSN_ASSERT_FINITE on the inputs "
+       "(see src/support/contracts.hpp)"},
+      {"SSN-L004", "default the member in-class, e.g. 'double x = 0.0;'"},
+      {"SSN-L005",
+       "catch a concrete exception type, or rethrow with 'throw;' after "
+       "logging"},
+      {"SSN-L006",
+       "throw support::SolverError{kind, message} so the recovery ladder can "
+       "classify the failure (see docs/ROBUSTNESS.md)"},
+      {"SSN-L007",
+       "convert through io::parse_double_prefix / io::parse_int_strict "
+       "(src/io/diagnostics.hpp)"},
+      {"SSN-L008",
+       "hoist the dense build out of the loop, or stamp into a cached "
+       "StampedMatrix pattern and refactorize numerically"},
+      {"SSN-L009",
+       "install handlers via support::ScopedSignalCancel, and poll "
+       "RunContext::stop_requested (or try_start_item) inside batch loops"},
+      {"SSN-L010",
+       "invert the dependency (move the shared code into the lower layer) or "
+       "lift this file into the layer it reaches up to; the architecture "
+       "order is support -> numeric/io -> circuit/process/devices/waveform/"
+       "core -> sim -> analysis -> cli/tools"},
+      {"SSN-L011",
+       "make the operands dimensionally consistent, fix the '// ssn-units:' "
+       "annotation or the _h/_f/_v/... name suffix, or convert explicitly "
+       "and annotate the result"},
+      {"SSN-L012",
+       "register the code exactly once in the docs/ catalog tables "
+       "(docs/DIAGNOSTICS.md for SSN-E/W, docs/STATIC_ANALYSIS.md for "
+       "SSN-L), and delete catalog rows for codes no longer emitted"},
+  };
+  const auto it = kHints.find(rule);
+  return it == kHints.end() ? std::string() : it->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -79,8 +140,14 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
 
 struct StrippedSource {
   std::string code;  // same length/line structure as the input
+  // Like `code` but with string/character literal *contents* preserved —
+  // comments are still blanked. The diagnostic-code registry pass (L012)
+  // scans this so codes in comments do not count as emissions.
+  std::string code_with_strings;
   // line number (1-based) -> rule IDs suppressed on that line and the next
   std::map<int, std::set<std::string>> suppressions;
+  // line number -> raw `// ssn-units: ...` annotation text on that line
+  std::map<int, std::string> unit_annotations;
 };
 
 namespace detail {
@@ -106,11 +173,84 @@ inline void harvest_suppressions(const std::string& comment, int line,
   }
 }
 
+inline void harvest_unit_annotations(const std::string& comment, int line,
+                                     std::map<int, std::string>& out) {
+  const std::string kTag = "ssn-units:";
+  const std::size_t pos = comment.find(kTag);
+  if (pos == std::string::npos) return;
+  std::string text = comment.substr(pos + kTag.size());
+  while (!text.empty() && std::isspace(unsigned(text.front()))) text.erase(0, 1);
+  while (!text.empty() && std::isspace(unsigned(text.back()))) text.pop_back();
+  if (text.empty()) return;
+  auto& slot = out[line];
+  slot = slot.empty() ? text : slot + ", " + text;
+}
+
+inline bool ident_char_raw(char c) {
+  return std::isalnum(unsigned(c)) || c == '_';
+}
+
+/// True when the `"` at position i opens a raw string literal: the text
+/// before it must end in an encoding-prefixed R (R, u8R, uR, UR, LR) that is
+/// not merely the tail of a longer identifier (`FOO_R"x"` lexes as an
+/// identifier followed by an ordinary string).
+inline bool is_raw_string_opener(const std::string& src, std::size_t i) {
+  if (i == 0 || src[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // position of 'R'
+  if (p == 0) return true;
+  const char b = src[p - 1];
+  if (!ident_char_raw(b)) return true;
+  // Allow exactly the encoding prefixes u8R / uR / UR / LR.
+  if ((b == 'u' || b == 'U' || b == 'L') &&
+      (p - 1 == 0 || !ident_char_raw(src[p - 2])))
+    return true;
+  if (b == '8' && p >= 2 && src[p - 2] == 'u' &&
+      (p - 2 == 0 || !ident_char_raw(src[p - 3])))
+    return true;
+  return false;
+}
+
+/// Scan a raw-string delimiter after the opening quote at `quote`. Returns
+/// true and fills `terminator` with ")delim\"" when the opener is well
+/// formed (d-char-seq of at most 16 chars, then '('); malformed openers are
+/// lexed as ordinary strings, matching the compiler's error recovery.
+inline bool scan_raw_delimiter(const std::string& src, std::size_t quote,
+                               std::string& terminator) {
+  std::string delim;
+  for (std::size_t j = quote + 1; j < src.size() && delim.size() <= 16; ++j) {
+    const char c = src[j];
+    if (c == '(') {
+      terminator = ")" + delim + "\"";
+      return true;
+    }
+    // d-chars may not include parens, backslash, quotes, or whitespace.
+    if (c == ')' || c == '\\' || c == '"' || std::isspace(unsigned(c)))
+      return false;
+    delim += c;
+  }
+  return false;
+}
+
+/// True when the `'` at position i separates digits of a pp-number
+/// (1'000'000, 0xFF'FF) rather than opening a character literal (u8'a',
+/// L'x'): the alphanumeric run immediately before it must start with a
+/// digit.
+inline bool is_digit_separator(const std::string& src, std::size_t i) {
+  if (i == 0 || i + 1 >= src.size()) return false;
+  if (!std::isalnum(unsigned(src[i - 1])) || !std::isalnum(unsigned(src[i + 1])))
+    return false;
+  std::size_t start = i;
+  while (start > 0 && (ident_char_raw(src[start - 1]) || src[start - 1] == '\''))
+    --start;
+  return std::isdigit(unsigned(src[start]));
+}
+
 }  // namespace detail
 
 inline StrippedSource strip_source(const std::string& src) {
   StrippedSource out;
   out.code.assign(src.size(), ' ');
+  out.code_with_strings.assign(src.size(), ' ');
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
   State state = State::kCode;
   int line = 1;
@@ -119,9 +259,23 @@ inline StrippedSource strip_source(const std::string& src) {
   std::string raw_delim;       // )delim" terminator for raw strings
 
   const auto flush_comment = [&]() {
-    if (!comment_text.empty())
+    if (!comment_text.empty()) {
       detail::harvest_suppressions(comment_text, comment_line, out.suppressions);
+      detail::harvest_unit_annotations(comment_text, comment_line,
+                                       out.unit_annotations);
+    }
     comment_text.clear();
+  };
+  // Literal contents survive in code_with_strings; the code view gets the
+  // default blank.
+  const auto keep_in_strings = [&](std::size_t i, char c) {
+    out.code_with_strings[i] = c;
+  };
+  // Characters visible to both views (code outside comments/literals and the
+  // literal delimiters themselves).
+  const auto keep_in_both = [&](std::size_t i, char c) {
+    out.code[i] = c;
+    out.code_with_strings[i] = c;
   };
 
   for (std::size_t i = 0; i < src.size(); ++i) {
@@ -129,6 +283,7 @@ inline StrippedSource strip_source(const std::string& src) {
     const char next = i + 1 < src.size() ? src[i + 1] : '\0';
     if (c == '\n') {
       out.code[i] = '\n';
+      out.code_with_strings[i] = '\n';
       // A comment spanning lines registers its directive per line chunk.
       if (state == State::kLineComment) {
         flush_comment();
@@ -151,27 +306,25 @@ inline StrippedSource strip_source(const std::string& src) {
           comment_line = line;
           ++i;
         } else if (c == '"') {
-          // Raw string literal? Look back for R (possibly u8R etc.).
-          if (i > 0 && src[i - 1] == 'R') {
-            std::size_t j = i + 1;
-            std::string delim;
-            while (j < src.size() && src[j] != '(') delim += src[j++];
-            raw_delim = ")" + delim + "\"";
+          std::string terminator;
+          if (detail::is_raw_string_opener(src, i) &&
+              detail::scan_raw_delimiter(src, i, terminator)) {
+            raw_delim = terminator;
             state = State::kRawString;
-            out.code[i] = '"';
+            keep_in_both(i, '"');
           } else {
+            // Includes malformed raw-string openers (`FOO_R"x"`, bad
+            // delimiter): lexed as an ordinary string.
             state = State::kString;
-            out.code[i] = '"';
+            keep_in_both(i, '"');
           }
         } else if (c == '\'') {
-          // Digit separators (1'000'000) are part of numbers, not chars.
-          const bool digit_sep = i > 0 && std::isalnum(unsigned(src[i - 1])) &&
-                                 i + 1 < src.size() &&
-                                 std::isalnum(unsigned(src[i + 1]));
-          out.code[i] = '\'';
-          if (!digit_sep) state = State::kChar;
+          keep_in_both(i, '\'');
+          // Digit separators (1'000'000) are part of numbers, not chars;
+          // u8'a' / L'x' are character literals despite the alnum prefix.
+          if (!detail::is_digit_separator(src, i)) state = State::kChar;
         } else {
-          out.code[i] = c;
+          keep_in_both(i, c);
         }
         break;
       case State::kLineComment:
@@ -187,25 +340,47 @@ inline StrippedSource strip_source(const std::string& src) {
         break;
       case State::kString:
         if (c == '\\') {
-          ++i;  // skip escaped char (newline escapes are not expected here)
+          keep_in_strings(i, c);
+          ++i;  // escaped char: keep it, and keep counting its newline
+          if (i < src.size()) {
+            keep_in_strings(i, src[i]);
+            if (src[i] == '\n') {
+              out.code[i] = '\n';
+              ++line;
+            }
+          }
         } else if (c == '"') {
-          out.code[i] = '"';
+          keep_in_both(i, '"');
           state = State::kCode;
+        } else {
+          keep_in_strings(i, c);
         }
         break;
       case State::kChar:
         if (c == '\\') {
+          keep_in_strings(i, c);
           ++i;
+          if (i < src.size()) {
+            keep_in_strings(i, src[i]);
+            if (src[i] == '\n') {
+              out.code[i] = '\n';
+              ++line;
+            }
+          }
         } else if (c == '\'') {
-          out.code[i] = '\'';
+          keep_in_both(i, '\'');
           state = State::kCode;
+        } else {
+          keep_in_strings(i, c);
         }
         break;
       case State::kRawString:
         if (c == raw_delim[0] && src.compare(i, raw_delim.size(), raw_delim) == 0) {
           i += raw_delim.size() - 1;
-          out.code[i] = '"';
+          keep_in_both(i, '"');
           state = State::kCode;
+        } else {
+          keep_in_strings(i, c);
         }
         break;
     }
@@ -312,7 +487,12 @@ namespace detail {
 
 inline void add(std::vector<Diagnostic>& out, const std::string& file, int line,
                 const char* rule, std::string message) {
-  out.push_back({file, line, rule, std::move(message)});
+  Diagnostic d;
+  d.file = file;
+  d.line = line;
+  d.rule = rule;
+  d.message = std::move(message);
+  out.push_back(std::move(d));
 }
 
 /// Index of the matching closer for the opener at `open` (e.g. '(' -> ')'),
@@ -724,6 +904,68 @@ inline void rule_lifecycle_hygiene(const std::vector<Token>& toks,
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
+// Baseline fingerprints. A finding is identified by its rule, the file's
+// basename, and an FNV-1a hash of the offending line with whitespace removed
+// — stable across both line-number drift (edits above the finding) and
+// re-indentation, the two most common reasons a grandfathered finding would
+// otherwise escape its baseline entry.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+inline std::string fingerprint_of(const std::string& rule,
+                                  const std::string& file,
+                                  const std::string& line_text) {
+  std::string norm;
+  norm.reserve(line_text.size());
+  for (const char c : line_text)
+    if (!std::isspace(unsigned(c))) norm += c;
+  const std::string base = std::filesystem::path(file).filename().string();
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(
+                    detail::fnv1a(rule + '|' + base + '|' + norm)));
+  return buf;
+}
+
+inline std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Attach the fix-it hint and baseline fingerprint; `lines` is the file
+/// split with split_lines() (may be empty for synthetic diagnostics, which
+/// then fingerprint on the message instead of the source line).
+inline void finalize_diagnostic(Diagnostic& d,
+                                const std::vector<std::string>& lines) {
+  d.hint = rule_fixit(d.rule);
+  const bool have_line = d.line >= 1 && std::size_t(d.line) <= lines.size();
+  d.fingerprint = fingerprint_of(
+      d.rule, d.file, have_line ? lines[std::size_t(d.line) - 1] : d.message);
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -753,6 +995,8 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
     }
     if (!suppressed) kept.push_back(d);
   }
+  const std::vector<std::string> lines = split_lines(source);
+  for (Diagnostic& d : kept) finalize_diagnostic(d, lines);
   std::sort(kept.begin(), kept.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -763,7 +1007,13 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
 
 inline std::vector<Diagnostic> lint_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return {{path.string(), 0, "SSN-L000", "cannot open file"}};
+  if (!in) {
+    Diagnostic d;
+    d.file = path.string();
+    d.rule = "SSN-L000";
+    d.message = "cannot open file";
+    return {d};
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
   return lint_source(path.string(), ss.str());

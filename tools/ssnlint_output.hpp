@@ -1,0 +1,147 @@
+// ssnlint output back-ends: SARIF 2.1.0 emission and baseline files.
+//
+// SARIF is what code-scanning UIs ingest (GitHub's security tab, VS Code
+// SARIF viewers); the emitter is hand-rolled because the tool is
+// dependency-free by design. Baselines let a new rule land with existing
+// findings grandfathered: `--write-baseline` records the current findings'
+// fingerprints, `--baseline` filters exactly those on later runs. The
+// fingerprint hashes the rule, the file basename, and the offending line
+// with whitespace removed (see fingerprint_of in ssnlint_core.hpp), so a
+// baselined finding survives unrelated edits but resurfaces the moment the
+// line itself changes.
+#pragma once
+
+#include "ssnlint_core.hpp"
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ssnlint {
+
+namespace detail_output {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail_output
+
+/// Write the findings as a SARIF 2.1.0 log with the full rule catalog as
+/// tool metadata and the baseline fingerprint as a partial fingerprint.
+inline void write_sarif(std::ostream& os, const std::vector<Diagnostic>& diags) {
+  using detail_output::json_escape;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"ssnlint\",\n"
+     << "      \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+     << "      \"rules\": [\n";
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "        {\"id\": \"" << json_escape(rules[i].first) << "\", "
+       << "\"shortDescription\": {\"text\": \"" << json_escape(rules[i].second)
+       << "\"}, \"help\": {\"text\": \"" << json_escape(rule_fixit(rules[i].first))
+       << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }},\n"
+     << "    \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    std::string text = d.message;
+    if (!d.hint.empty()) text += "\nfix: " + d.hint;
+    os << "      {\"ruleId\": \"" << json_escape(d.rule) << "\", "
+       << "\"level\": \"error\", "
+       << "\"message\": {\"text\": \"" << json_escape(text) << "\"}, "
+       << "\"locations\": [{\"physicalLocation\": {"
+       << "\"artifactLocation\": {\"uri\": \"" << json_escape(d.file) << "\"}, "
+       << "\"region\": {\"startLine\": " << (d.line > 0 ? d.line : 1) << "}}}], "
+       << "\"partialFingerprints\": {\"ssnlintFingerprint/v1\": \""
+       << json_escape(d.fingerprint) << "\"}}"
+       << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n"
+     << "  }]\n"
+     << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Baselines. A baseline file is line-oriented: fingerprint first, the rest
+// of the line is human context (rule, location, message) that the loader
+// ignores. '#' lines are comments.
+// ---------------------------------------------------------------------------
+
+inline std::set<std::string> load_baseline(const std::filesystem::path& path) {
+  std::set<std::string> fingerprints;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(unsigned(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') continue;
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(unsigned(line[j]))) ++j;
+    fingerprints.insert(line.substr(i, j - i));
+  }
+  return fingerprints;
+}
+
+inline void write_baseline(std::ostream& os,
+                           const std::vector<Diagnostic>& diags) {
+  os << "# ssnlint baseline: grandfathered findings, one per line.\n"
+     << "# <fingerprint> <rule> <file>:<line> <message>\n"
+     << "# Regenerate with: ssnlint --write-baseline <this-file> <paths...>\n";
+  std::set<std::string> seen;
+  for (const Diagnostic& d : diags) {
+    if (!seen.insert(d.fingerprint).second) continue;
+    os << d.fingerprint << ' ' << d.rule << ' '
+       << std::filesystem::path(d.file).filename().string() << ':' << d.line
+       << ' ' << d.message << '\n';
+  }
+}
+
+/// Split findings into kept (not baselined) and suppressed-by-baseline.
+inline std::vector<Diagnostic> apply_baseline(
+    const std::vector<Diagnostic>& diags, const std::set<std::string>& baseline,
+    std::size_t* suppressed = nullptr) {
+  std::vector<Diagnostic> kept;
+  std::size_t hits = 0;
+  for (const Diagnostic& d : diags) {
+    if (baseline.count(d.fingerprint)) {
+      ++hits;
+      continue;
+    }
+    kept.push_back(d);
+  }
+  if (suppressed) *suppressed = hits;
+  return kept;
+}
+
+}  // namespace ssnlint

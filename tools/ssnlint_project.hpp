@@ -1,0 +1,308 @@
+// ssnlint whole-project model and the SSN-L010 layering pass.
+//
+// The per-file rules in ssnlint_core.hpp see one translation unit at a time;
+// the passes here see the whole tree. This header builds the project model —
+// every lintable file, its layer, and its resolved quoted-include edges —
+// and checks the include graph against the architecture order:
+//
+//   rank 0  support
+//   rank 1  numeric, io
+//   rank 2  circuit, process, devices, waveform, core
+//   rank 3  sim
+//   rank 4  analysis
+//   rank 5  cli, tools
+//   rank 6  bench, examples, tests
+//
+// A file may include same-rank or lower-rank layers, never higher. Include
+// cycles are rejected outright: at the file level (a DFS back edge) and at
+// the layer level between same-rank layers (io <-> numeric would pass the
+// rank test in both directions yet still be an architecture cycle).
+#pragma once
+
+#include "ssnlint_core.hpp"
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssnlint {
+
+struct IncludeEdge {
+  std::string target;  // the quoted path as written
+  int line = 0;
+};
+
+struct FileInfo {
+  std::filesystem::path path;     // normalized absolute path
+  std::string display;            // path as given on the command line
+  std::string layer;              // "support", "io", ..., "tests"; "" unknown
+  int rank = -1;                  // -1 when outside the layered tree
+  std::filesystem::path root;     // project root inferred from the path
+  std::string source;
+  StrippedSource stripped;
+  std::vector<IncludeEdge> includes;
+  // Edges resolved to scanned files: (index into Project::files, line).
+  std::vector<std::pair<std::size_t, int>> resolved;
+};
+
+struct Project {
+  std::vector<FileInfo> files;
+  std::map<std::string, std::size_t> by_path;  // normalized path -> index
+};
+
+inline int layer_rank(const std::string& layer) {
+  static const std::map<std::string, int> kRanks = {
+      {"support", 0},  {"numeric", 1}, {"io", 1},     {"circuit", 2},
+      {"process", 2},  {"devices", 2}, {"waveform", 2}, {"core", 2},
+      {"sim", 3},      {"analysis", 4}, {"cli", 5},    {"tools", 5},
+      {"bench", 6},    {"examples", 6}, {"tests", 6},
+  };
+  const auto it = kRanks.find(layer);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+namespace detail {
+
+/// Split a path into components (generic format, no empty parts).
+inline std::vector<std::string> path_components(const std::filesystem::path& p) {
+  std::vector<std::string> parts;
+  for (const auto& c : p) {
+    const std::string s = c.generic_string();
+    if (!s.empty() && s != "/") parts.push_back(s);
+  }
+  return parts;
+}
+
+/// Infer layer, rank, and project root from a path. The rightmost component
+/// that is one of the tree markers wins, so a repo checked out under e.g.
+/// /home/alice/src/ssnkit still classifies by its own src/ directory.
+inline void classify_layer(const std::filesystem::path& path, std::string& layer,
+                           int& rank, std::filesystem::path& root) {
+  layer.clear();
+  rank = -1;
+  root.clear();
+  const std::vector<std::string> parts = path_components(path);
+  if (parts.empty()) return;
+  static const std::set<std::string> kMarkers = {"src", "tools", "bench",
+                                                 "examples", "tests"};
+  // parts.back() is the filename; a marker can be any directory component.
+  for (std::size_t i = parts.size() - 1; i-- > 0;) {
+    if (kMarkers.count(parts[i]) == 0) continue;
+    std::filesystem::path r = path.root_path();
+    for (std::size_t k = 0; k < i; ++k) r /= parts[k];
+    root = r;
+    if (parts[i] == "src") {
+      // src/<layer>/...; a file directly under src/ has no layer.
+      if (i + 2 < parts.size()) {
+        layer = parts[i + 1];
+        rank = layer_rank(layer);
+      }
+    } else {
+      layer = parts[i];
+      rank = layer_rank(layer);
+    }
+    return;
+  }
+}
+
+/// Extract `#include "..."` directives (line-oriented; <...> system includes
+/// never participate in project layering). Runs over the comment-stripped
+/// view so commented-out includes do not count.
+inline std::vector<IncludeEdge> extract_includes(const std::string& code) {
+  std::vector<IncludeEdge> edges;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= code.size()) {
+    std::size_t eol = code.find('\n', pos);
+    if (eol == std::string::npos) eol = code.size();
+    std::size_t i = pos;
+    while (i < eol && (code[i] == ' ' || code[i] == '\t')) ++i;
+    if (i < eol && code[i] == '#') {
+      ++i;
+      while (i < eol && (code[i] == ' ' || code[i] == '\t')) ++i;
+      if (code.compare(i, 7, "include") == 0) {
+        i += 7;
+        while (i < eol && (code[i] == ' ' || code[i] == '\t')) ++i;
+        if (i < eol && code[i] == '"') {
+          const std::size_t close = code.find('"', i + 1);
+          if (close != std::string::npos && close < eol)
+            edges.push_back({code.substr(i + 1, close - i - 1), line});
+        }
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return edges;
+}
+
+inline std::string normal_key(const std::filesystem::path& p) {
+  return p.lexically_normal().generic_string();
+}
+
+}  // namespace detail
+
+/// Read every file, classify it, and resolve quoted includes against the
+/// scanned set. Include targets are tried relative to the including file,
+/// then against <root>/src, <root>/tools, and <root> (the include roots the
+/// build sets up with target_include_directories).
+inline Project load_project(const std::vector<std::filesystem::path>& files) {
+  Project proj;
+  for (const auto& f : files) {
+    FileInfo info;
+    info.display = f.string();
+    info.path = std::filesystem::absolute(f).lexically_normal();
+    detail::classify_layer(info.path, info.layer, info.rank, info.root);
+    std::ifstream in(info.path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      info.source = ss.str();
+    }
+    info.stripped = strip_source(info.source);
+    // The include target is a string literal, so extract from the view that
+    // keeps strings (comments stay blanked: commented-out includes are dead).
+    info.includes = detail::extract_includes(info.stripped.code_with_strings);
+    proj.by_path.emplace(detail::normal_key(info.path), proj.files.size());
+    proj.files.push_back(std::move(info));
+  }
+  for (FileInfo& info : proj.files) {
+    for (const IncludeEdge& e : info.includes) {
+      const std::filesystem::path target(e.target);
+      std::vector<std::filesystem::path> candidates = {
+          info.path.parent_path() / target};
+      if (!info.root.empty()) {
+        candidates.push_back(info.root / "src" / target);
+        candidates.push_back(info.root / "tools" / target);
+        candidates.push_back(info.root / target);
+      }
+      for (const auto& cand : candidates) {
+        const auto it = proj.by_path.find(detail::normal_key(cand));
+        if (it != proj.by_path.end()) {
+          info.resolved.emplace_back(it->second, e.line);
+          break;
+        }
+      }
+    }
+  }
+  return proj;
+}
+
+namespace detail {
+
+/// Depth-first search for include cycles; each distinct cycle is reported
+/// once, anchored at its lexically-smallest member so the diagnostic is
+/// stable across scan orders.
+inline void find_include_cycles(const Project& proj,
+                                std::vector<Diagnostic>& out) {
+  const std::size_t n = proj.files.size();
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+
+  // Iterative DFS with an explicit work list of (node, next-edge) frames.
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{start, 0}};
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, edge] = frames.back();
+      if (edge < proj.files[node].resolved.size()) {
+        const auto [next, line] = proj.files[node].resolved[edge];
+        ++edge;
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.push_back(next);
+          frames.emplace_back(next, 0);
+        } else if (color[next] == 1) {
+          // Back edge: the cycle is stack[pos(next)..end].
+          std::vector<std::size_t> cycle;
+          bool in = false;
+          for (const std::size_t s : stack) {
+            if (s == next) in = true;
+            if (in) cycle.push_back(s);
+          }
+          // Canonicalize: rotate so the smallest display name leads.
+          std::size_t lead = 0;
+          for (std::size_t k = 1; k < cycle.size(); ++k)
+            if (proj.files[cycle[k]].display < proj.files[cycle[lead]].display)
+              lead = k;
+          std::string key, text;
+          for (std::size_t k = 0; k < cycle.size(); ++k) {
+            const auto& f = proj.files[cycle[(lead + k) % cycle.size()]];
+            key += normal_key(f.path) + ";";
+            text += std::filesystem::path(f.display).filename().string() +
+                    " -> ";
+          }
+          text += std::filesystem::path(proj.files[cycle[lead]].display)
+                      .filename()
+                      .string();
+          if (reported.insert(key).second)
+            add(out, proj.files[cycle[lead]].display,
+                /*line=*/1, "SSN-L010", "include cycle: " + text);
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// SSN-L010: upward includes against the layer ranks, file-level include
+/// cycles, and mutual includes between distinct same-rank layers.
+inline void pass_layering(const Project& proj, std::vector<Diagnostic>& out) {
+  // (a) upward includes.
+  for (const FileInfo& f : proj.files) {
+    if (f.rank < 0) continue;
+    for (const auto& [idx, line] : f.resolved) {
+      const FileInfo& g = proj.files[idx];
+      if (g.rank < 0 || g.rank <= f.rank) continue;
+      detail::add(out, f.display, line, "SSN-L010",
+                  "layer '" + f.layer + "' (rank " + std::to_string(f.rank) +
+                      ") includes '" + g.layer + "' (rank " +
+                      std::to_string(g.rank) +
+                      "): upward include against the architecture order");
+    }
+  }
+
+  // (b) file-level include cycles.
+  detail::find_include_cycles(proj, out);
+
+  // (c) mutual includes between same-rank layers. Each direction records one
+  // exemplar edge so the diagnostic can point at a concrete include line.
+  struct Exemplar {
+    std::size_t file = 0;
+    int line = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Exemplar> layer_edges;
+  for (std::size_t fi = 0; fi < proj.files.size(); ++fi) {
+    const FileInfo& f = proj.files[fi];
+    if (f.rank < 0) continue;
+    for (const auto& [idx, line] : f.resolved) {
+      const FileInfo& g = proj.files[idx];
+      if (g.rank != f.rank || g.layer == f.layer) continue;
+      layer_edges.emplace(std::make_pair(f.layer, g.layer), Exemplar{fi, line});
+    }
+  }
+  for (const auto& [edge, ex] : layer_edges) {
+    if (edge.first >= edge.second) continue;  // visit each pair once
+    const auto back = layer_edges.find({edge.second, edge.first});
+    if (back == layer_edges.end()) continue;
+    detail::add(out, proj.files[ex.file].display, ex.line, "SSN-L010",
+                "layer cycle: '" + edge.first + "' and '" + edge.second +
+                    "' include each other (see also " +
+                    proj.files[back->second.file].display + ":" +
+                    std::to_string(back->second.line) + ")");
+  }
+}
+
+}  // namespace ssnlint

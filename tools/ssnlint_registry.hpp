@@ -1,0 +1,126 @@
+// ssnlint SSN-L012: diagnostic-code registry cross-reference.
+//
+// Every user-facing diagnostic code in this project has the shape
+// SSN-Exxx (error), SSN-Wxxx (warning), or SSN-Lxxx (lint rule), and every
+// code is supposed to have exactly one registry row in the docs/ catalog
+// tables (docs/DIAGNOSTICS.md for E/W, docs/STATIC_ANALYSIS.md for L). This
+// pass makes that contract checkable:
+//
+//   * duplicate   — a code with two or more catalog rows (stale copy/paste);
+//   * undocumented — a code emitted from src/ or tools/ with no catalog row;
+//   * dead        — a catalog row whose code is never emitted anywhere
+//                   (reported only when the scan covered the full emission
+//                   surface, i.e. all of src/ and tools/ — a partial scan
+//                   cannot distinguish dead from elsewhere).
+//
+// "Emitted" means the code appears inside a string literal in a scanned
+// source file; comments do not count (the scan runs over the
+// comments-stripped, strings-kept source view). A catalog row is a markdown
+// table row (a line starting with '|') naming the code.
+#pragma once
+
+#include "ssnlint_core.hpp"
+#include "ssnlint_project.hpp"
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssnlint {
+
+struct CodeSite {
+  std::string file;
+  int line = 0;
+};
+
+namespace detail_registry {
+
+/// All SSN-[EWL]ddd occurrences with their 1-based lines. `text` must keep
+/// line structure (both source views and raw markdown qualify).
+inline std::vector<std::pair<std::string, int>> scan_codes(
+    const std::string& text) {
+  std::vector<std::pair<std::string, int>> found;
+  int line = 1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text.compare(i, 4, "SSN-") != 0) continue;
+    const char kind = i + 4 < text.size() ? text[i + 4] : '\0';
+    if (kind != 'E' && kind != 'W' && kind != 'L') continue;
+    if (i + 7 >= text.size() || !std::isdigit(unsigned(text[i + 5])) ||
+        !std::isdigit(unsigned(text[i + 6])) ||
+        !std::isdigit(unsigned(text[i + 7])))
+      continue;
+    // Word boundary: SSN-E0305 is not a code.
+    if (i + 8 < text.size() && std::isalnum(unsigned(text[i + 8]))) continue;
+    found.emplace_back(text.substr(i, 8), line);
+    i += 7;
+  }
+  return found;
+}
+
+}  // namespace detail_registry
+
+struct RegistryOptions {
+  /// Markdown files holding the catalog tables.
+  std::vector<std::filesystem::path> doc_files;
+  /// True when the scanned project covers all of src/ and tools/, which is
+  /// what makes "never emitted" a meaningful claim.
+  bool full_surface = false;
+};
+
+/// SSN-L012 over the whole project plus the docs/ catalog.
+inline void pass_registry(const Project& proj, const RegistryOptions& opts,
+                          std::vector<Diagnostic>& out) {
+  // Emission sites, first one per code kept for the diagnostic anchor.
+  std::map<std::string, std::vector<CodeSite>> emitted;
+  for (const FileInfo& f : proj.files)
+    for (const auto& [code, line] :
+         detail_registry::scan_codes(f.stripped.code_with_strings))
+      emitted[code].push_back({f.display, line});
+
+  // Catalog rows: markdown table rows naming a code. Only the first code on
+  // a row registers, so a row may reference other codes in its prose cell.
+  std::map<std::string, std::vector<CodeSite>> documented;
+  for (const auto& doc : opts.doc_files) {
+    std::ifstream in(doc, std::ios::binary);
+    if (!in) continue;
+    std::string line_text;
+    int line_no = 0;
+    while (std::getline(in, line_text)) {
+      ++line_no;
+      std::size_t i = 0;
+      while (i < line_text.size() && std::isspace(unsigned(line_text[i]))) ++i;
+      if (i >= line_text.size() || line_text[i] != '|') continue;
+      const auto codes = detail_registry::scan_codes(line_text);
+      if (!codes.empty())
+        documented[codes.front().first].push_back({doc.string(), line_no});
+    }
+  }
+
+  for (const auto& [code, rows] : documented) {
+    if (rows.size() > 1)
+      for (std::size_t k = 1; k < rows.size(); ++k)
+        detail::add(out, rows[k].file, rows[k].line, "SSN-L012",
+                    "duplicate catalog row for " + code + " (first row at " +
+                        rows[0].file + ":" + std::to_string(rows[0].line) +
+                        ")");
+    if (opts.full_surface && emitted.find(code) == emitted.end())
+      detail::add(out, rows[0].file, rows[0].line, "SSN-L012",
+                  "dead catalog row: " + code +
+                      " is never emitted from src/ or tools/");
+  }
+  for (const auto& [code, sites] : emitted) {
+    if (documented.find(code) != documented.end()) continue;
+    detail::add(out, sites[0].file, sites[0].line, "SSN-L012",
+                "undocumented diagnostic code " + code +
+                    ": add a catalog row (docs/DIAGNOSTICS.md for E/W codes, "
+                    "docs/STATIC_ANALYSIS.md for L codes)");
+  }
+}
+
+}  // namespace ssnlint

@@ -1,0 +1,570 @@
+// ssnlint SSN-L011: annotation-driven physical-units dataflow.
+//
+// The SSN model mixes inductances, capacitances, slopes, and voltages in
+// dense arithmetic (beta = N*L*S, C_crit = tau/(2R), ...). A transposed
+// operand usually still compiles, still runs, and produces numbers of the
+// wrong magnitude — the class of bug a type system would catch if the code
+// used unit-typed wrappers. This pass recovers most of that safety without
+// changing any signatures:
+//
+//   * units are seeded from `// ssn-units: name=EXPR, ...` comments and from
+//     naming conventions (`inductance_h`, `cap_f`, `vdd_v`, `rise_time_s`);
+//   * dimensions propagate at token level through + - * / comparisons,
+//     assignments, and the few math functions with unit semantics
+//     (sqrt halves exponents; exp/log demand a dimensionless argument);
+//   * a mix is flagged only when BOTH operands have fully known, different
+//     dimensions — unknowns and bare numeric literals never fire, which is
+//     what keeps a lexer-level checker honest about false positives.
+//
+// Unit expressions use a V/A/s pseudo-basis (volt, ampere, second): H is
+// V*s/A, F is A*s/V, Ohm is V/A, Hz is 1/s. `1` means dimensionless.
+#pragma once
+
+#include "ssnlint_core.hpp"
+#include "ssnlint_project.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssnlint {
+
+/// Dimension vector over the V/A/s pseudo-basis.
+struct Dim {
+  int v = 0, a = 0, s = 0;
+  friend bool operator==(const Dim& x, const Dim& y) {
+    return x.v == y.v && x.a == y.a && x.s == y.s;
+  }
+  friend bool operator!=(const Dim& x, const Dim& y) { return !(x == y); }
+};
+
+inline std::string to_string(const Dim& d) {
+  if (d.v == 0 && d.a == 0 && d.s == 0) return "1";
+  // Prefer the familiar derived names for the common cases.
+  static const std::vector<std::pair<Dim, std::string>> kNamed = {
+      {{1, 0, 0}, "V"},        {{0, 1, 0}, "A"},      {{0, 0, 1}, "s"},
+      {{1, -1, 1}, "H"},       {{-1, 1, 1}, "F"},     {{1, -1, 0}, "Ohm"},
+      {{0, 0, -1}, "Hz"},      {{1, 1, 0}, "W"},      {{0, 1, 1}, "C"},
+      {{1, 1, 1}, "J"},        {{1, 0, -1}, "V/s"},
+  };
+  for (const auto& [dim, name] : kNamed)
+    if (dim == d) return name;
+  std::string out;
+  const auto term = [&](const char* base, int e) {
+    if (e == 0) return;
+    if (!out.empty()) out += '*';
+    out += base;
+    if (e != 1) out += '^' + std::to_string(e);
+  };
+  term("V", d.v);
+  term("A", d.a);
+  term("s", d.s);
+  return out;
+}
+
+/// Lattice value for an expression: no information, a bare numeric literal
+/// (unifies with anything), or a fully known dimension.
+struct UnitValue {
+  enum class State { kUnknown, kWildcard, kKnown };
+  State state = State::kUnknown;
+  Dim dim;
+
+  static UnitValue unknown() { return {}; }
+  static UnitValue wildcard() { return {State::kWildcard, {}}; }
+  static UnitValue known(Dim d) { return {State::kKnown, d}; }
+  bool is_known() const { return state == State::kKnown; }
+};
+
+namespace detail_units {
+
+inline const std::map<std::string, Dim>& base_units() {
+  static const std::map<std::string, Dim> kUnits = {
+      {"V", {1, 0, 0}},   {"A", {0, 1, 0}},  {"s", {0, 0, 1}},
+      {"H", {1, -1, 1}},  {"F", {-1, 1, 1}}, {"Ohm", {1, -1, 0}},
+      {"ohm", {1, -1, 0}}, {"Hz", {0, 0, -1}}, {"W", {1, 1, 0}},
+      {"C", {0, 1, 1}},   {"J", {1, 1, 1}},  {"1", {0, 0, 0}},
+  };
+  return kUnits;
+}
+
+/// Identifier-suffix conventions, matched against the text after the last
+/// underscore. `rise_time_s` is seconds; `inductance_h` is henries.
+inline const std::map<std::string, Dim>& suffix_units() {
+  static const std::map<std::string, Dim> kSuffixes = {
+      {"h", {1, -1, 1}},     {"henry", {1, -1, 1}}, {"f", {-1, 1, 1}},
+      {"farad", {-1, 1, 1}}, {"v", {1, 0, 0}},      {"volt", {1, 0, 0}},
+      {"volts", {1, 0, 0}},  {"a", {0, 1, 0}},      {"amp", {0, 1, 0}},
+      {"amps", {0, 1, 0}},   {"s", {0, 0, 1}},      {"sec", {0, 0, 1}},
+      {"ohm", {1, -1, 0}},   {"ohms", {1, -1, 0}},  {"hz", {0, 0, -1}},
+      {"vps", {1, 0, -1}},
+  };
+  return kSuffixes;
+}
+
+/// Parse a unit expression: FACTOR (('*'|'/') FACTOR)*, FACTOR being a base
+/// unit name or `1`, optionally `^INT`. Returns false on malformed input.
+inline bool parse_unit_expr(const std::string& text, Dim& out) {
+  out = {};
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(unsigned(text[i]))) ++i;
+  };
+  int sign = +1;
+  bool first = true;
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) return !first;
+    std::size_t j = i;
+    while (j < text.size() && (std::isalnum(unsigned(text[j])))) ++j;
+    if (j == i) return false;
+    const std::string name = text.substr(i, j - i);
+    const auto it = base_units().find(name);
+    if (it == base_units().end()) return false;
+    i = j;
+    int exp = 1;
+    skip_ws();
+    if (i < text.size() && text[i] == '^') {
+      ++i;
+      skip_ws();
+      int e = 0;
+      int esign = 1;
+      if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+        esign = text[i] == '-' ? -1 : 1;
+        ++i;
+      }
+      std::size_t digits = 0;
+      while (i < text.size() && std::isdigit(unsigned(text[i]))) {
+        e = e * 10 + (text[i] - '0');
+        ++i;
+        ++digits;
+      }
+      if (digits == 0 || e > 8) return false;
+      exp = esign * e;
+    }
+    out.v += sign * exp * it->second.v;
+    out.a += sign * exp * it->second.a;
+    out.s += sign * exp * it->second.s;
+    first = false;
+    skip_ws();
+    if (i >= text.size()) return true;
+    if (text[i] == '*')
+      sign = +1;
+    else if (text[i] == '/')
+      sign = -1;
+    else
+      return false;
+    ++i;
+  }
+}
+
+/// Parse one `// ssn-units:` annotation body (`name=EXPR, name2=EXPR`).
+inline std::vector<std::pair<std::string, Dim>> parse_annotation(
+    const std::string& body) {
+  std::vector<std::pair<std::string, Dim>> bindings;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    std::string item = body.substr(start, comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      std::string name = item.substr(0, eq);
+      std::string expr = item.substr(eq + 1);
+      const auto trim = [](std::string& s) {
+        while (!s.empty() && std::isspace(unsigned(s.front()))) s.erase(0, 1);
+        while (!s.empty() && std::isspace(unsigned(s.back()))) s.pop_back();
+      };
+      trim(name);
+      trim(expr);
+      Dim d;
+      if (!name.empty() && parse_unit_expr(expr, d))
+        bindings.emplace_back(name, d);
+    }
+    start = comma + 1;
+  }
+  return bindings;
+}
+
+inline bool suffix_lookup(const std::string& name, Dim& out) {
+  const std::size_t us = name.rfind('_');
+  if (us == std::string::npos || us == 0 || us + 1 >= name.size()) return false;
+  const auto it = suffix_units().find(name.substr(us + 1));
+  if (it == suffix_units().end()) return false;
+  out = it->second;
+  return true;
+}
+
+/// One annotation binding, scoped to the brace depth where it appeared.
+struct Binding {
+  std::string name;
+  Dim dim;
+  int depth = 0;
+};
+
+/// Expression evaluator over the token stream. Anything it does not
+/// recognize degrades to Unknown; only fully-Known mismatches fire.
+class UnitChecker {
+ public:
+  UnitChecker(const std::vector<Token>& toks, const StrippedSource& stripped,
+              const std::string& file, std::vector<Diagnostic>& out)
+      : toks_(toks), file_(file), out_(out) {
+    for (const auto& [line, body] : stripped.unit_annotations)
+      for (auto& [name, dim] : parse_annotation(body))
+        pending_.emplace_back(line, Binding{name, dim, 0});
+    std::sort(pending_.begin(), pending_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  void run() {
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      apply_annotations_up_to(toks_[i].line);
+      const Token& t = toks_[i];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "{") {
+          ++depth_;
+          ++i;
+          continue;
+        }
+        if (t.text == "}") {
+          --depth_;
+          while (!bindings_.empty() && bindings_.back().depth > depth_)
+            bindings_.pop_back();
+          ++i;
+          continue;
+        }
+      }
+      // Statement: tokens up to the next top-level ';', '{', or '}'.
+      std::size_t end = i;
+      int paren = 0;
+      while (end < toks_.size()) {
+        const std::string& p = toks_[end].text;
+        if (toks_[end].kind == Token::Kind::kPunct) {
+          if (p == "(" || p == "[") ++paren;
+          if (p == ")" || p == "]") --paren;
+          if (paren <= 0 && (p == ";" || p == "{" || p == "}")) break;
+        }
+        ++end;
+      }
+      check_statement(i, end);
+      i = end;
+      if (i < toks_.size() && toks_[i].text == ";") ++i;
+      // '{' / '}' handled by the outer loop on the next iteration.
+    }
+  }
+
+ private:
+  void apply_annotations_up_to(int line) {
+    while (next_pending_ < pending_.size() &&
+           pending_[next_pending_].first <= line) {
+      Binding b = pending_[next_pending_].second;
+      b.depth = depth_;
+      bindings_.push_back(b);
+      ++next_pending_;
+    }
+  }
+
+  bool lookup(const std::string& name, Dim& out) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it)
+      if (it->name == name) {
+        out = it->dim;
+        return true;
+      }
+    return suffix_lookup(name, out);
+  }
+
+  void report(int line, const std::string& what, const UnitValue& lhs,
+              const UnitValue& rhs) {
+    detail::add(out_, file_, line, "SSN-L011",
+                what + " mixes incompatible units [" + to_string(lhs.dim) +
+                    "] and [" + to_string(rhs.dim) + "]");
+  }
+
+  /// Addition-like combination (+, -, min/max unification): flags a
+  /// Known/Known mismatch and otherwise keeps the most informative value.
+  UnitValue combine_add(const UnitValue& l, const UnitValue& r, int line,
+                        const std::string& what) {
+    if (l.is_known() && r.is_known()) {
+      if (l.dim != r.dim) {
+        report(line, what, l, r);
+        return UnitValue::unknown();
+      }
+      return l;
+    }
+    if (l.is_known()) return r.state == UnitValue::State::kUnknown ? UnitValue::unknown() : l;
+    if (r.is_known()) return l.state == UnitValue::State::kUnknown ? UnitValue::unknown() : r;
+    if (l.state == UnitValue::State::kWildcard &&
+        r.state == UnitValue::State::kWildcard)
+      return UnitValue::wildcard();
+    return UnitValue::unknown();
+  }
+
+  UnitValue combine_mul(const UnitValue& l, const UnitValue& r, int mul) {
+    if (l.state == UnitValue::State::kUnknown ||
+        r.state == UnitValue::State::kUnknown)
+      return UnitValue::unknown();
+    if (l.state == UnitValue::State::kWildcard) {
+      if (r.state == UnitValue::State::kWildcard) return UnitValue::wildcard();
+      Dim d = r.dim;
+      if (mul < 0) {
+        d.v = -d.v;
+        d.a = -d.a;
+        d.s = -d.s;
+      }
+      return UnitValue::known(d);
+    }
+    if (r.state == UnitValue::State::kWildcard) return l;
+    Dim d = l.dim;
+    d.v += mul * r.dim.v;
+    d.a += mul * r.dim.a;
+    d.s += mul * r.dim.s;
+    return UnitValue::known(d);
+  }
+
+  // --- recursive-descent expression grammar over toks_[i, end) ------------
+
+  bool at_punct(std::size_t i, std::size_t end, const char* p) const {
+    return i < end && toks_[i].kind == Token::Kind::kPunct && toks_[i].text == p;
+  }
+
+  UnitValue parse_primary(std::size_t& i, std::size_t end) {
+    if (i >= end) return UnitValue::unknown();
+    const Token& t = toks_[i];
+    if (t.kind == Token::Kind::kNumber) {
+      ++i;
+      return UnitValue::wildcard();
+    }
+    if (at_punct(i, end, "(")) {
+      ++i;
+      UnitValue v = parse_compare(i, end);
+      if (at_punct(i, end, ")")) ++i;
+      return v;
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      // Identifier chain: a::b, a.b, a->b — the last component names the
+      // quantity. A trailing '(' makes it a call.
+      std::string last = t.text;
+      ++i;
+      while (i + 1 < end && toks_[i].kind == Token::Kind::kPunct &&
+             (toks_[i].text == "::" || toks_[i].text == "." ||
+              toks_[i].text == "->") &&
+             toks_[i + 1].kind == Token::Kind::kIdent) {
+        last = toks_[i + 1].text;
+        i += 2;
+      }
+      if (at_punct(i, end, "(")) return parse_call(last, i, end);
+      if (at_punct(i, end, "[")) {
+        // Indexing keeps the element's unit: inductances_h[k].
+        int br = 0;
+        while (i < end) {
+          if (at_punct(i, end, "[")) ++br;
+          if (at_punct(i, end, "]") && --br == 0) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+      }
+      Dim d;
+      if (lookup(last, d)) return UnitValue::known(d);
+      return UnitValue::unknown();
+    }
+    ++i;  // unrecognized token: consume and give up on this operand
+    return UnitValue::unknown();
+  }
+
+  UnitValue parse_call(const std::string& fn, std::size_t& i, std::size_t end) {
+    // i points at '('. Collect top-level comma-separated argument ranges.
+    std::vector<UnitValue> args;
+    std::size_t j = i + 1;
+    int paren = 1;
+    std::size_t arg_start = j;
+    int arg_line = j < end ? toks_[i].line : 0;
+    const auto eval_arg = [&](std::size_t from, std::size_t to) {
+      std::size_t p = from;
+      args.push_back(parse_compare(p, to));
+    };
+    while (j < end && paren > 0) {
+      if (toks_[j].kind == Token::Kind::kPunct) {
+        if (toks_[j].text == "(") ++paren;
+        else if (toks_[j].text == ")") {
+          if (--paren == 0) break;
+        } else if (toks_[j].text == "," && paren == 1) {
+          eval_arg(arg_start, j);
+          arg_start = j + 1;
+        }
+      }
+      ++j;
+    }
+    if (arg_start < j) eval_arg(arg_start, j);
+    i = j < end ? j + 1 : end;  // past ')'
+
+    // An annotated or suffix-named function types its result: with
+    // `// ssn-units: v_inf=V` every scenario.v_inf() call is a voltage.
+    {
+      Dim d;
+      if (lookup(fn, d)) return UnitValue::known(d);
+    }
+
+    // Numeric casts are unit-transparent: double(n) keeps n's dimension.
+    static const std::set<std::string> kCasts = {
+        "double", "float", "int", "long", "unsigned", "size_t", "int64_t",
+        "uint64_t", "int32_t", "uint32_t"};
+    if (kCasts.count(fn) && args.size() == 1) return args[0];
+
+    static const std::set<std::string> kUnify = {"abs",  "fabs",  "min",
+                                                 "max",  "fmin",  "fmax",
+                                                 "clamp", "hypot"};
+    static const std::set<std::string> kDimensionless = {
+        "exp", "expm1", "log", "log2", "log10", "log1p",
+        "sin", "cos",   "tan", "tanh", "atan",  "asin", "acos", "sinh", "cosh"};
+    if (kUnify.count(fn) && !args.empty()) {
+      UnitValue v = args[0];
+      for (std::size_t k = 1; k < args.size(); ++k)
+        v = combine_add(v, args[k], arg_line, "call to '" + fn + "'");
+      return v;
+    }
+    if (fn == "sqrt" && args.size() == 1 && args[0].is_known()) {
+      const Dim d = args[0].dim;
+      if (d.v % 2 == 0 && d.a % 2 == 0 && d.s % 2 == 0)
+        return UnitValue::known({d.v / 2, d.a / 2, d.s / 2});
+      return UnitValue::unknown();
+    }
+    if (kDimensionless.count(fn) && args.size() == 1 && args[0].is_known() &&
+        args[0].dim != Dim{}) {
+      detail::add(out_, file_, arg_line, "SSN-L011",
+                  "'" + fn + "' applied to a dimensional quantity [" +
+                      to_string(args[0].dim) +
+                      "]; divide by a reference scale first");
+      return UnitValue::unknown();
+    }
+    if (kDimensionless.count(fn)) return UnitValue::wildcard();
+    return UnitValue::unknown();
+  }
+
+  UnitValue parse_unary(std::size_t& i, std::size_t end) {
+    if (at_punct(i, end, "+") || at_punct(i, end, "-") ||
+        at_punct(i, end, "!")) {
+      ++i;
+      return parse_unary(i, end);
+    }
+    return parse_primary(i, end);
+  }
+
+  UnitValue parse_mul(std::size_t& i, std::size_t end) {
+    UnitValue v = parse_unary(i, end);
+    while (i < end && toks_[i].kind == Token::Kind::kPunct &&
+           (toks_[i].text == "*" || toks_[i].text == "/")) {
+      const int mul = toks_[i].text == "*" ? +1 : -1;
+      ++i;
+      const UnitValue r = parse_unary(i, end);
+      v = combine_mul(v, r, mul);
+    }
+    return v;
+  }
+
+  UnitValue parse_add(std::size_t& i, std::size_t end) {
+    UnitValue v = parse_mul(i, end);
+    while (i < end && toks_[i].kind == Token::Kind::kPunct &&
+           (toks_[i].text == "+" || toks_[i].text == "-")) {
+      const int line = toks_[i].line;
+      const std::string op = toks_[i].text;
+      ++i;
+      const UnitValue r = parse_mul(i, end);
+      v = combine_add(v, r, line, "'" + op + "'");
+    }
+    return v;
+  }
+
+  UnitValue parse_compare(std::size_t& i, std::size_t end) {
+    UnitValue v = parse_add(i, end);
+    while (i < end && toks_[i].kind == Token::Kind::kPunct &&
+           (toks_[i].text == "<" || toks_[i].text == ">" ||
+            toks_[i].text == "<=" || toks_[i].text == ">=" ||
+            toks_[i].text == "==" || toks_[i].text == "!=")) {
+      const int line = toks_[i].line;
+      const std::string op = toks_[i].text;
+      ++i;
+      const UnitValue r = parse_add(i, end);
+      if (v.is_known() && r.is_known() && v.dim != r.dim)
+        report(line, "'" + op + "' comparison", v, r);
+      v = UnitValue::unknown();  // a bool; further unit algebra is meaningless
+    }
+    return v;
+  }
+
+  /// Statement-level check: find a top-level assignment and compare sides;
+  /// otherwise just evaluate the statement for its side-effect diagnostics.
+  void check_statement(std::size_t begin, std::size_t end) {
+    std::size_t assign = end;
+    int paren = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (toks_[k].kind != Token::Kind::kPunct) continue;
+      const std::string& p = toks_[k].text;
+      if (p == "(" || p == "[") ++paren;
+      if (p == ")" || p == "]") --paren;
+      if (paren == 0 && (p == "=" || p == "+=" || p == "-=")) {
+        assign = k;
+        break;
+      }
+      if (paren == 0 && (p == "*=" || p == "/=")) return;  // changes the unit
+    }
+    if (assign == end) {
+      std::size_t i = begin;
+      while (i < end) parse_compare(i, end);
+      return;
+    }
+    // LHS unit: the identifier chain immediately before the operator.
+    UnitValue lhs = UnitValue::unknown();
+    std::string lhs_name;
+    if (assign > begin && toks_[assign - 1].kind == Token::Kind::kIdent) {
+      lhs_name = toks_[assign - 1].text;
+      Dim d;
+      if (lookup(lhs_name, d)) lhs = UnitValue::known(d);
+    }
+    std::size_t i = assign + 1;
+    UnitValue rhs = parse_compare(i, end);
+    while (i < end) parse_compare(i, end);  // e.g. comma expressions
+    if (lhs.is_known() && rhs.is_known() && lhs.dim != rhs.dim) {
+      report(toks_[assign].line, "assignment", lhs, rhs);
+    } else if (!lhs_name.empty() && !lhs.is_known() && rhs.is_known() &&
+               toks_[assign].text == "=") {
+      // Dataflow: `const double l = scenario_.inductance;` teaches the
+      // checker that l is an inductance for the rest of this scope.
+      bindings_.push_back({lhs_name, rhs.dim, depth_});
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  std::string file_;
+  std::vector<Diagnostic>& out_;
+  std::vector<std::pair<int, Binding>> pending_;  // (line, binding)
+  std::size_t next_pending_ = 0;
+  std::vector<Binding> bindings_;
+  int depth_ = 0;
+};
+
+}  // namespace detail_units
+
+/// True when the units pass is armed for this file: the model layers the
+/// ISSUE calls out, plus any file that opts in with an annotation.
+inline bool units_pass_applies(const FileInfo& info) {
+  if (!info.stripped.unit_annotations.empty()) return true;
+  return info.layer == "core" || info.layer == "process" || info.layer == "sim";
+}
+
+/// SSN-L011 over one project file.
+inline void pass_units_file(const FileInfo& info, std::vector<Diagnostic>& out) {
+  if (!units_pass_applies(info)) return;
+  const std::vector<Token> toks = tokenize(info.stripped.code);
+  detail_units::UnitChecker checker(toks, info.stripped, info.display, out);
+  checker.run();
+}
+
+/// SSN-L011 over the whole project.
+inline void pass_units(const Project& proj, std::vector<Diagnostic>& out) {
+  for (const FileInfo& info : proj.files) pass_units_file(info, out);
+}
+
+}  // namespace ssnlint
