@@ -1,0 +1,400 @@
+// Load generator for the serve daemon (docs/SERVING.md).
+//
+// Two modes:
+//
+//   self-hosted (default)  — constructs serve::Server in-process and drives
+//     submit_line() directly from M closed-loop client threads (one
+//     outstanding request each). Measures the daemon core with zero
+//     transport noise; this is what scripts/bench_serve.sh runs.
+//   --connect PATH         — connects M Unix-socket clients to an already
+//     running `ssnkit serve --socket PATH`, measuring the full stack
+//     including the poll loop and socket framing.
+//
+// The --dup-frac knob replays earlier configurations with that probability,
+// so the reported cache hit-rate is controllable: dup-frac 0.5 on a warm
+// cache should report roughly 0.5.
+//
+// Writes BENCH_serve.json (throughput, p50/p95/p99 latency, outcome counts,
+// cache hit-rate) through write_file_atomic like the other perf artifacts.
+#include "bench_util.hpp"
+
+#include "io/diagnostics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/atomic_file.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace ssnkit;
+
+namespace {
+
+struct Options {
+  std::string connect;      // socket path; "" = self-hosted
+  std::string out = "BENCH_serve.json";
+  int clients = 4;          // closed-loop client threads / connections
+  int requests = 2000;      // total requests across all clients
+  double dup_frac = 0.5;    // probability of replaying an earlier config
+  int pool_size = 32;       // distinct configs the replays draw from
+  unsigned seed = 12345;
+  std::size_t queue = 256;  // self-hosted admission bound
+  int threads = 0;          // self-hosted worker threads (0 = auto)
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: bench_serve [--connect PATH] [--clients M] [--requests N]\n"
+      "                   [--dup-frac F] [--pool K] [--seed S]\n"
+      "                   [--queue Q] [--threads T] [--out FILE]\n");
+  std::exit(2);
+}
+
+int int_arg(const std::string& token) {
+  const io::IntParse parsed = io::parse_int_strict(token);
+  if (!parsed.ok) usage_and_exit();
+  return parsed.value;
+}
+
+double double_arg(const std::string& token) {
+  const io::NumberParse parsed = io::parse_double_prefix(token);
+  if (!parsed.ok || parsed.consumed != token.size()) usage_and_exit();
+  return parsed.value;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (arg == "--connect") opt.connect = value();
+    else if (arg == "--out") opt.out = value();
+    else if (arg == "--clients") opt.clients = int_arg(value());
+    else if (arg == "--requests") opt.requests = int_arg(value());
+    else if (arg == "--dup-frac") opt.dup_frac = double_arg(value());
+    else if (arg == "--pool") opt.pool_size = int_arg(value());
+    else if (arg == "--seed") opt.seed = static_cast<unsigned>(int_arg(value()));
+    else if (arg == "--queue")
+      opt.queue = static_cast<std::size_t>(int_arg(value()));
+    else if (arg == "--threads") opt.threads = int_arg(value());
+    else usage_and_exit();
+  }
+  if (opt.clients < 1 || opt.requests < 1 || opt.pool_size < 1 ||
+      opt.dup_frac < 0.0 || opt.dup_frac > 1.0)
+    usage_and_exit();
+  return opt;
+}
+
+/// One estimate-request line. Configs are indexed: the same index always
+/// renders the same line (minus the id), so replaying an index is a cache
+/// hit on the server.
+std::string request_line(const std::string& id, int config_index) {
+  // Spread n over [1, 32] and tr over three values so distinct indices are
+  // genuinely distinct work, not just distinct ids.
+  const int n = 1 + config_index % 32;
+  static const char* kRiseTimes[] = {"5e-11", "1e-10", "2e-10"};
+  const char* tr = kRiseTimes[(config_index / 32) % 3];
+  std::ostringstream os;
+  os << "{\"id\":\"" << id << "\",\"cmd\":\"estimate\",\"n\":" << n
+     << ",\"tr\":" << tr << "}";
+  return os.str();
+}
+
+struct Tally {
+  std::vector<double> latencies_us;  // ok responses only
+  long ok = 0;
+  long cached = 0;
+  long shed = 0;
+  long errors = 0;
+};
+
+/// Classify one response line by substring — the bench is a client, so it
+/// reads the wire format the documented way (docs/SERVING.md) without
+/// depending on server internals.
+void tally_response(const std::string& line, double latency_us, Tally& t) {
+  if (line.find("\"ok\":true") != std::string::npos) {
+    ++t.ok;
+    t.latencies_us.push_back(latency_us);
+    if (line.find("\"cached\":true") != std::string::npos) ++t.cached;
+  } else if (line.find("SSN-E064") != std::string::npos) {
+    ++t.shed;
+  } else {
+    ++t.errors;
+  }
+}
+
+/// Closed-loop client: one outstanding request, next config drawn from the
+/// replay pool with probability dup_frac, otherwise fresh.
+template <typename SubmitFn>
+void run_client(int client_id, int n_requests, const Options& opt,
+                SubmitFn&& submit, Tally& tally) {
+  std::mt19937 rng(opt.seed + static_cast<unsigned>(client_id) * 7919u);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pool_pick(0, opt.pool_size - 1);
+  int fresh = opt.pool_size + client_id * 100000;  // disjoint fresh ranges
+  for (int r = 0; r < n_requests; ++r) {
+    const int config = coin(rng) < opt.dup_frac ? pool_pick(rng) : fresh++;
+    std::ostringstream id_os;
+    id_os << 'c' << client_id << '-' << r;
+    const std::string id = id_os.str();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string response = submit(request_line(id, config));
+    const double us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    tally_response(response, us, tally);
+  }
+}
+
+Tally run_self_hosted(const Options& opt, serve::Server& server) {
+  std::vector<Tally> tallies(static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> clients;
+  const int per_client = opt.requests / opt.clients;
+  const int remainder = opt.requests % opt.clients;
+  for (int c = 0; c < opt.clients; ++c) {
+    const int n = per_client + (c < remainder ? 1 : 0);
+    clients.emplace_back([&, c, n] {
+      run_client(c, n, opt,
+                 [&](const std::string& line) {
+                   // submit_line responds asynchronously from a worker;
+                   // block until this request's single response arrives.
+                   std::mutex mu;
+                   std::condition_variable cv;
+                   std::string response;
+                   bool done = false;
+                   server.submit_line(line, [&](const std::string& resp) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     response = resp;
+                     done = true;
+                     cv.notify_one();
+                   });
+                   std::unique_lock<std::mutex> lock(mu);
+                   cv.wait(lock, [&] { return done; });
+                   return response;
+                 },
+                 tallies[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.ok += t.ok;
+    total.cached += t.cached;
+    total.shed += t.shed;
+    total.errors += t.errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(), t.latencies_us.end());
+  }
+  return total;
+}
+
+#ifndef _WIN32
+/// Blocking Unix-socket round trip: write one line, read one line. With one
+/// outstanding request per connection every line read is ours.
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  std::string round_trip(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return "";
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const std::size_t eol = buf_.find('\n');
+      if (eol != std::string::npos) {
+        std::string out = buf_.substr(0, eol);
+        buf_.erase(0, eol + 1);
+        // The daemon may interleave event lines (warnings); skip them and
+        // keep reading for the response proper.
+        if (out.find("\"event\":") == std::string::npos) return out;
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+Tally run_connected(const Options& opt) {
+  std::vector<Tally> tallies(static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> clients;
+  std::atomic<bool> connect_failed{false};
+  const int per_client = opt.requests / opt.clients;
+  const int remainder = opt.requests % opt.clients;
+  for (int c = 0; c < opt.clients; ++c) {
+    const int n = per_client + (c < remainder ? 1 : 0);
+    clients.emplace_back([&, c, n] {
+      SocketClient sock(opt.connect);
+      if (!sock.ok()) {
+        connect_failed.store(true);
+        return;
+      }
+      run_client(c, n, opt,
+                 [&](const std::string& line) { return sock.round_trip(line); },
+                 tallies[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (connect_failed.load()) {
+    std::fprintf(stderr, "bench_serve: could not connect to %s\n",
+                 opt.connect.c_str());
+    std::exit(1);
+  }
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.ok += t.ok;
+    total.cached += t.cached;
+    total.shed += t.shed;
+    total.errors += t.errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(), t.latencies_us.end());
+  }
+  return total;
+}
+#endif
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  benchutil::banner("serve daemon load generator");
+  std::printf("mode: %s  clients: %d  requests: %d  dup-frac: %.2f\n",
+              opt.connect.empty() ? "self-hosted" : opt.connect.c_str(),
+              opt.clients, opt.requests, opt.dup_frac);
+
+  Tally tally;
+  double elapsed_s = 0.0;
+  if (opt.connect.empty()) {
+    serve::ServerConfig config;
+    config.threads = opt.threads;
+    config.queue_capacity = opt.queue;
+    serve::Server server(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    tally = run_self_hosted(opt, server);
+    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+    const serve::ServerStats stats = server.stats();
+    std::printf("server stats: accepted=%llu responded=%llu cache_hits=%llu\n",
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.responded),
+                static_cast<unsigned long long>(stats.cache_hits));
+  } else {
+#ifndef _WIN32
+    const auto t0 = std::chrono::steady_clock::now();
+    tally = run_connected(opt);
+    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+#else
+    std::fprintf(stderr, "bench_serve: --connect needs Unix sockets\n");
+    return 1;
+#endif
+  }
+
+  std::sort(tally.latencies_us.begin(), tally.latencies_us.end());
+  const double p50 = percentile(tally.latencies_us, 0.50);
+  const double p95 = percentile(tally.latencies_us, 0.95);
+  const double p99 = percentile(tally.latencies_us, 0.99);
+  const long answered = tally.ok + tally.shed + tally.errors;
+  const double throughput = elapsed_s > 0.0
+                                ? static_cast<double>(answered) / elapsed_s
+                                : 0.0;
+  const double hit_rate =
+      tally.ok > 0 ? static_cast<double>(tally.cached) /
+                         static_cast<double>(tally.ok)
+                   : 0.0;
+
+  benchutil::section("results");
+  std::printf("answered:   %ld (ok %ld, shed %ld, errors %ld)\n", answered,
+              tally.ok, tally.shed, tally.errors);
+  std::printf("elapsed:    %.3f s  (%.0f req/s)\n", elapsed_s, throughput);
+  std::printf("latency us: p50 %.0f  p95 %.0f  p99 %.0f\n", p50, p95, p99);
+  std::printf("cache hits: %ld / %ld ok (%.1f%%)\n", tally.cached, tally.ok,
+              benchutil::pct(hit_rate));
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"mode\": \"" << (opt.connect.empty() ? "self-hosted" : "socket")
+       << "\",\n"
+       << "  \"clients\": " << opt.clients << ",\n"
+       << "  \"requests\": " << opt.requests << ",\n"
+       << "  \"dup_frac\": " << opt.dup_frac << ",\n"
+       << "  \"answered\": " << answered << ",\n"
+       << "  \"ok\": " << tally.ok << ",\n"
+       << "  \"shed\": " << tally.shed << ",\n"
+       << "  \"errors\": " << tally.errors << ",\n"
+       << "  \"elapsed_s\": " << elapsed_s << ",\n"
+       << "  \"throughput_rps\": " << throughput << ",\n"
+       << "  \"latency_p50_us\": " << p50 << ",\n"
+       << "  \"latency_p95_us\": " << p95 << ",\n"
+       << "  \"latency_p99_us\": " << p99 << ",\n"
+       << "  \"cache_hit_rate\": " << hit_rate << "\n"
+       << "}\n";
+  support::write_file_atomic(opt.out, json.str());
+  std::printf("\nwrote %s\n", opt.out.c_str());
+  return tally.errors > 0 ? 1 : 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the serve-daemon load generator (bench/bench_serve) and emit
+# BENCH_serve.json (throughput, p50/p95/p99 latency, cache hit-rate).
+#
+# Usage: scripts/bench_serve.sh [--smoke] [--connect PATH] [--out FILE]
+#   --smoke         small request count — CI uses this to prove the harness
+#                   runs and to archive a trend artifact; numbers from a
+#                   loaded CI box are indicative only
+#   --connect PATH  drive a daemon already listening on PATH instead of the
+#                   default in-process server (measures the socket stack too)
+#   --out FILE      JSON output path (default: BENCH_serve.json in repo root)
+#
+# For publishable numbers run without --smoke on an idle machine; knobs such
+# as --clients/--requests/--dup-frac pass through to the binary, see
+# bench_serve --help and docs/SERVING.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT=BENCH_serve.json
+EXTRA=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    --connect) EXTRA+=(--connect "$2"); shift 2 ;;
+    *) EXTRA+=("$1"); shift ;;
+  esac
+done
+
+if [ ! -x build/bench/bench_serve ]; then
+  echo "=== building bench_serve (release preset) ==="
+  cmake --preset release
+  cmake --build --preset release --target bench_serve -j
+fi
+
+args=(--out "$OUT")
+if [ "$SMOKE" = 1 ]; then
+  args+=(--requests 300 --clients 4)
+fi
+
+echo "=== bench_serve -> $OUT ==="
+build/bench/bench_serve "${args[@]}" ${EXTRA[@]+"${EXTRA[@]}"}
+echo "bench_serve.sh: wrote $OUT"

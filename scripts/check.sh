@@ -7,6 +7,9 @@
 #   --preset NAME  CMake preset to use (default: release)
 #   --all-tidy     clang-tidy every src/ file instead of only changed ones
 #   --lint         build ssnlint and run only the whole-repo scan (timed)
+#   --serve        build the daemon + load generator and run only the
+#                  serve smoke (scripts/serve_smoke.sh: SIGTERM mid-load,
+#                  clean drain, cache warm restart)
 #   --fuzz         shorthand for --preset fuzz (builds the tests/fuzz
 #                  harness and replays the seed corpora; real libFuzzer
 #                  mutation needs clang — see tests/fuzz/CMakeLists.txt)
@@ -18,11 +21,13 @@ cd "$(dirname "$0")/.."
 PRESET=release
 ALL_TIDY=0
 LINT_ONLY=0
+SERVE_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
     --all-tidy) ALL_TIDY=1; shift ;;
     --lint) LINT_ONLY=1; shift ;;
+    --serve) SERVE_ONLY=1; shift ;;
     --fuzz) PRESET=fuzz; shift ;;
     --tsan) PRESET=tsan; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -57,6 +62,16 @@ if [ "$LINT_ONLY" = 1 ]; then
   exit 0
 fi
 
+if [ "$SERVE_ONLY" = 1 ]; then
+  echo "=== configure ($PRESET) ==="
+  cmake --preset "$PRESET" > /dev/null
+  echo "=== build ssnkit + bench_serve ==="
+  cmake --build --preset "$PRESET" -j --target ssnkit_tool bench_serve
+  scripts/serve_smoke.sh "$BUILD_DIR"/tools/ssnkit "$BUILD_DIR"/bench/bench_serve
+  echo "check.sh: serve smoke passed"
+  exit 0
+fi
+
 echo "=== configure ($PRESET) ==="
 cmake --preset "$PRESET" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
@@ -74,6 +89,8 @@ run_lint
 if [ "$PRESET" = release ]; then
   echo "=== interrupt-resume smoke ==="
   scripts/resume_smoke.sh "$BUILD_DIR"/tools/ssnkit
+  echo "=== serve smoke ==="
+  scripts/serve_smoke.sh "$BUILD_DIR"/tools/ssnkit "$BUILD_DIR"/bench/bench_serve
 fi
 
 echo "=== clang-tidy ==="

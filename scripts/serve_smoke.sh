@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serve daemon (docs/SERVING.md), mirroring
+# what an operator actually does:
+#
+#   leg 1  stdin mode: repeated request answers from the cache, a restarted
+#          daemon warms the cache from its crash-safe spill file
+#   leg 2  socket mode: start the daemon, fire closed-loop load through
+#          bench_serve --connect plus one deliberately slow request, SIGTERM
+#          the daemon mid-load, and assert the clean-drain contract:
+#            - the daemon exits 0
+#            - every line it printed is valid JSON (checked with jq)
+#            - stats report accepted == responded (no accepted request lost)
+#
+# The SIGTERM may land after the load already finished on a fast machine —
+# the drain is then trivial but still exercised end to end, so the
+# assertions hold either way.
+#
+# Usage: scripts/serve_smoke.sh [path/to/ssnkit [path/to/bench_serve]]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SSNKIT=${1:-build/tools/ssnkit}
+BENCH=${2:-build/bench/bench_serve}
+if [ ! -x "$SSNKIT" ]; then
+  echo "serve_smoke: $SSNKIT not built" >&2
+  exit 2
+fi
+if [ ! -x "$BENCH" ]; then
+  echo "serve_smoke: $BENCH not built" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "=== leg 1: stdin mode, cache + warm restart ==="
+REQ='{"id":"r1","cmd":"estimate","n":8,"tr":1e-10}'
+printf '%s\n%s\n' "$REQ" "${REQ/r1/r2}" \
+  | "$SSNKIT" serve --cache-file "$WORK/spill" > "$WORK/leg1a.log"
+grep -q '"id":"r1","ok":true' "$WORK/leg1a.log"
+grep -q '"id":"r2","ok":true,"cached":true' "$WORK/leg1a.log"
+[ -f "$WORK/spill" ] || { echo "serve_smoke: no cache spill written" >&2; exit 1; }
+printf '%s\n' "${REQ/r1/r3}" \
+  | "$SSNKIT" serve --cache-file "$WORK/spill" > "$WORK/leg1b.log"
+grep -q '"id":"r3","ok":true,"cached":true' "$WORK/leg1b.log" \
+  || { echo "serve_smoke: restarted daemon did not warm from spill" >&2
+       cat "$WORK/leg1b.log" >&2; exit 1; }
+echo "cache hit + warm restart OK"
+
+echo "=== leg 2: socket mode, SIGTERM mid-load ==="
+SOCK=$WORK/ssnkit.sock
+"$SSNKIT" serve --socket "$SOCK" --queue 128 --drain 2 \
+    > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "serve_smoke: socket never appeared" >&2
+                    cat "$WORK/serve.log" >&2; exit 1; }
+
+# Closed-loop load over the socket (ignore its exit status: once the drain
+# starts, its in-flight connections are legitimately shed or closed).
+"$BENCH" --connect "$SOCK" --requests 100000 --clients 4 --dup-frac 0.2 \
+    --out "$WORK/bench.json" > "$WORK/bench.log" 2>&1 &
+BENCH_PID=$!
+
+# One deliberately slow request so the SIGTERM reliably has in-flight work
+# to drain (and, past the 2 s drain deadline, to cancel with SSN-E066).
+python3 - "$SOCK" > "$WORK/slow.log" 2>&1 <<'EOF' &
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b'{"id":"slow","cmd":"sweep-n","max_n":32}\n')
+buf = b""
+while b"\n" not in buf:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.split(b"\n")[0].decode())
+EOF
+SLOW_PID=$!
+
+sleep 1
+kill -TERM "$SERVE_PID" 2> /dev/null
+set +e
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+wait "$BENCH_PID" 2> /dev/null
+wait "$SLOW_PID" 2> /dev/null
+set -e
+
+if [ "$RC" != 0 ]; then
+  echo "serve_smoke: daemon exited $RC on SIGTERM (want clean drain, 0)" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+echo "daemon drained and exited 0"
+
+# Every daemon output line must be a complete JSON object.
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  echo "$line" | jq -e . > /dev/null \
+    || { echo "serve_smoke: non-JSON daemon output: $line" >&2; exit 1; }
+done < "$WORK/serve.log"
+
+# The slow client must have received a valid JSON response line (ok, shed,
+# or the drain's SSN-E066 — but never silence or garbage).
+if [ -s "$WORK/slow.log" ]; then
+  jq -e . "$WORK/slow.log" > /dev/null \
+    || { echo "serve_smoke: slow client got garbage:" >&2
+         cat "$WORK/slow.log" >&2; exit 1; }
+else
+  echo "serve_smoke: slow client got no response" >&2
+  exit 1
+fi
+
+# The drain contract: every accepted request was answered.
+STATS=$(grep '"event":"stats"' "$WORK/serve.log" | tail -1)
+[ -n "$STATS" ] || { echo "serve_smoke: no stats line" >&2; exit 1; }
+ACCEPTED=$(echo "$STATS" | jq -r .accepted)
+RESPONDED=$(echo "$STATS" | jq -r .responded)
+echo "stats: accepted=$ACCEPTED responded=$RESPONDED"
+if [ "$ACCEPTED" != "$RESPONDED" ]; then
+  echo "serve_smoke: lost accepted requests ($ACCEPTED accepted, $RESPONDED responded)" >&2
+  exit 1
+fi
+if [ "$ACCEPTED" -lt 1 ]; then
+  echo "serve_smoke: load generator never got a request admitted" >&2
+  cat "$WORK/bench.log" >&2
+  exit 1
+fi
+
+echo "serve_smoke: PASS (clean drain, $ACCEPTED/$ACCEPTED accepted requests answered)"

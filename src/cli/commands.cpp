@@ -7,6 +7,9 @@
 #include "analysis/sensitivity.hpp"
 #include "analysis/sweeps.hpp"
 #include "circuit/netlist.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
 #include "waveform/render.hpp"
@@ -19,6 +22,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -137,7 +141,7 @@ struct JournalSetup {
 // Out-param because BatchJournal is pinned in place (it owns a mutex).
 void setup_journal(const Args& args, const std::string& kind,
                    std::uint64_t config_hash, std::size_t total,
-                   JournalSetup& out) {
+                   JournalSetup& out, std::ostream& os) {
   out.path = args.get_or("journal", "");
   const std::string resume = args.get_or("resume", "");
   if (!resume.empty()) {
@@ -145,6 +149,10 @@ void setup_journal(const Args& args, const std::string& kind,
         support::BatchJournal::load(resume);
     support::BatchJournal::validate_against(loaded, kind, config_hash, total,
                                             resume);
+    // A torn trailing record (power loss mid-checkpoint) is discarded, not
+    // fatal; tell the user which item will re-run.
+    for (const std::string& warning : loaded.warnings)
+      os << "warning: " << warning << "\n";
     out.resume_items = loaded.items;
     out.resuming = true;
     if (out.path.empty()) out.path = resume;
@@ -188,6 +196,8 @@ commands:
   mc          Monte Carlo corner distribution of the max SSN
   ac          ground-path impedance sweep |Z(f)| (CSV on stdout)
   simulate    run a SPICE-flavoured netlist transient (.tran required)
+  serve       long-lived analysis daemon: newline-delimited JSON requests
+              on a Unix socket (--socket PATH) or stdin (docs/SERVING.md)
 
 common options:
   --tech 180nm|250nm|350nm     process (default 180nm)
@@ -223,6 +233,18 @@ job lifecycle (sweep-n, sweep-c, mc, simulate):
   SIGINT/SIGTERM               first signal drains the batch gracefully
                                (journal + partial CSV flushed); second
                                signal hard-kills
+
+serve options:
+  --socket PATH                listen on a Unix socket (default: stdin pipe)
+  --queue N                    admission bound; beyond it requests are shed
+                               with SSN-E064 + retry_after_ms (default 64)
+  --cache N                    result-cache entries, 0 disables (default 4096)
+  --cache-file FILE            crash-safe cache spill; a restarted daemon
+                               warms from it
+  --request-deadline S         default per-request budget (0 = none)
+  --drain S                    drain budget on SIGTERM before in-flight
+                               requests are cancelled with SSN-E066
+                               (default 5); clean drain exits 0
 
 exit codes:
   0  success        1  error          2  usage
@@ -332,7 +354,7 @@ int cmd_sweep_n(const Args& args, std::ostream& os) {
       config.package, max_n, config.input_rise_time, config.include_package_c,
       static_cast<long long>(config.driver_counts.size()), 0);
   JournalSetup js;
-  setup_journal(args, "sweep-n", hash, config.driver_counts.size(), js);
+  setup_journal(args, "sweep-n", hash, config.driver_counts.size(), js, os);
   if (js.journal) config.journal = &*js.journal;
   if (js.resuming) config.resume = &js.resume_items;
 
@@ -376,7 +398,7 @@ int cmd_sweep_c(const Args& args, std::ostream& os) {
       config.package, config.n_drivers, config.input_rise_time, true,
       static_cast<long long>(config.capacitances.size()), 0);
   JournalSetup js;
-  setup_journal(args, "sweep-c", hash, config.capacitances.size(), js);
+  setup_journal(args, "sweep-c", hash, config.capacitances.size(), js, os);
   if (js.journal) config.journal = &*js.journal;
   if (js.resuming) config.resume = &js.resume_items;
 
@@ -461,7 +483,7 @@ int cmd_mc(const Args& args, std::ostream& os) {
         "mc-sim", tech.name, args.get_or("golden", "alpha"), pkg, n, tr,
         with_c, opts.samples, opts.seed);
     JournalSetup js;
-    setup_journal(args, "mc-sim", hash, std::size_t(opts.samples), js);
+    setup_journal(args, "mc-sim", hash, std::size_t(opts.samples), js, os);
     if (js.journal) opts.journal = &*js.journal;
     if (js.resuming) opts.resume = &js.resume_items;
 
@@ -673,6 +695,46 @@ int cmd_simulate(const Args& args, std::ostream& os) {
   return 0;
 }
 
+int cmd_serve(const Args& args, std::ostream& os) {
+  serve::ServerConfig config;
+  config.threads = args.get_int("threads", 0);
+  const int queue = args.get_int("queue", 64);
+  if (queue < 1) throw std::invalid_argument("--queue must be >= 1");
+  config.queue_capacity = std::size_t(queue);
+  const int cache = args.get_int("cache", 4096);
+  if (cache < 0) throw std::invalid_argument("--cache must be >= 0");
+  config.cache_capacity = std::size_t(cache);
+  config.cache_file = args.get_or("cache-file", "");
+  config.default_deadline_s = args.get_double("request-deadline", 0.0);
+  config.drain_deadline_s = args.get_double("drain", 5.0);
+  const std::string socket_path = args.get_or("socket", "");
+  warn_unused(args, os);
+
+  // Same lifecycle wiring as the batch commands: the first SIGINT/SIGTERM
+  // starts the graceful drain, the second hard-exits. --deadline bounds the
+  // daemon's own lifetime (handy for smoke tests and supervised restarts).
+  Lifecycle life(args);
+
+  serve::Server server(config);
+  if (socket_path.empty())
+    return server.serve_stream(std::cin, os, &life.ctx);
+
+  for (const std::string& warning : server.warm_warnings())
+    os << "{\"event\":\"warning\",\"code\":\"SSN-W067\",\"message\":\""
+       << serve::json_escape(warning) << "\"}\n";
+  os.flush();
+  serve::SocketOptions sopts;
+  sopts.path = socket_path;
+  std::string err;
+  if (serve::serve_unix_socket(server, sopts, &life.ctx, err) != 0) {
+    os << "error: " << err << "\n";
+    return 1;
+  }
+  os << serve::render_stats(server.stats()) << "\n";
+  os.flush();
+  return 0;
+}
+
 int run_cli(const std::vector<std::string>& argv, std::ostream& os,
             std::ostream& err) {
   if (argv.empty()) {
@@ -691,6 +753,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& os,
     if (command == "mc") return cmd_mc(args, os);
     if (command == "ac") return cmd_ac(args, os);
     if (command == "simulate") return cmd_simulate(args, os);
+    if (command == "serve") return cmd_serve(args, os);
     if (command == "help" || command == "--help") {
       os << usage();
       return 0;

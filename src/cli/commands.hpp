@@ -36,6 +36,7 @@ int cmd_design(const Args& args, std::ostream& os);
 int cmd_mc(const Args& args, std::ostream& os);
 int cmd_ac(const Args& args, std::ostream& os);
 int cmd_simulate(const Args& args, std::ostream& os);
+int cmd_serve(const Args& args, std::ostream& os);
 
 /// Dispatch on the subcommand name; unknown names print usage and return 2.
 int run_cli(const std::vector<std::string>& argv, std::ostream& os,

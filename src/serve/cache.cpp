@@ -1,0 +1,148 @@
+#include "serve/cache.hpp"
+
+#include "support/atomic_file.hpp"
+#include "support/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace ssnkit::serve {
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put_locked(std::uint64_t key, const std::string& payload,
+                             bool refresh_existing) {
+  if (capacity_ == 0) return;
+  if (payload.find('\n') != std::string::npos) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (!refresh_existing) return;  // warm-load: live entries win
+    it->second->second = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, payload);
+  index_[key] = lru_.begin();
+  ++stats_.inserts;
+}
+
+void ResultCache::put(std::uint64_t key, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  put_locked(key, payload, /*refresh_existing=*/true);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::save(const std::string& path) const {
+  std::string text = "ssnkit-cache v1\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Oldest first: load() re-inserts in file order, so the rebuilt LRU
+    // order matches the saved one.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      text += "entry ";
+      text += support::hex_u64(it->first);
+      text += ' ';
+      text += support::hex_u64(support::fnv1a(it->second));
+      text += ' ';
+      text += it->second;
+      text += '\n';
+    }
+  }
+  support::write_file_atomic(path, text);
+}
+
+std::vector<std::string> ResultCache::load(const std::string& path) {
+  std::vector<std::string> warnings;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return warnings;  // cold start, not a fault
+
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = slurp.str();
+  const auto warn = [&](std::size_t line_no, const std::string& what) {
+    warnings.push_back("SSN-W067 cache '" + path + "': discarded line " +
+                       std::to_string(line_no) + " (" + what +
+                       "); the entry will simply recompute");
+  };
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    const bool torn = eol == std::string::npos;
+    if (torn) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    if (!saw_header) {
+      if (line != "ssnkit-cache v1") {
+        warnings.push_back("SSN-W067 cache '" + path +
+                           "': not a v1 spill file, starting cold");
+        return warnings;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (torn) {
+      warn(line_no, "torn trailing record");
+      continue;
+    }
+    // entry <key16> <fnv16> <payload>; the payload may contain spaces.
+    if (line.rfind("entry ", 0) != 0 || line.size() < 6 + 16 + 1 + 16 + 1) {
+      warn(line_no, "malformed record");
+      continue;
+    }
+    std::uint64_t key = 0;
+    std::uint64_t checksum = 0;
+    if (line[6 + 16] != ' ' || line[6 + 16 + 1 + 16] != ' ' ||
+        !support::parse_hex_u64(line.substr(6, 16), key) ||
+        !support::parse_hex_u64(line.substr(6 + 17, 16), checksum)) {
+      warn(line_no, "malformed record");
+      continue;
+    }
+    const std::string payload = line.substr(6 + 17 + 17);
+    if (support::fnv1a(payload) != checksum) {
+      warn(line_no, "payload checksum mismatch");
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t before = stats_.inserts;
+    put_locked(key, payload, /*refresh_existing=*/false);
+    if (stats_.inserts != before) ++stats_.warmed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.discarded_on_load += warnings.size();
+  }
+  return warnings;
+}
+
+}  // namespace ssnkit::serve

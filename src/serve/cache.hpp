@@ -1,0 +1,83 @@
+// Content-addressed result cache for the serve daemon.
+//
+// Keys are FNV-1a hashes of the canonical request string (protocol.hpp's
+// cache_key); values are the rendered result fragments. The cache is a
+// bounded LRU guarded by one mutex — requests cost milliseconds to seconds
+// to compute, so contention on a hash-map lookup is irrelevant.
+//
+// Crash safety: save() publishes the whole cache through
+// support::write_file_atomic (temp + fsync + rename + dir fsync), so the
+// spill file on disk is always complete. load() is tolerant the same way
+// the journal loader is: a torn or corrupt *record* is discarded with an
+// SSN-W067 warning — a cache entry is always safe to lose (the request
+// simply recomputes) and never safe to trust when its checksum disagrees.
+//
+// File format (line-oriented; payloads are single-line JSON, so one record
+// is exactly one line):
+//
+//   ssnkit-cache v1
+//   entry <key hex16> <payload-fnv hex16> <payload...>
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ssnkit::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` = max entries; 0 disables the cache entirely (get always
+  /// misses, put is a no-op) so callers never need a null check.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  /// Look up a key; a hit bumps the entry to most-recently-used.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Insert or refresh an entry (evicting the least-recently-used one when
+  /// full). Payloads containing '\n' are rejected (dropped) — the spill
+  /// format is line-oriented and every renderer emits single lines.
+  void put(std::uint64_t key, const std::string& payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t warmed = 0;             ///< entries restored by load()
+    std::uint64_t discarded_on_load = 0;  ///< torn/corrupt records skipped
+  };
+  Stats stats() const;
+
+  /// Atomically publish every entry to `path` (crash-safe: the file is
+  /// always a complete spill). Throws support::IoError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Warm the cache from a spill file. A missing file is a cold start (no
+  /// warnings); a damaged header abandons the file; a damaged or torn entry
+  /// is discarded. Every non-fatal finding comes back as one formatted
+  /// SSN-W067 line. Existing entries win over loaded ones.
+  std::vector<std::string> load(const std::string& path);
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, std::string>>;
+
+  void put_locked(std::uint64_t key, const std::string& payload,
+                  bool refresh_existing);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used; guarded by mu_
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  Stats stats_;  ///< guarded by mu_
+};
+
+}  // namespace ssnkit::serve

@@ -1,0 +1,190 @@
+#include "serve/handlers.hpp"
+
+#include "analysis/montecarlo.hpp"
+#include "analysis/resilience.hpp"
+#include "analysis/sweeps.hpp"
+#include "core/l_only_model.hpp"
+#include "core/lc_model.hpp"
+#include "sim/recovery.hpp"
+
+#include <string>
+
+namespace ssnkit::serve {
+
+std::shared_ptr<const analysis::Calibration> CalibrationCache::get(
+    const std::string& tech, const std::string& golden) {
+  const std::string key = tech + '|' + golden;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = fits_.find(key);
+    if (it != fits_.end()) return it->second;
+  }
+  // Fit outside the lock: two threads may race to fit the same pair; the
+  // fits are deterministic, so whichever publishes first wins and the loser
+  // just did redundant work — better than serializing unrelated fits.
+  const process::GoldenKind kind = golden == "bsim"
+                                       ? process::GoldenKind::kBsimLite
+                                       : process::GoldenKind::kAlphaPower;
+  auto fitted = std::make_shared<const analysis::Calibration>(
+      analysis::calibrate(process::technology_by_name(tech), kind));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = fits_.emplace(key, std::move(fitted));
+  (void)inserted;
+  return it->second;
+}
+
+namespace {
+
+process::Package package_for(const ServeRequest& req) {
+  process::Package pkg = process::package_by_name(req.package);
+  if (req.pads > 1) pkg = pkg.with_ground_pads(req.pads);
+  if (req.inductance >= 0.0) pkg.inductance = req.inductance;
+  if (req.capacitance >= 0.0) pkg.capacitance = req.capacitance;
+  return pkg;
+}
+
+/// Throw the stop that drained a batch as a typed SolverError, so the
+/// server's one catch site maps every cooperative stop onto SSN-E066.
+void throw_stop(support::StopReason stop) {
+  const auto kind = stop == support::StopReason::kDeadlineExpired
+                        ? support::SolverErrorKind::kDeadlineExpired
+                        : support::SolverErrorKind::kCancelled;
+  throw support::SolverError(kind, "request stopped before completion");
+}
+
+std::string handle_estimate(const ServeRequest& req,
+                            const analysis::Calibration& cal,
+                            const process::Package& pkg,
+                            const support::RunContext* ctx) {
+  const bool with_c = req.include_c && pkg.capacitance > 0.0;
+  const auto scenario = analysis::make_scenario(cal, pkg, req.n_drivers,
+                                                req.rise_time, with_c);
+  std::string out = "{";
+  out += "\"n\":" + std::to_string(req.n_drivers);
+  out += ",\"l\":" + json_number(pkg.inductance);
+  out += ",\"c\":" + json_number(with_c ? pkg.capacitance : 0.0);
+  out += ",\"slope\":" + json_number(scenario.slope);
+  out += ",\"beta\":" + json_number(scenario.beta());
+  if (with_c) {
+    const core::LcModel model(scenario);
+    out += ",\"model\":\"lc\"";
+    out += ",\"v_max\":" + json_number(model.v_max());
+    out += ",\"zeta\":" + json_number(model.zeta());
+    out += ",\"case\":\"" +
+           json_escape(core::to_string(model.max_case())) + "\"";
+    out += ",\"c_crit\":" + json_number(scenario.critical_capacitance());
+  } else {
+    const core::LOnlyModel model(scenario);
+    out += ",\"model\":\"l-only\"";
+    out += ",\"v_max\":" + json_number(model.v_max());
+  }
+  if (req.sim) {
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.package = pkg;
+    spec.golden = cal.golden;
+    spec.n_drivers = req.n_drivers;
+    spec.input_rise_time = req.rise_time;
+    spec.include_package_c = with_c;
+    analysis::MeasureOptions opts;
+    opts.transient.run_ctx = ctx;
+    const auto m = analysis::measure_ssn_resilient(spec, opts, {}, &scenario);
+    if (!m.ok()) {
+      if (m.error) throw *m.error;
+      throw support::SolverError(support::SolverErrorKind::kHomotopyExhausted,
+                                 "simulation failed with no diagnostic");
+    }
+    // A cancelled/deadlined sample must surface as a stop, not as a silent
+    // analytic degrade (the resilient driver keeps the stop error set).
+    if (m.error && support::is_stop_kind(m.error->kind())) throw *m.error;
+    out += ",\"v_max_sim\":" + json_number(m.measurement.v_max);
+    out += ",\"fidelity\":\"" +
+           json_escape(sim::to_string(m.fidelity)) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string handle_mc(const ServeRequest& req,
+                      const analysis::Calibration& cal,
+                      const process::Package& pkg,
+                      const support::RunContext* ctx) {
+  const bool with_c = req.include_c && pkg.capacitance > 0.0;
+  const auto scenario = analysis::make_scenario(cal, pkg, req.n_drivers,
+                                                req.rise_time, with_c);
+  analysis::MonteCarloOptions opts;
+  opts.samples = req.samples;
+  opts.seed = unsigned(req.seed);
+  opts.threads = 1;  // the daemon parallelizes across requests, not within
+  opts.run_ctx = ctx;
+  const auto mc = analysis::monte_carlo_vmax(scenario, opts);
+  if (mc.stop != support::StopReason::kNone) throw_stop(mc.stop);
+  std::string out = "{";
+  out += "\"samples\":" + std::to_string(mc.completed);
+  out += ",\"mean\":" + json_number(mc.mean);
+  out += ",\"stddev\":" + json_number(mc.stddev);
+  out += ",\"min\":" + json_number(mc.min);
+  out += ",\"max\":" + json_number(mc.max);
+  out += ",\"p95\":" + json_number(mc.p95);
+  out += ",\"p99\":" + json_number(mc.p99);
+  out += ",\"region_flip_fraction\":" + json_number(mc.region_flip_fraction);
+  out += "}";
+  return out;
+}
+
+std::string handle_sweep_n(const ServeRequest& req,
+                           const analysis::Calibration& cal,
+                           const process::Package& pkg,
+                           const support::RunContext* ctx) {
+  analysis::DriverSweepConfig config;
+  config.tech = cal.tech;
+  config.package = pkg;
+  config.golden = cal.golden;
+  config.input_rise_time = req.rise_time;
+  config.include_package_c = req.include_c && pkg.capacitance > 0.0;
+  config.driver_counts.clear();
+  for (int n = 1; n <= req.max_n; n += (n < 4 ? 1 : 2))
+    config.driver_counts.push_back(n);
+  config.threads = 1;  // see handle_mc
+  config.transient.run_ctx = ctx;
+  config.run_ctx = ctx;
+  const auto result = analysis::run_driver_sweep(config);
+  if (result.summary.stop != support::StopReason::kNone)
+    throw_stop(result.summary.stop);
+  std::string out = "{\"rows\":[";
+  bool first = true;
+  for (const auto& row : result.rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"n\":" + std::to_string(row.n);
+    out += ",\"sim\":" + json_number(row.sim);
+    out += ",\"this_work\":" + json_number(row.this_work);
+    out += ",\"vemuru\":" + json_number(row.vemuru);
+    out += ",\"song\":" + json_number(row.song);
+    out += ",\"senthinathan\":" + json_number(row.senthinathan);
+    out += ",\"fidelity\":\"" +
+           json_escape(sim::to_string(row.fidelity)) + "\"}";
+  }
+  out += "],\"full_fidelity\":" +
+         std::to_string(result.summary.full_fidelity);
+  out += ",\"recovered\":" + std::to_string(result.summary.recovered);
+  out += ",\"analytic\":" + std::to_string(result.summary.analytic);
+  out += ",\"failed\":" + std::to_string(result.summary.failed);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string execute_request(const ServeRequest& request,
+                            CalibrationCache& calibrations,
+                            const support::RunContext* ctx) {
+  const auto cal = calibrations.get(request.tech, request.golden);
+  const process::Package pkg = package_for(request);
+  if (request.cmd == "estimate")
+    return handle_estimate(request, *cal, pkg, ctx);
+  if (request.cmd == "mc") return handle_mc(request, *cal, pkg, ctx);
+  return handle_sweep_n(request, *cal, pkg, ctx);
+}
+
+}  // namespace ssnkit::serve

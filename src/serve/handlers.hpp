@@ -1,0 +1,49 @@
+// Request execution for the serve daemon: maps a validated ServeRequest
+// onto the analysis layer (closed-form estimate, optional simulator verify,
+// closed-form Monte Carlo, driver sweep) and renders the result fragment.
+//
+// Handlers are pure with respect to the daemon: they throw
+// support::SolverError on solver failure (including the cooperative stop
+// kinds when the request's RunContext fires) and std::exception for
+// anything else; the server maps those onto SSN-E065/E066 responses for
+// that one client. Nothing here touches sockets, queues, or global state —
+// which is what makes the handlers directly unit-testable.
+#pragma once
+
+#include "analysis/calibrate.hpp"
+#include "serve/protocol.hpp"
+#include "support/runcontext.hpp"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ssnkit::serve {
+
+/// Shared calibration store: fitting the ASDM + alpha-power devices costs
+/// far more than one closed-form evaluation, and every request for the same
+/// (tech, golden) pair needs the identical fit. Thread-safe; entries are
+/// immutable once published.
+class CalibrationCache {
+ public:
+  /// Fit (or return the already-fitted) calibration for a tech/golden pair.
+  std::shared_ptr<const analysis::Calibration> get(const std::string& tech,
+                                                   const std::string& golden);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const analysis::Calibration>>
+      fits_;  // guarded by mu_
+};
+
+/// Execute one request and return its JSON result fragment (a complete
+/// JSON value, single line). `ctx` is the request's lifecycle context; the
+/// sim-backed paths poll it, and a stop surfaces as a SolverError with a
+/// stop kind. Throws on failure — never returns a partial result.
+std::string execute_request(const ServeRequest& request,
+                            CalibrationCache& calibrations,
+                            const support::RunContext* ctx);
+
+}  // namespace ssnkit::serve

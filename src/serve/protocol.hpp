@@ -1,0 +1,115 @@
+// The serve wire protocol: newline-delimited JSON, one object per line in
+// each direction.
+//
+// Request (all fields except "cmd" optional; unknown keys are an error so a
+// typo'd field can never be silently ignored):
+//
+//   {"id":"r1","cmd":"estimate","tech":"180nm","golden":"alpha",
+//    "package":"pga","pads":2,"l":5e-9,"c":1e-12,"n":8,"tr":1e-10,
+//    "include_c":true,"sim":false,"samples":1000,"seed":12345,
+//    "max_n":16,"deadline":2.5}
+//
+// Responses:
+//
+//   {"id":"r1","ok":true,"cached":false,"elapsed_us":412,"result":{...}}
+//   {"id":"r1","ok":false,"code":"SSN-E064","error":"...","retry_after_ms":50}
+//
+// Every response is exactly one line of valid JSON; the daemon's final
+// stats line is too ({"event":"stats",...}), so a client can parse the
+// whole stream uniformly. Numbers are plain JSON in SI base units — no
+// SPICE suffixes on the wire.
+//
+// Error codes (rows in docs/DIAGNOSTICS.md, enforced by ssnlint SSN-L012):
+//   SSN-E063  malformed request (bad JSON, unknown key/command, bad range)
+//   SSN-E064  overloaded — admission queue full, retry after the hint
+//   SSN-E065  request failed in the solver (typed kind attached)
+//   SSN-E066  request cancelled (its deadline, or the daemon's drain)
+#pragma once
+
+#include "serve/json.hpp"
+#include "support/diagnostics.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace ssnkit::serve {
+
+// ssn-units: inductance=H, capacitance=F, rise_time=s, deadline_s=s
+/// One validated analysis request. Field semantics match the CLI flags of
+/// the corresponding commands (estimate / mc / sweep-n).
+struct ServeRequest {
+  std::string id;            ///< echoed on the response; assigned if empty
+  std::string cmd;           ///< "estimate" | "mc" | "sweep-n"
+  std::string tech = "180nm";
+  std::string golden = "alpha";
+  std::string package = "pga";
+  int pads = 1;              ///< parallel ground pads (divides L)
+  double inductance = -1.0;  ///< [H] override; < 0 = package default
+  double capacitance = -1.0; ///< [F] override; < 0 = package default
+  int n_drivers = 8;
+  double rise_time = 0.1e-9; ///< [s] input ramp
+  bool include_c = true;     ///< false = Section 3 L-only model
+  bool sim = false;          ///< estimate: verify on the MNA simulator
+  int samples = 1000;        ///< mc: closed-form sample count
+  int seed = 12345;          ///< mc: PRNG seed
+  int max_n = 16;            ///< sweep-n: largest driver count
+  double deadline_s = 0.0;   ///< [s] per-request budget; 0 = server default
+};
+
+/// Outcome of parsing + validating one request line.
+struct RequestParse {
+  bool ok = false;
+  ServeRequest request;
+  std::string error;  ///< set when !ok; becomes the SSN-E063 message
+  std::string id;     ///< request id when one could be recovered from the line
+};
+
+/// Parse one line into a validated ServeRequest. Never throws: every
+/// malformed input — bad JSON, non-object, unknown key or command, a value
+/// out of its documented range, an unknown tech/golden/package name — comes
+/// back as !ok with a message naming the offending field. When the line
+/// parsed far enough to contain an "id", it is returned even on failure so
+/// the SSN-E063 response can still be correlated by the client.
+RequestParse parse_request(const std::string& line);
+
+/// Canonical cache identity of a request: every field that affects the
+/// result, none that does not (id and deadline are excluded). Two requests
+/// with equal keys produce bit-identical result payloads.
+std::string cache_key_string(const ServeRequest& request);
+std::uint64_t cache_key(const ServeRequest& request);
+
+// --- response rendering (each returns one line, no trailing newline) --------
+
+/// {"id":...,"ok":true,"cached":...,"elapsed_us":...,"result":{...}}.
+/// `result_fragment` must be a complete JSON value (the handlers build it).
+std::string render_ok(const std::string& id, const std::string& result_fragment,
+                      bool cached, std::int64_t elapsed_us);
+
+/// Generic error response: {"id":...,"ok":false,"code":...,"error":...}.
+std::string render_error(const std::string& id, const std::string& code,
+                         const std::string& message);
+
+/// SSN-E064 overload response with the retry hint clients should honor.
+std::string render_overloaded(const std::string& id, double retry_after_ms);
+
+/// SSN-E065/E066 for a typed solver failure: attaches kind and
+/// retryability; stop kinds (cancelled / deadline) render as SSN-E066.
+std::string render_solver_error(const std::string& id,
+                                const support::SolverError& error);
+
+/// Aggregate daemon counters, rendered as the final stats line.
+struct ServerStats {
+  std::uint64_t accepted = 0;    ///< requests admitted to the queue
+  std::uint64_t responded = 0;   ///< responses sent for admitted requests
+  std::uint64_t ok = 0;          ///< of those, successful results
+  std::uint64_t solver_errors = 0;
+  std::uint64_t cancelled = 0;   ///< drain / per-request deadline
+  std::uint64_t shed = 0;        ///< rejected at admission (SSN-E064)
+  std::uint64_t malformed = 0;   ///< rejected at parse (SSN-E063)
+  std::uint64_t cache_hits = 0;
+};
+
+/// {"event":"stats","accepted":...,...} — one line, valid JSON.
+std::string render_stats(const ServerStats& stats);
+
+}  // namespace ssnkit::serve

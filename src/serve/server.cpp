@@ -1,0 +1,267 @@
+#include "serve/server.hpp"
+
+#include "support/atomic_file.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+namespace ssnkit::serve {
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      pool_(support::resolve_threads(config.threads)),
+      cache_(config.cache_capacity) {
+  if (!config_.cache_file.empty())
+    warm_warnings_ = cache_.load(config_.cache_file);
+  dispatcher_ = std::thread(&Server::dispatcher_loop, this);
+}
+
+Server::~Server() { finish(); }
+
+void Server::submit_line(const std::string& line, ResponseSink sink) {
+  RequestParse parsed = parse_request(line);
+  if (!parsed.ok) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.malformed;
+    }
+    sink(render_error(parsed.id, "SSN-E063", parsed.error));
+    return;
+  }
+  if (parsed.request.id.empty()) {
+    std::string generated =
+        std::to_string(id_seq_.fetch_add(1, std::memory_order_relaxed));
+    generated.insert(generated.begin(), 'q');
+    parsed.request.id = std::move(generated);
+  }
+  if (draining()) {
+    // Never accepted, so E064 ("go elsewhere"), not E066: the E066 contract
+    // is reserved for requests the daemon took responsibility for.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed;
+    }
+    sink(render_error(parsed.request.id, "SSN-E064",
+                      "daemon is draining, request not admitted"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= config_.queue_capacity) {
+      ++stats_.shed;
+      // Respond outside the lock; fall through via the early unlock below.
+    } else {
+      ++stats_.accepted;
+      queue_.push_back(Pending{std::move(parsed.request), std::move(sink)});
+      cv_work_.notify_one();
+      return;
+    }
+  }
+  sink(render_overloaded(parsed.request.id, config_.retry_after_ms));
+}
+
+void Server::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void Server::dispatcher_loop() {
+  std::vector<Pending> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return !queue_.empty() || stop_dispatcher_; });
+      if (queue_.empty() && stop_dispatcher_) {
+        dispatcher_done_ = true;
+        cv_done_.notify_all();
+        return;
+      }
+      batch.clear();
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // No RunContext on the pool itself: a drain must not skip unclaimed
+    // items (each still owes its client a response); process() handles the
+    // expired-drain case by answering SSN-E066 without executing.
+    pool_.for_index(batch.size(),
+                    [&](std::size_t i) { process(batch[i]); });
+  }
+}
+
+void Server::process(Pending& pending) {
+  // Workers must never leak an exception: support::ThreadPool rethrows body
+  // exceptions on the dispatcher thread, which would take the daemon down —
+  // the exact opposite of the isolation contract.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string id = pending.request.id;
+  const auto elapsed_us = [&t0] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::string response;
+  enum class Outcome {
+    kOk,
+    kCacheHit,
+    kSolverError,
+    kCancelled
+  } outcome = Outcome::kSolverError;
+  try {
+    if (drain_expired_.load(std::memory_order_acquire)) {
+      response = render_error(
+          id, "SSN-E066",
+          "cancelled: drain deadline passed before the request started");
+      outcome = Outcome::kCancelled;
+    } else {
+      const std::uint64_t key = cache_key(pending.request);
+      if (const auto hit = cache_.get(key)) {
+        response = render_ok(id, *hit, /*cached=*/true, elapsed_us());
+        outcome = Outcome::kCacheHit;
+      } else {
+        support::RunContext ctx;
+        const double deadline = pending.request.deadline_s > 0.0
+                                    ? pending.request.deadline_s
+                                    : config_.default_deadline_s;
+        if (deadline > 0.0) ctx.set_timeout(deadline);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          active_.push_back(&ctx);
+          // A drain that already expired while we queued must still cancel
+          // us; the expiry sweep ran before we registered.
+          if (drain_expired_.load(std::memory_order_acquire))
+            ctx.request_cancel();
+        }
+        try {
+          const std::string fragment =
+              execute_request(pending.request, calibrations_, &ctx);
+          cache_.put(key, fragment);
+          maybe_spill();
+          response = render_ok(id, fragment, /*cached=*/false, elapsed_us());
+          outcome = Outcome::kOk;
+        } catch (const support::SolverError& e) {
+          response = render_solver_error(id, e);
+          outcome = support::is_stop_kind(e.kind()) ? Outcome::kCancelled
+                                                    : Outcome::kSolverError;
+        } catch (const std::exception& e) {
+          response = render_error(id, "SSN-E065", e.what());
+          outcome = Outcome::kSolverError;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        active_.erase(std::remove(active_.begin(), active_.end(), &ctx),
+                      active_.end());
+      }
+    }
+  } catch (...) {  // ssnlint-ignore(SSN-L005)
+    // Isolation backstop: anything escaping a worker would be rethrown by
+    // the pool on the dispatcher thread and kill the daemon.
+    response = render_error(id, "SSN-E065", "internal error");
+    outcome = Outcome::kSolverError;
+  }
+  try {
+    pending.sink(response);
+  } catch (...) {  // ssnlint-ignore(SSN-L005)
+    // A dead client cannot be responded to; the daemon carries on.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.responded;
+  switch (outcome) {
+    case Outcome::kOk: ++stats_.ok; break;
+    case Outcome::kCacheHit:
+      ++stats_.ok;
+      ++stats_.cache_hits;
+      break;
+    case Outcome::kSolverError: ++stats_.solver_errors; break;
+    case Outcome::kCancelled: ++stats_.cancelled; break;
+  }
+}
+
+void Server::maybe_spill() {
+  if (config_.cache_file.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++results_since_spill_ < config_.cache_spill_every) return;
+    results_since_spill_ = 0;
+  }
+  try {
+    cache_.save(config_.cache_file);
+  } catch (const support::IoError&) {
+    // A failed periodic spill costs warm-start coverage, never a response;
+    // the drain-time save retries, and a still-failing disk surfaces there.
+  }
+}
+
+void Server::finish() {
+  if (finished_) return;
+  finished_ = true;
+  begin_drain();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_dispatcher_ = true;
+    cv_work_.notify_all();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(
+            std::int64_t(config_.drain_deadline_s * 1e9));
+    if (!cv_done_.wait_until(lock, deadline,
+                             [&] { return dispatcher_done_; })) {
+      // Drain deadline passed: cancel in-flight requests cooperatively
+      // (each answers SSN-E066 itself) and tell queued-but-unstarted ones
+      // to answer without executing. Then wait for real — the engine polls
+      // its context every accepted step, so this converges quickly.
+      drain_expired_.store(true, std::memory_order_release);
+      for (support::RunContext* ctx : active_) ctx->request_cancel();
+      cv_done_.wait(lock, [&] { return dispatcher_done_; });
+    }
+  }
+  dispatcher_.join();
+  if (!config_.cache_file.empty()) {
+    try {
+      cache_.save(config_.cache_file);
+    } catch (const support::IoError&) {
+      // Losing the spill loses warm starts, nothing else; the daemon is
+      // exiting and has nowhere structured left to report I/O failure.
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out,
+                         const support::RunContext* stop_ctx) {
+  std::mutex out_mu;
+  for (const std::string& warning : warm_warnings_) {
+    out << "{\"event\":\"warning\",\"code\":\"SSN-W067\",\"message\":\""
+        << json_escape(warning) << "\"}\n";
+  }
+  out.flush();
+  const ResponseSink sink = [&out, &out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << line << '\n';
+    out.flush();
+  };
+  std::string line;
+  while (!(stop_ctx != nullptr &&
+           stop_ctx->stop_requested() != support::StopReason::kNone) &&
+         std::getline(in, line)) {
+    if (line.empty()) continue;
+    submit_line(line, sink);
+  }
+  finish();
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << render_stats(stats()) << '\n';
+    out.flush();
+  }
+  return 0;
+}
+
+}  // namespace ssnkit::serve

@@ -1,0 +1,145 @@
+// The serve daemon's core: bounded admission, a dispatcher that multiplexes
+// queued requests onto the support::ThreadPool, per-request lifecycle
+// contexts, the content-addressed result cache, and graceful drain.
+//
+// Robustness contract (what the fault-injection and smoke tests pin down):
+//
+//   - Admission is bounded: when the queue is full a request is *shed* with
+//     a typed SSN-E064 response carrying a retry hint — memory stays
+//     bounded no matter how hard clients push.
+//   - One request's failure is that request's problem: a SolverError (or a
+//     per-request deadline) is serialized back to its client as
+//     SSN-E065/E066 and the daemon keeps serving.
+//   - Every *accepted* request gets exactly one response, even across a
+//     drain: requests still queued when the drain deadline passes are
+//     answered with SSN-E066 instead of being dropped.
+//   - Results are cached by the request's content hash; the cache spills to
+//     disk crash-safely and a restarted daemon warms from it.
+//
+// Transport-free by design: submit_line()/ResponseSink is the whole
+// surface, so the same core serves a Unix socket (socket.hpp), a stdin
+// pipe, an in-process test, or the load-generator bench.
+#pragma once
+
+#include "serve/cache.hpp"
+#include "serve/handlers.hpp"
+#include "serve/protocol.hpp"
+#include "support/parallel.hpp"
+#include "support/runcontext.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ssnkit::serve {
+
+// ssn-units: default_deadline_s=s, drain_deadline_s=s, retry_after_ms=ms
+struct ServerConfig {
+  /// Worker threads (support::resolve_threads semantics: 0 = auto).
+  int threads = 0;
+  /// Admission bound: requests beyond this many waiting are shed (E064).
+  std::size_t queue_capacity = 64;
+  /// Result-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Crash-safe spill file for the cache; "" = in-memory only.
+  std::string cache_file;
+  /// Spill the cache every this many successful results (and on drain).
+  std::size_t cache_spill_every = 256;
+  /// Per-request wall-clock budget when the request names none; 0 = none.
+  double default_deadline_s = 0.0;
+  /// How long a drain waits for in-flight work before cancelling it.
+  double drain_deadline_s = 5.0;
+  /// Retry hint attached to SSN-E064 shed responses.
+  double retry_after_ms = 50.0;
+};
+
+/// Delivery callback for one response line (no trailing newline). Invoked
+/// from worker threads; the transport owns any serialization needed.
+using ResponseSink = std::function<void(const std::string& line)>;
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parse, validate, and admit one request line. Responds immediately
+  /// (through `sink`) for malformed input (SSN-E063) and overload shed
+  /// (SSN-E064); otherwise queues the request for the dispatcher. Safe from
+  /// any thread.
+  void submit_line(const std::string& line, ResponseSink sink);
+
+  /// Stop admitting; every further submit_line is shed. Idempotent.
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown: stop admission, wait up to drain_deadline_s for
+  /// queued + in-flight requests, then cancel stragglers (each still gets
+  /// its SSN-E066 response), join the workers, and spill the cache.
+  /// Idempotent; the destructor calls it.
+  void finish();
+
+  /// Warnings from the cache warm-up (SSN-W067 lines; empty when the spill
+  /// file was absent or clean).
+  const std::vector<std::string>& warm_warnings() const {
+    return warm_warnings_;
+  }
+
+  ServerStats stats() const;
+  const ResultCache& cache() const { return cache_; }
+
+  /// Serve newline-delimited requests from a stream until EOF (or until
+  /// `stop_ctx` trips between lines), then finish(). Responses and the
+  /// final stats line go to `out`, one JSON object per line. Returns 0.
+  int serve_stream(std::istream& in, std::ostream& out,
+                   const support::RunContext* stop_ctx = nullptr);
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    ResponseSink sink;
+  };
+
+  void dispatcher_loop();
+  void process(Pending& pending);
+  void maybe_spill();
+
+  const ServerConfig config_;
+  support::ThreadPool pool_;
+  ResultCache cache_;
+  CalibrationCache calibrations_;
+  std::vector<std::string> warm_warnings_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< wakes the dispatcher
+  std::condition_variable cv_done_;   ///< wakes finish() when idle
+  std::deque<Pending> queue_;         ///< guarded by mu_
+  bool stop_dispatcher_ = false;      ///< guarded by mu_
+  bool dispatcher_done_ = false;      ///< guarded by mu_
+  ServerStats stats_;                 ///< guarded by mu_
+  std::uint64_t results_since_spill_ = 0;  ///< guarded by mu_
+
+  /// Contexts of requests currently executing, so a drain past its
+  /// deadline can cancel them cooperatively. Guarded by mu_.
+  std::vector<support::RunContext*> active_;
+
+  std::atomic<bool> draining_{false};
+  /// Set when the drain deadline passed: queued requests answer SSN-E066
+  /// immediately instead of executing.
+  std::atomic<bool> drain_expired_{false};
+  std::atomic<std::uint64_t> id_seq_{0};
+  bool finished_ = false;  ///< finish() already ran (main thread only)
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ssnkit::serve

@@ -1,5 +1,7 @@
 #include "support/atomic_file.hpp"
 
+#include "support/crashclean.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -111,6 +113,11 @@ void write_file_atomic(const std::string& path, const std::string& contents) {
   if (slash != std::string::npos) dir = path.substr(0, slash + 1);
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  // Cover the temporary against a hard exit (second signal -> _Exit): the
+  // lifecycle signal handler unlinks every registered path before dying, so
+  // an interrupted run leaves no stray .tmp artifact. The guard's destructor
+  // releases the slot on every normal path, success and throw alike.
+  ScopedCrashUnlink crash_guard(tmp.c_str());
 
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0)
@@ -140,13 +147,29 @@ void write_file_atomic(const std::string& path, const std::string& contents) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     fail_and_unlink(tmp, -1, IoError::Kind::kWriteFailed, path,
                     "rename over destination failed");
-  // Make the rename itself durable. A failure here is not a torn file (the
-  // rename already happened), so report it but nothing needs unlinking.
+  // Make the rename itself durable: without an fsync of the parent
+  // directory the new name may not survive a power loss even though the
+  // data blocks would (the data fsync above covers process crash only).
+  // A failure here is not a torn file — the rename already happened — but
+  // silently swallowing it would turn "durable" into "probably durable",
+  // so it throws like every other step. EINVAL/ENOTSUP are tolerated:
+  // some filesystems cannot fsync a directory handle at all, and on those
+  // the rename is as durable as that filesystem ever gets.
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  if (dfd < 0) {
+    const int err = errno;
+    throw IoError(IoError::Kind::kWriteFailed, path,
+                  std::string("cannot open parent directory '") + dir +
+                      "' for fsync (" + std::strerror(err) + ")");
   }
+  if (::fsync(dfd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    const int err = errno;
+    ::close(dfd);
+    throw IoError(IoError::Kind::kWriteFailed, path,
+                  std::string("fsync of parent directory '") + dir +
+                      "' failed (" + std::strerror(err) + ")");
+  }
+  ::close(dfd);
 }
 
 #endif

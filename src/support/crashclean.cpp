@@ -1,0 +1,65 @@
+#include "support/crashclean.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
+
+namespace ssnkit::support {
+
+namespace {
+
+// Slot states. kClaimed marks a slot whose path is still being copied in:
+// crash_unlink_all skips it (a torn path must never reach unlink).
+constexpr int kFree = 0;
+constexpr int kClaimed = 1;
+constexpr int kLive = 2;
+
+constexpr int kMaxPath = 512;
+
+struct Slot {
+  std::atomic<int> state{kFree};
+  char path[kMaxPath];
+};
+
+Slot g_slots[kCrashUnlinkSlots];
+
+}  // namespace
+
+int crash_unlink_register(const char* path) noexcept {
+  if (path == nullptr) return -1;
+  const std::size_t len = std::strlen(path);
+  if (len == 0 || len >= kMaxPath) return -1;
+  for (int i = 0; i < kCrashUnlinkSlots; ++i) {
+    int expected = kFree;
+    if (!g_slots[i].state.compare_exchange_strong(expected, kClaimed,
+                                                  std::memory_order_acq_rel))
+      continue;
+    std::memcpy(g_slots[i].path, path, len + 1);
+    g_slots[i].state.store(kLive, std::memory_order_release);
+    return i;
+  }
+  return -1;  // table full: proceed without crash coverage
+}
+
+void crash_unlink_unregister(int slot) noexcept {
+  if (slot < 0 || slot >= kCrashUnlinkSlots) return;
+  g_slots[slot].state.store(kFree, std::memory_order_release);
+}
+
+void crash_unlink_all() noexcept {
+  for (Slot& s : g_slots) {
+    if (s.state.load(std::memory_order_acquire) != kLive) continue;
+#if !defined(_WIN32)
+    ::unlink(s.path);  // async-signal-safe per POSIX
+#else
+    std::remove(s.path);
+#endif
+  }
+}
+
+}  // namespace ssnkit::support

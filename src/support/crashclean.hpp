@@ -1,0 +1,56 @@
+// Async-signal-safe registry of temporary files to unlink on a hard exit.
+//
+// write_file_atomic publishes through a temp-then-rename dance; between
+// creating the temporary and the rename there is a window where a hard exit
+// (the second SIGINT/SIGTERM in ScopedSignalCancel, which calls _Exit) would
+// leave a stray `.tmp.<pid>` file behind. The graceful paths already clean
+// up — RAII unlinks on every exception — but _Exit runs no destructors, so
+// the signal handler needs its own, async-signal-safe way to find the
+// temporaries that are currently in flight.
+//
+// The registry is a fixed-size table of path slots. Registration and
+// deregistration are lock-free (one CAS claims a slot, one release store
+// publishes it); crash_unlink_all() walks the live slots calling ::unlink,
+// which POSIX lists as async-signal-safe. The table deliberately does not
+// grow: only a handful of atomic writes are ever in flight at once, and a
+// full table simply means the newest temporary is not covered (registration
+// fails soft) — losing cleanup coverage, never correctness.
+#pragma once
+
+namespace ssnkit::support {
+
+/// Slots available for concurrently in-flight temporaries.
+inline constexpr int kCrashUnlinkSlots = 32;
+
+/// Register `path` for unlinking on a hard exit. Returns the slot handle,
+/// or -1 when the table is full or the path is too long (the caller
+/// proceeds without crash coverage). Safe from any thread.
+int crash_unlink_register(const char* path) noexcept;
+
+/// Release a slot obtained from crash_unlink_register. Passing -1 is a
+/// no-op, so callers can unconditionally pair register/unregister.
+void crash_unlink_unregister(int slot) noexcept;
+
+/// Unlink every registered path. Async-signal-safe (atomic loads plus
+/// ::unlink); called by the lifecycle signal handler just before _Exit.
+/// Slots stay registered — the process is about to die anyway, and an
+/// idempotent second pass is harmless.
+void crash_unlink_all() noexcept;
+
+/// RAII pairing for the normal (non-crash) control flow.
+class ScopedCrashUnlink {
+ public:
+  explicit ScopedCrashUnlink(const char* path) noexcept
+      : slot_(crash_unlink_register(path)) {}
+  ~ScopedCrashUnlink() { crash_unlink_unregister(slot_); }
+  ScopedCrashUnlink(const ScopedCrashUnlink&) = delete;
+  ScopedCrashUnlink& operator=(const ScopedCrashUnlink&) = delete;
+
+  /// Whether the path actually got a slot (tests assert coverage).
+  bool covered() const noexcept { return slot_ >= 0; }
+
+ private:
+  int slot_;
+};
+
+}  // namespace ssnkit::support

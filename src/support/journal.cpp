@@ -142,25 +142,42 @@ BatchJournal::Loaded BatchJournal::load(const std::string& path) {
   if (!in)
     throw JournalError(JournalError::Kind::kOpenFailed, path,
                        "cannot open for reading");
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = slurp.str();
+  // A record cut mid-write loses its trailing newline along with its tail,
+  // so "last line AND no final newline" is exactly the torn-record
+  // signature. Such a record is discarded with a warning instead of
+  // aborting the resume; damage anywhere else still throws.
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+
   Loaded out;
-  std::string line;
-  int line_no = 0;
+  std::size_t line_no = 0;
   const auto bad = [&](const std::string& what) -> JournalError {
     return JournalError(JournalError::Kind::kBadFormat, path,
                         "line " + std::to_string(line_no) + ": " + what);
   };
+  const auto next_line = [&]() -> const std::string& {
+    if (line_no >= lines.size()) throw bad("truncated header");
+    return lines[line_no++];
+  };
 
-  if (!std::getline(in, line) || line != "ssnkit-journal v1") {
-    ++line_no;
+  if (lines.empty() || next_line() != "ssnkit-journal v1") {
+    line_no = 1;
     throw bad("missing 'ssnkit-journal v1' header");
   }
-  ++line_no;
 
   // Fixed header fields, in order.
   const auto header_field = [&](const char* name) -> std::string {
-    if (!std::getline(in, line)) throw bad("truncated header");
-    ++line_no;
-    const std::vector<std::string> f = split_fields(line);
+    const std::vector<std::string> f = split_fields(next_line());
     if (f.size() != 2 || f[0] != name)
       throw bad(std::string("expected '") + name + " <value>'");
     return f[1];
@@ -172,26 +189,42 @@ BatchJournal::Loaded BatchJournal::load(const std::string& path) {
   if (!parse_size(header_field("total"), out.header.total))
     throw bad("total is not a non-negative integer");
 
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (line_no < lines.size()) {
+    const std::string& line = lines[line_no++];
     if (line.empty()) continue;
+    const bool torn_candidate = line_no == lines.size() && !ends_with_newline;
+    const auto item_error = [&](const std::string& what) -> bool {
+      if (!torn_candidate) throw bad(what);
+      out.warnings.push_back("SSN-W067 journal '" + path +
+                             "': discarded torn trailing record (line " +
+                             std::to_string(line_no) + ": " + what +
+                             "); the item will simply re-run");
+      return true;  // discard the record, keep the rest of the load
+    };
     const std::vector<std::string> f = split_fields(line);
-    if (f.size() != 5 || f[0] != "item")
-      throw bad("expected 'item <index> <fidelity> <vbits> <errkind>'");
+    if (f.size() != 5 || f[0] != "item") {
+      if (item_error("expected 'item <index> <fidelity> <vbits> <errkind>'"))
+        continue;
+    }
     std::size_t index = 0;
-    if (!parse_size(f[1], index) || index >= out.header.total)
-      throw bad("item index out of range");
+    if (!parse_size(f[1], index) || index >= out.header.total) {
+      if (item_error("item index out of range")) continue;
+    }
     PointRecord rec;
     long long fid = 0;
     if (!parse_decimal_ll(f[2], fid) || fid < 0 ||
-        fid > std::numeric_limits<int>::max())
-      throw bad("bad fidelity field");
+        fid > std::numeric_limits<int>::max()) {
+      if (item_error("bad fidelity field")) continue;
+    }
     rec.fidelity = int(fid);
-    if (!parse_hex_u64(f[3], rec.v_bits)) throw bad("bad vbits field");
+    if (!parse_hex_u64(f[3], rec.v_bits)) {
+      if (item_error("bad vbits field")) continue;
+    }
     long long err = 0;
     if (!parse_decimal_ll(f[4], err) || err < -1 ||
-        err > std::numeric_limits<int>::max())
-      throw bad("bad error-kind field");
+        err > std::numeric_limits<int>::max()) {
+      if (item_error("bad error-kind field")) continue;
+    }
     rec.error_kind = int(err);
     out.items[index] = rec;
   }

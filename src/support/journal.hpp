@@ -36,6 +36,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ssnkit::support {
 
@@ -105,6 +106,13 @@ class BatchJournal {
   struct Loaded {
     Header header;
     std::map<std::size_t, PointRecord> items;
+    /// Non-fatal findings from the load, one formatted line each (code
+    /// SSN-W067): a torn trailing record — the file was cut mid-line, e.g.
+    /// by power loss between write and directory fsync — is discarded and
+    /// reported here instead of aborting the resume. Interior corruption
+    /// still throws: atomic rewrites never produce it, so it means the
+    /// file was damaged by something other than a torn write.
+    std::vector<std::string> warnings;
   };
 
   BatchJournal(std::string path, std::string kind, std::uint64_t config_hash,

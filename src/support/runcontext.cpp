@@ -1,5 +1,7 @@
 #include "support/runcontext.hpp"
 
+#include "support/crashclean.hpp"
+
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
@@ -17,8 +19,11 @@ extern "C" void lifecycle_signal_handler(int sig) {
   RunContext* ctx = g_signal_ctx.load(std::memory_order_acquire);
   if (ctx == nullptr) return;
   if (ctx->cancel_requested()) {
-    // Second signal: the user really means it. _Exit is async-signal-safe;
-    // 128+sig is the conventional killed-by-signal status.
+    // Second signal: the user really means it. _Exit runs no destructors,
+    // so first unlink any in-flight atomic-write temporaries (async-signal-
+    // safe) — an interrupted run must not leak `.tmp` artifacts. 128+sig is
+    // the conventional killed-by-signal status.
+    crash_unlink_all();
     std::_Exit(128 + sig);
   }
   g_last_signal.store(sig, std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include "analysis/sweeps.hpp"
 #include "cli/commands.hpp"
 #include "support/atomic_file.hpp"
+#include "support/crashclean.hpp"
 #include "io/csv.hpp"
 #include "support/faultinject.hpp"
 #include "support/journal.hpp"
@@ -542,8 +543,11 @@ TEST(Resume, MidFlightInterruptDiscardsPartialSamplesForDeterminism) {
   watchdog.join();
 
   // Every journaled sample matches the clean run exactly; interrupted or
-  // unstarted samples are simply absent.
-  const auto loaded = support::BatchJournal::load(path);
+  // unstarted samples are simply absent. On a loaded machine the cancel can
+  // land before sample 0 finishes, in which case nothing was journaled and
+  // the file was never created — resuming from an empty map is the contract.
+  support::BatchJournal::Loaded loaded;
+  if (partial.completed > 0) loaded = support::BatchJournal::load(path);
   EXPECT_EQ(loaded.items.size(), partial.completed);
   for (const auto& [idx, rec] : loaded.items) {
     EXPECT_EQ(rec.v_bits, support::double_bits(clean.samples[idx].v_max))
@@ -709,6 +713,78 @@ TEST(Resume, CliRejectsResumeForDifferentJob) {
                     os2, es2);
   EXPECT_EQ(rc, 1);
   std::remove(path.c_str());
+}
+
+// --- torn-record tolerance ---------------------------------------------------
+
+TEST(Lifecycle, JournalToleratesTornTrailingRecord) {
+  // A crash mid-record loses the tail of the last line along with its
+  // newline; the loader must keep every intact record, warn (SSN-W067), and
+  // let the resume proceed — the torn item simply re-runs.
+  const std::string path = temp_path("torn_journal.txt");
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << "ssnkit-journal v1\nkind mc-sim\nconfig 0000000000000000\n"
+         "total 4\nitem 0 1 3fd0000000000000 -1\n"
+         "item 1 1 3fe00000";  // cut mid-field, no trailing newline
+  const auto loaded = support::BatchJournal::load(path);
+  EXPECT_EQ(loaded.items.size(), 1u);
+  EXPECT_EQ(loaded.items.count(0), 1u);
+  ASSERT_EQ(loaded.warnings.size(), 1u);
+  EXPECT_NE(loaded.warnings[0].find("SSN-W067"), std::string::npos)
+      << loaded.warnings[0];
+  std::remove(path.c_str());
+}
+
+TEST(Lifecycle, JournalStillRejectsMalformedRecordWithNewline) {
+  // The torn-record signature is "last line AND no final newline"; a
+  // malformed record that *is* newline-terminated was written whole and is
+  // real corruption, which must keep aborting the resume.
+  const std::string path = temp_path("corrupt_not_torn_journal.txt");
+  support::write_file_atomic(
+      path,
+      "ssnkit-journal v1\nkind mc-sim\nconfig 0000000000000000\n"
+      "total 4\nitem 0 1 3fe00000 garbage extra\n");
+  EXPECT_THROW(support::BatchJournal::load(path), support::JournalError);
+  std::remove(path.c_str());
+}
+
+// --- crash-unlink registry ---------------------------------------------------
+
+TEST(Lifecycle, CrashUnlinkRegistryUnlinksRegisteredPaths) {
+  const std::string keep = temp_path("crashclean_keep");
+  const std::string doomed = temp_path("crashclean_doomed");
+  support::write_file_atomic(keep, "keep\n");
+  support::write_file_atomic(doomed, "doomed\n");
+  const int slot = support::crash_unlink_register(doomed.c_str());
+  ASSERT_GE(slot, 0);
+  {
+    // Registered then unregistered (the normal RAII path): must survive.
+    support::ScopedCrashUnlink scoped(keep.c_str());
+    EXPECT_TRUE(scoped.covered());
+  }
+  support::crash_unlink_all();
+  EXPECT_TRUE(std::ifstream(keep).good()) << "unregistered path was unlinked";
+  EXPECT_FALSE(std::ifstream(doomed).good()) << "registered path survived";
+  support::crash_unlink_unregister(slot);
+  std::remove(keep.c_str());
+}
+
+TEST(Lifecycle, CrashUnlinkRegistryFailsSoftWhenFull) {
+  // Fill every slot; the next registration must return -1 (losing crash
+  // coverage, never correctness) and unregister(-1) must be a no-op.
+  std::vector<int> slots;
+  for (int i = 0; i < support::kCrashUnlinkSlots; ++i) {
+    const int s = support::crash_unlink_register("/nonexistent/fill");
+    if (s < 0) break;  // earlier tests may hold a slot or two
+    slots.push_back(s);
+  }
+  EXPECT_EQ(support::crash_unlink_register("/nonexistent/overflow"), -1);
+  support::crash_unlink_unregister(-1);
+  for (const int s : slots) support::crash_unlink_unregister(s);
+  // Slots are reusable after release.
+  const int again = support::crash_unlink_register("/nonexistent/again");
+  EXPECT_GE(again, 0);
+  support::crash_unlink_unregister(again);
 }
 
 }  // namespace
