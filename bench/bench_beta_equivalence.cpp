@@ -33,7 +33,7 @@ int main() {
     spec.input_rise_time = cal.tech.vdd / p.slope;
     spec.package.inductance = p.l;
     spec.include_package_c = false;
-    const double v_sim = analysis::measure_ssn(spec).v_max;
+    const double v_sim = analysis::measure_ssn(spec).v_max;  // ssnlint-ignore(SSN-L013)
     table.add_row({double(p.n), p.l * 1e9, p.slope * 1e-9, p.beta, p.v_max,
                    v_sim},
                   5);

@@ -23,7 +23,7 @@ void run_for(const process::Technology& tech) {
   analysis::DriverSweepConfig config;
   config.tech = tech;
   config.driver_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16};
-  const auto result = analysis::run_driver_sweep(config);
+  const auto result = analysis::run_driver_sweep(config);  // ssnlint-ignore(SSN-L013)
 
   io::TextTable table({"N", "sim [V]", "this work [V]", "err%", "Vemuru [V]",
                        "err%", "Song [V]", "err%", "Senthinathan [V]", "err%"});

@@ -106,10 +106,32 @@ void BM_SsnTransient(benchmark::State& state) {
     spec.tech = cal.tech;
     spec.n_drivers = int(state.range(0));
     spec.input_rise_time = 0.1e-9;
-    benchmark::DoNotOptimize(analysis::measure_ssn(spec).v_max);
+    benchmark::DoNotOptimize(analysis::measure_ssn(spec).v_max);  // ssnlint-ignore(SSN-L013)
   }
 }
 BENCHMARK(BM_SsnTransient)->Arg(2)->Arg(8)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+// Trust-layer overhead: the same transient with the per-step residual
+// check + per-epoch condition estimate disabled. The acceptance bar is
+// BM_SsnTransient/N within 5% of BM_SsnTransientUnverified/N — the checks
+// reuse the step's own CSR arrays, so the delta should be noise-level.
+void BM_SsnTransientUnverified(benchmark::State& state) {
+  const auto cal = analysis::calibrate(process::tech_180nm());
+  for (auto _ : state) {
+    circuit::SsnBenchSpec spec;
+    spec.tech = cal.tech;
+    spec.n_drivers = int(state.range(0));
+    spec.input_rise_time = 0.1e-9;
+    analysis::MeasureOptions mo;
+    mo.transient.verify.enabled = false;
+    benchmark::DoNotOptimize(analysis::measure_ssn(spec, mo).v_max);  // ssnlint-ignore(SSN-L013)
+  }
+}
+BENCHMARK(BM_SsnTransientUnverified)
+    ->Arg(8)
+    ->Arg(24)
+    ->Arg(48)
+    ->Unit(benchmark::kMillisecond);
 
 // --- solver hot path: one Newton iteration's linear-algebra cost ----------
 //

@@ -52,7 +52,7 @@ double steady_state_bounce(const analysis::Calibration& cal, double period,
   sim::TransientOptions opts;
   opts.t_stop = period * cycles;
   opts.dt_max = t_edge / 10.0;
-  const auto result = sim::run_transient(ckt, opts);
+  const auto result = sim::run_transient(ckt, opts);  // ssnlint-ignore(SSN-L013)
   // Steady state: maximum over the last third of the run.
   const auto vssi = result.waveform("vssi");
   return vssi.maximum_in(opts.t_stop * 2.0 / 3.0, opts.t_stop).value;

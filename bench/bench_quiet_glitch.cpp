@@ -50,7 +50,7 @@ int main() {
     sim::TransientOptions topts;
     topts.t_stop = t_rise * 2.0;
     topts.dt_max = t_rise / 200.0;
-    const auto result = sim::run_transient(bench.circuit, topts);
+    const auto result = sim::run_transient(bench.circuit, topts);  // ssnlint-ignore(SSN-L013)
     v_n = result.waveform("vssi").maximum().value;
     glitch = result.waveform("out" + victim).maximum().value;
   };

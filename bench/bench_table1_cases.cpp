@@ -40,7 +40,7 @@ double simulate_vmax(const analysis::Calibration& cal,
   spec.pulldown_override = std::make_shared<devices::AsdmModel>(dev);
   analysis::MeasureOptions mopts;
   mopts.transient.dt_max = spec.input_rise_time / 400.0;
-  return analysis::measure_ssn(spec, mopts).v_max;
+  return analysis::measure_ssn(spec, mopts).v_max;  // ssnlint-ignore(SSN-L013)
 }
 
 }  // namespace

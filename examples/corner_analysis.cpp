@@ -26,6 +26,13 @@ int main() {
   analysis::MonteCarloOptions opts;
   opts.samples = 20000;
   const auto mc = analysis::monte_carlo_vmax(scenario, opts);
+  // A stopped batch yields partial statistics — say so rather than present
+  // them as the full distribution (see ROBUSTNESS.md, "Numerical trust
+  // layer": partial parallel results are best-effort, not reproducible).
+  if (mc.stop != support::StopReason::kNone)
+    std::printf("note: batch stopped early (%zu of %d corners evaluated); "
+                "statistics below are partial\n",
+                mc.completed, opts.samples);
 
   const double nominal = analysis::predict_vmax(scenario);
   io::TextTable t({"statistic", "V_max [V]"});
@@ -67,6 +74,8 @@ int main() {
     s.inductance = pkg.inductance;
     s.capacitance = pkg.capacitance;
     const auto mc_pads = analysis::monte_carlo_vmax(s, opts);
+    if (mc_pads.stop != support::StopReason::kNone)
+      continue;  // partial statistics cannot sign off a pad count
     if (mc_pads.p95 <= budget) {
       std::printf(
           "\nwith a %.0f mV budget, %d ground pad(s) pass at the p95 corner "

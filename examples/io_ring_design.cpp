@@ -80,7 +80,14 @@ int main() {
     spec.stagger.resize(spec.n_drivers);
     for (int i = 0; i < spec.n_drivers; ++i)
       spec.stagger[std::size_t(i)] = double(i / 4) * step_ps * 1e-12;
-    return analysis::measure_ssn(spec).v_max;
+    const auto m = analysis::measure_ssn(spec);
+    // A design decision hangs on this number, so gate on the trust layer's
+    // verdict: a degraded measurement is still an estimate, but it must not
+    // silently drive the stagger recommendation.
+    if (m.trust.verdict == verify::Verdict::kDegraded)
+      std::fprintf(stderr, "warning: stagger run not sign-off grade: %s\n",
+                   m.trust.summary().c_str());
+    return m.v_max;
   };
   const double v_together = stagger_run(2, 0.0);
   io::TextTable stag({"stagger per group [ps]", "simulated V_max [V]",

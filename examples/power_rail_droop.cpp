@@ -51,6 +51,9 @@ int main() {
   topts.t_stop = t_rise;
   topts.dt_max = t_rise / 200.0;
   const auto result = sim::run_transient(ckt, topts);
+  // The engine verified this solve step by step (scaled residuals plus a
+  // condition estimate); surface its verdict before comparing numbers.
+  std::printf("solve trust: %s\n\n", result.trust.summary().c_str());
 
   // Droop waveform: vdd - v(vddi).
   const auto vddi = result.waveform("vddi");

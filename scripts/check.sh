@@ -10,6 +10,9 @@
 #   --serve        build the daemon + load generator and run only the
 #                  serve smoke (scripts/serve_smoke.sh: SIGTERM mid-load,
 #                  clean drain, cache warm restart)
+#   --chaos        build the fault-injection preset and run only the chaos
+#                  soak (scripts/chaos_soak.sh: serve under injected faults
+#                  + SIGTERM/restart, zero false-verified responses)
 #   --fuzz         shorthand for --preset fuzz (builds the tests/fuzz
 #                  harness and replays the seed corpora; real libFuzzer
 #                  mutation needs clang — see tests/fuzz/CMakeLists.txt)
@@ -22,12 +25,14 @@ PRESET=release
 ALL_TIDY=0
 LINT_ONLY=0
 SERVE_ONLY=0
+CHAOS_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
     --all-tidy) ALL_TIDY=1; shift ;;
     --lint) LINT_ONLY=1; shift ;;
     --serve) SERVE_ONLY=1; shift ;;
+    --chaos) CHAOS_ONLY=1; PRESET=fault-injection; shift ;;
     --fuzz) PRESET=fuzz; shift ;;
     --tsan) PRESET=tsan; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -69,6 +74,16 @@ if [ "$SERVE_ONLY" = 1 ]; then
   cmake --build --preset "$PRESET" -j --target ssnkit_tool bench_serve
   scripts/serve_smoke.sh "$BUILD_DIR"/tools/ssnkit "$BUILD_DIR"/bench/bench_serve
   echo "check.sh: serve smoke passed"
+  exit 0
+fi
+
+if [ "$CHAOS_ONLY" = 1 ]; then
+  echo "=== configure (fault-injection) ==="
+  cmake --preset fault-injection > /dev/null
+  echo "=== build ssnkit (instrumented) ==="
+  cmake --build --preset fault-injection -j --target ssnkit_tool
+  scripts/chaos_soak.sh "$BUILD_DIR"/tools/ssnkit
+  echo "check.sh: chaos soak passed"
   exit 0
 fi
 

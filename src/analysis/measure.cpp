@@ -30,7 +30,15 @@ SsnMeasurement measure_ssn(circuit::SsnBench& bench, const MeasureOptions& opts)
   const auto peak = m.vssi.maximum_in(0.0, bench.t_ramp_end);
   m.v_max = peak.value;
   m.t_at_max = peak.t;
+  m.trust = result.trust;
   return m;
+}
+
+void verify_measurement(SsnMeasurement& m, const core::SsnScenario& scenario,
+                        const verify::PhysicsCheckOptions& opts) {
+  const verify::PhysicsFindings findings = verify::check_ground_path(
+      scenario, m.vssi, m.i_l, m.v_max, m.t_at_max, opts);
+  verify::apply(findings, m.trust);
 }
 
 }  // namespace ssnkit::analysis

@@ -4,7 +4,10 @@
 #pragma once
 
 #include "circuit/testbench.hpp"
+#include "core/scenario.hpp"
 #include "sim/engine.hpp"
+#include "verify/physics.hpp"
+#include "verify/trust.hpp"
 #include "waveform/waveform.hpp"
 
 namespace ssnkit::analysis {
@@ -17,6 +20,9 @@ struct SsnMeasurement {
   waveform::Waveform vin;    ///< first driver's input
   waveform::Waveform vout;   ///< first driver's output
   sim::SolverStats stats;
+  /// How this measurement was verified: the engine's solve verdict, merged
+  /// with the physics-invariant findings when verify_measurement() ran.
+  verify::TrustReport trust;
 };
 
 struct MeasureOptions {
@@ -34,5 +40,13 @@ SsnMeasurement measure_ssn(const circuit::SsnBenchSpec& spec,
 
 /// Same, for a bench the caller already customized.
 SsnMeasurement measure_ssn(circuit::SsnBench& bench, const MeasureOptions& opts = {});
+
+/// Run the src/verify physics invariants on a simulated measurement and
+/// fold the findings into its trust report: passivity of the ground path,
+/// V_max/extremum consistency with the fitted Table 1 damping case. Needs
+/// the calibrated scenario (package L plus the fitted ASDM device select
+/// the damping case); violations downgrade trust, never throw.
+void verify_measurement(SsnMeasurement& m, const core::SsnScenario& scenario,
+                        const verify::PhysicsCheckOptions& opts = {});
 
 }  // namespace ssnkit::analysis

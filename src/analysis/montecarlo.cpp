@@ -7,6 +7,7 @@
 #include "support/parallel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <random>
 #include <stdexcept>
 
@@ -103,6 +104,9 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
       out.max = numeric::max_value(out.samples);
       out.p95 = numeric::quantile(out.samples, 0.95);
       out.p99 = numeric::quantile(out.samples, 0.99);
+      out.ci95 = out.samples.size() > 1
+                     ? 1.96 * out.stddev / std::sqrt(double(out.samples.size()))
+                     : 0.0;
       out.region_flip_fraction = double(flips) / double(out.samples.size());
     }
     return out;
@@ -118,6 +122,7 @@ MonteCarloResult monte_carlo_vmax(const core::SsnScenario& nominal,
   out.max = numeric::max_value(out.samples);
   out.p95 = numeric::quantile(out.samples, 0.95);
   out.p99 = numeric::quantile(out.samples, 0.99);
+  out.ci95 = 1.96 * out.stddev / std::sqrt(double(out.samples.size()));
   out.region_flip_fraction = double(flips) / double(opts.samples);
   return out;
 }
@@ -134,14 +139,16 @@ void SimMonteCarloOptions::validate() const {
 namespace {
 
 /// A completed sample's outcome in journal form. Only the fields the
-/// sequential replay reads are journaled: fidelity, V_max (exact bits) and
-/// the error *kind* (BatchSummary keys notes and counters on the kind
-/// alone), which is exactly what makes a resumed run bit-identical.
+/// sequential replay reads are journaled: fidelity, V_max (exact bits), the
+/// error *kind* (BatchSummary keys notes and counters on the kind alone)
+/// and the trust verdict, which is exactly what makes a resumed run
+/// bit-identical — including the merged TrustReport.
 support::PointRecord encode_point(const ResilientMeasurement& rm) {
   support::PointRecord rec;
   rec.fidelity = int(rm.fidelity);
   rec.v_bits = support::double_bits(rm.measurement.v_max);
   rec.error_kind = rm.error ? int(rm.error->kind()) : -1;
+  rec.trust = int(rm.measurement.trust.verdict);
   return rec;
 }
 
@@ -152,10 +159,17 @@ bool decode_point(const support::PointRecord& rec, ResilientMeasurement& rm) {
   if (rec.fidelity < 0 || rec.fidelity > int(sim::Fidelity::kFailed))
     return false;
   if (rec.error_kind < -1 ||
-      rec.error_kind > int(support::SolverErrorKind::kDeadlineExpired))
+      rec.error_kind > int(support::SolverErrorKind::kResidualDegraded))
+    return false;
+  // -1 = pre-trust-layer journal; such a sample replays as kUnverified —
+  // honest, since nothing recorded how (or whether) it was verified.
+  if (rec.trust < -1 || rec.trust > int(verify::Verdict::kDegraded))
     return false;
   rm.fidelity = sim::Fidelity(rec.fidelity);
   rm.measurement.v_max = support::bits_double(rec.v_bits);
+  rm.measurement.trust.verdict = rec.trust >= 0
+                                     ? verify::Verdict(rec.trust)
+                                     : verify::Verdict::kUnverified;
   if (rec.error_kind >= 0)
     rm.error.emplace(support::SolverErrorKind(rec.error_kind),
                      "restored from journal");
@@ -285,12 +299,20 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
     out.summary.record("sample=" + std::to_string(s.index), rm.fidelity,
                        rm.error);
     s.fidelity = rm.fidelity;
+    s.verdict = rm.measurement.trust.verdict;
     s.completed = true;
     s.resumed = state[idx] == 2;
     ++out.completed;
     if (s.resumed) ++out.resumed;
     if (!rm.ok()) continue;
     s.v_max = rm.measurement.v_max;
+    // Fold the sample's trust into the batch report: the first survivor
+    // seeds it (the default-constructed report says kUnverified, which
+    // merge() could never improve on), the rest merge worst-wins.
+    if (survivors.empty())
+      out.trust = rm.measurement.trust;
+    else
+      out.trust.merge(rm.measurement.trust);
     survivors.push_back(s.v_max);
   }
 
@@ -306,6 +328,10 @@ SimMonteCarloResult monte_carlo_vmax_sim(const Calibration& cal,
     out.stddev = survivors.size() > 1 ? numeric::stddev(survivors) : 0.0;
     out.min = numeric::min_value(survivors);
     out.max = numeric::max_value(survivors);
+    out.ci95 = survivors.size() > 1
+                   ? 1.96 * out.stddev / std::sqrt(double(survivors.size()))
+                   : 0.0;
+    out.trust.ci95 = out.ci95;
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include "sim/recovery.hpp"
 #include "support/journal.hpp"
 #include "support/runcontext.hpp"
+#include "verify/trust.hpp"
 
 #include <cstddef>
 #include <map>
@@ -52,6 +53,10 @@ struct MonteCarloResult {
   double max = 0.0;
   double p95 = 0.0;  ///< 95th percentile — the design sign-off number
   double p99 = 0.0;
+  /// 95 % confidence-interval half-width on `mean` (1.96 * stddev / sqrt(N)):
+  /// the statistical-trust figure the TrustReport carries. Shrinks ~1/sqrt(N);
+  /// without it a Monte-Carlo mean is a number with no error bar.
+  double ci95 = 0.0;
   /// Fraction of samples whose damping region differs from the nominal
   /// scenario's (region flips matter: they change which formula applies).
   double region_flip_fraction = 0.0;
@@ -124,6 +129,9 @@ struct SimMcSample {
   double width_factor = 1.0;
   double v_max = 0.0;  ///< meaningful only when fidelity != kFailed
   sim::Fidelity fidelity = sim::Fidelity::kFailed;
+  /// Trust verdict of the sample's measurement (journaled, so a resumed
+  /// sample replays the verdict it earned when it actually ran).
+  verify::Verdict verdict = verify::Verdict::kUnverified;
   /// Whether this sample actually ran (or was restored): false means the
   /// lifecycle layer stopped the batch before the sample finished.
   bool completed = false;
@@ -144,7 +152,12 @@ struct SimMonteCarloResult {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// 95 % confidence-interval half-width on `mean` over the survivors.
+  double ci95 = 0.0;
   BatchSummary summary;
+  /// Merged trust over the surviving samples (worst verdict wins) with
+  /// `ci95` mirrored into the statistical-confidence slot.
+  verify::TrustReport trust;
 };
 
 /// Simulator-backed Monte Carlo over (L, C, rise time, driver width) for the

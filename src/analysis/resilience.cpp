@@ -62,6 +62,11 @@ ResilientMeasurement measure_ssn_resilient(
     const auto peak = out.measurement.vssi.maximum_in(0.0, bench.t_ramp_end);
     out.measurement.v_max = peak.value;
     out.measurement.t_at_max = peak.t;
+    out.measurement.trust = result.trust;
+    // Physics invariants need the calibrated scenario; the analytic
+    // fallback parameter is exactly that when the caller supplied one.
+    if (analytic_fallback != nullptr)
+      verify_measurement(out.measurement, *analytic_fallback);
     return out;
   }
 

@@ -2,11 +2,13 @@
 
 #include "support/contracts.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultinject.hpp"
 
 #include "numeric/lu.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -524,6 +526,7 @@ bool SparseFactor::factorize(const StampedMatrix& a) {
       }
     }
   }
+  maybe_corrupt_factors();
   return true;
 }
 
@@ -579,7 +582,22 @@ bool SparseFactor::refactorize(const StampedMatrix& a) {
     }
   }
   singular_ = false;
+  maybe_corrupt_factors();
   return true;
+}
+
+void SparseFactor::maybe_corrupt_factors() {
+  if (!support::kFaultInjectionEnabled || n_ == 0) return;
+  if (!SSN_FAULT_POINT(support::FaultKind::kFactorBitFlip)) return;
+  // Flip mantissa bit 48 of the middle column's pivot: a ~2^-4 relative
+  // perturbation — large enough that one refinement step cannot hide it
+  // (the verify layer must emit a typed degradation), small enough that the
+  // wrong answer would look entirely plausible if served unchecked.
+  double& target = u_diag_[n_ / 2];
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &target, sizeof bits);
+  bits ^= std::uint64_t(1) << 48;
+  std::memcpy(&target, &bits, sizeof bits);
 }
 
 std::size_t SparseFactor::factor_nonzeros() const {
@@ -617,6 +635,51 @@ void SparseFactor::solve(const Vector& b, Vector& x) const {
     const auto& uv = u_vals_[jj];
     for (std::size_t q = 0; q < ur.size(); ++q) x[ur[q]] -= uv[q] * yj;
   }
+}
+
+void SparseFactor::solve_transpose(const Vector& b, Vector& x) const {
+  SSN_REQUIRE(b.size() == n_, "SparseFactor::solve_transpose: size mismatch");
+  if (singular_) {
+    support::SolverDiagnostics diag;
+    diag.where = "SparseFactor::solve_transpose";
+    throw support::SolverError(support::SolverErrorKind::kSingularMatrix,
+                               "singular matrix", std::move(diag));
+  }
+  x.resize(n_);
+  // A^T = U^T L^T P. Step 1: U^T z = b, ascending — U's columns are indexed
+  // by unknown j with row entries at pivot positions strictly below j, so
+  // U^T is lower triangular in (unknown -> pivot-position) space:
+  //   z_j = (b_j - sum_{k in U col j} u_kj z_k) / u_jj.
+  std::vector<double> w(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    double acc = b[j];
+    const auto& ur = u_rows_[j];
+    const auto& uv = u_vals_[j];
+    for (std::size_t q = 0; q < ur.size(); ++q) acc -= uv[q] * w[ur[q]];
+    w[j] = acc / u_diag_[j];
+  }
+  // Step 2: L^T w = z, descending — L's column k holds entries at pivot
+  // positions pinv_[row] > k, so L^T row k subtracts already-solved
+  // positions: w_k -= sum_q l_vals[q] * w[pinv_[l_rows[q]]].
+  for (std::size_t k = n_; k-- > 0;) {
+    double acc = w[k];
+    const auto& lr = l_rows_[k];
+    const auto& lv = l_vals_[k];
+    for (std::size_t q = 0; q < lr.size(); ++q) acc -= lv[q] * w[pinv_[lr[q]]];
+    w[k] = acc;
+  }
+  // Step 3: x = P^T w, i.e. x[perm_[k]] = w[k].
+  for (std::size_t k = 0; k < n_; ++k) x[perm_[k]] = w[k];
+}
+
+void SparseFactor::refine(const StampedMatrix& a, const Vector& b, Vector& x,
+                          Vector& r, Vector& d) const {
+  SSN_REQUIRE(b.size() == n_ && x.size() == n_,
+              "SparseFactor::refine: size mismatch");
+  a.mul_into(x, r);
+  for (std::size_t i = 0; i < n_; ++i) r[i] = b[i] - r[i];
+  solve(r, d);
+  for (std::size_t i = 0; i < n_; ++i) x[i] += d[i];
 }
 
 }  // namespace ssnkit::numeric

@@ -199,8 +199,30 @@ class SparseFactor {
   /// allocation). Throws support::SolverError when singular.
   void solve(const Vector& b, Vector& x) const;
 
+  /// Solve A^T x = b using the same factors (PA = LU gives
+  /// A^T = U^T L^T P, so one ascending U^T sweep, one descending L^T
+  /// sweep, and the row permutation on the way out). Needed by the Hager
+  /// 1-norm condition estimator, which alternates A and A^T solves; it runs
+  /// once per factorization epoch, never per accepted step, so the local
+  /// scratch vector here is off the hot path. Throws when singular.
+  void solve_transpose(const Vector& b, Vector& x) const;
+
+  /// One step of iterative refinement against the currently stamped values:
+  /// r = b - A x, solve A d = r, x += d. `r` and `d` are caller scratch so
+  /// repeated calls allocate nothing. The factors must match `a`'s epoch
+  /// (the usual solve precondition); the caller re-measures the residual
+  /// afterwards to decide whether the refinement recovered the solve.
+  void refine(const StampedMatrix& a, const Vector& b, Vector& x, Vector& r,
+              Vector& d) const;
+
  private:
   static constexpr std::size_t npos = std::size_t(-1);
+
+  /// Fault-injection hook (kFactorBitFlip): in fault-injection builds an
+  /// armed site flips one mantissa bit of a stored pivot after a successful
+  /// (re)factorization — the "silently wrong solve" corruption the verify
+  /// layer's residual check must catch. Compiled to nothing elsewhere.
+  void maybe_corrupt_factors();
 
   std::size_t n_ = 0;
   std::size_t epoch_ = npos;

@@ -1,6 +1,7 @@
 #include "serve/cache.hpp"
 
 #include "support/atomic_file.hpp"
+#include "support/faultinject.hpp"
 #include "support/journal.hpp"
 
 #include <fstream>
@@ -14,16 +15,34 @@ std::size_t ResultCache::size() const {
   return lru_.size();
 }
 
-std::optional<std::string> ResultCache::get(std::uint64_t key) {
+std::optional<std::string> ResultCache::get(std::uint64_t key,
+                                            std::string* warning) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
+  Entry& entry = *it->second;
+  // Fault-injection hook (kCacheRot): rot one byte of the stored payload,
+  // the failure mode the re-checksum below must convert into a recompute.
+  if (support::kFaultInjectionEnabled && !entry.payload.empty() &&
+      SSN_FAULT_POINT(support::FaultKind::kCacheRot))
+    entry.payload[entry.payload.size() / 2] ^= 0x20;
+  if (support::fnv1a(entry.payload) != entry.checksum) {
+    ++stats_.corrupt_dropped;
+    ++stats_.misses;
+    if (warning != nullptr)
+      *warning = "SSN-W072: cache entry " + support::hex_u64(key) +
+                 " failed its re-checksum (payload rotted in memory); "
+                 "dropped, the request recomputes";
+    lru_.erase(it->second);
+    index_.erase(it);
+    return std::nullopt;
+  }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->payload;
 }
 
 void ResultCache::put_locked(std::uint64_t key, const std::string& payload,
@@ -33,16 +52,17 @@ void ResultCache::put_locked(std::uint64_t key, const std::string& payload,
   const auto it = index_.find(key);
   if (it != index_.end()) {
     if (!refresh_existing) return;  // warm-load: live entries win
-    it->second->second = payload;
+    it->second->payload = payload;
+    it->second->checksum = support::fnv1a(payload);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.emplace_front(key, payload);
+  lru_.push_front(Entry{key, payload, support::fnv1a(payload)});
   index_[key] = lru_.begin();
   ++stats_.inserts;
 }
@@ -62,14 +82,16 @@ void ResultCache::save(const std::string& path) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Oldest first: load() re-inserts in file order, so the rebuilt LRU
-    // order matches the saved one.
+    // order matches the saved one. The *insert-time* checksum is spilled,
+    // not a fresh one: a payload that rotted in memory then mismatches on
+    // load and is discarded there instead of being laundered clean.
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
       text += "entry ";
-      text += support::hex_u64(it->first);
+      text += support::hex_u64(it->key);
       text += ' ';
-      text += support::hex_u64(support::fnv1a(it->second));
+      text += support::hex_u64(it->checksum);
       text += ' ';
-      text += it->second;
+      text += it->payload;
       text += '\n';
     }
   }

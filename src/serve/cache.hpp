@@ -12,6 +12,13 @@
 // SSN-W067 warning — a cache entry is always safe to lose (the request
 // simply recomputes) and never safe to trust when its checksum disagrees.
 //
+// In-memory integrity: every entry keeps the FNV-1a checksum computed at
+// insert, and get() re-verifies it on every hit. A payload whose bytes
+// rotted while cached (the kCacheRot fault class simulates exactly this)
+// is dropped with an SSN-W072 finding and the request recomputes — a
+// corrupted result is never served, which is the cache's share of the
+// "never silently wrong" contract.
+//
 // File format (line-oriented; payloads are single-line JSON, so one record
 // is exactly one line):
 //
@@ -39,8 +46,12 @@ class ResultCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
 
-  /// Look up a key; a hit bumps the entry to most-recently-used.
-  std::optional<std::string> get(std::uint64_t key);
+  /// Look up a key; a hit bumps the entry to most-recently-used and
+  /// re-verifies the payload checksum first. A checksum mismatch drops the
+  /// entry and reports a miss; when `warning` is non-null it receives one
+  /// formatted SSN-W072 line describing the dropped entry.
+  std::optional<std::string> get(std::uint64_t key,
+                                 std::string* warning = nullptr);
 
   /// Insert or refresh an entry (evicting the least-recently-used one when
   /// full). Payloads containing '\n' are rejected (dropped) — the spill
@@ -54,6 +65,7 @@ class ResultCache {
     std::uint64_t evictions = 0;
     std::uint64_t warmed = 0;             ///< entries restored by load()
     std::uint64_t discarded_on_load = 0;  ///< torn/corrupt records skipped
+    std::uint64_t corrupt_dropped = 0;    ///< in-memory re-checksum failures
   };
   Stats stats() const;
 
@@ -68,7 +80,12 @@ class ResultCache {
   std::vector<std::string> load(const std::string& path);
 
  private:
-  using LruList = std::list<std::pair<std::uint64_t, std::string>>;
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string payload;
+    std::uint64_t checksum = 0;  ///< fnv1a(payload), fixed at insert
+  };
+  using LruList = std::list<Entry>;
 
   void put_locked(std::uint64_t key, const std::string& payload,
                   bool refresh_existing);

@@ -6,7 +6,11 @@
 #include "core/l_only_model.hpp"
 #include "core/lc_model.hpp"
 #include "sim/recovery.hpp"
+#include "verify/physics.hpp"
+#include "verify/trust.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace ssnkit::serve {
@@ -43,6 +47,25 @@ process::Package package_for(const ServeRequest& req) {
   return pkg;
 }
 
+/// Closed-form self-check: the Table 1 / Eqn 7 peak formula and a sampled
+/// waveform of the same model must agree on the maximum. A disagreement
+/// means the damping case was mis-selected (or a formula was evaluated
+/// outside its validity region); it downgrades trust instead of serving a
+/// confidently wrong number. The 5 % bar leaves room for the sampling
+/// resolution of the waveform's peak.
+void check_formula_vs_waveform(double v_model, const waveform::Waveform& vn,
+                               double t_end, verify::TrustReport& trust) {
+  const double sampled = vn.maximum_in(0.0, t_end).value;
+  const double scale = std::max(std::abs(v_model), std::abs(sampled));
+  if (!(scale > 0.0)) return;
+  if (!(std::abs(v_model - sampled) <= 0.05 * scale)) {
+    trust.downgrade(verify::Verdict::kDegraded);
+    trust.note(
+        "SSN-W073: closed-form v_max disagrees with its own sampled "
+        "waveform maximum (mis-selected damping case?)");
+  }
+}
+
 /// Throw the stop that drained a batch as a typed SolverError, so the
 /// server's one catch site maps every cooperative stop onto SSN-E066.
 void throw_stop(support::StopReason stop) {
@@ -59,6 +82,12 @@ std::string handle_estimate(const ServeRequest& req,
   const bool with_c = req.include_c && pkg.capacitance > 0.0;
   const auto scenario = analysis::make_scenario(cal, pkg, req.n_drivers,
                                                 req.rise_time, with_c);
+  // Every result fragment carries its trust verdict. The closed form starts
+  // verified-by-self-check; a simulator verify merges the engine's report
+  // and the model-vs-simulator cross-check on top.
+  verify::TrustReport trust;
+  trust.verdict = verify::Verdict::kVerified;
+  double v_model = 0.0;
   std::string out = "{";
   out += "\"n\":" + std::to_string(req.n_drivers);
   out += ",\"l\":" + json_number(pkg.inductance);
@@ -67,16 +96,22 @@ std::string handle_estimate(const ServeRequest& req,
   out += ",\"beta\":" + json_number(scenario.beta());
   if (with_c) {
     const core::LcModel model(scenario);
+    v_model = model.v_max();
     out += ",\"model\":\"lc\"";
-    out += ",\"v_max\":" + json_number(model.v_max());
+    out += ",\"v_max\":" + json_number(v_model);
     out += ",\"zeta\":" + json_number(model.zeta());
     out += ",\"case\":\"" +
            json_escape(core::to_string(model.max_case())) + "\"";
     out += ",\"c_crit\":" + json_number(scenario.critical_capacitance());
+    check_formula_vs_waveform(v_model, model.vn_waveform(1024),
+                              scenario.t_ramp_end(), trust);
   } else {
     const core::LOnlyModel model(scenario);
+    v_model = model.v_max();
     out += ",\"model\":\"l-only\"";
-    out += ",\"v_max\":" + json_number(model.v_max());
+    out += ",\"v_max\":" + json_number(v_model);
+    check_formula_vs_waveform(v_model, model.vn_waveform(1024),
+                              scenario.t_ramp_end(), trust);
   }
   if (req.sim) {
     circuit::SsnBenchSpec spec;
@@ -97,10 +132,15 @@ std::string handle_estimate(const ServeRequest& req,
     // A cancelled/deadlined sample must surface as a stop, not as a silent
     // analytic degrade (the resilient driver keeps the stop error set).
     if (m.error && support::is_stop_kind(m.error->kind())) throw *m.error;
+    // The engine's solve/physics verdict, then the paper's 3 % bar between
+    // the closed form and the simulator (SSN-W074 on disagreement).
+    trust.merge(m.measurement.trust);
+    verify::cross_check_closed_form(v_model, m.measurement.v_max, trust);
     out += ",\"v_max_sim\":" + json_number(m.measurement.v_max);
     out += ",\"fidelity\":\"" +
            json_escape(sim::to_string(m.fidelity)) + "\"";
   }
+  out += ",\"trust\":" + render_trust(trust);
   out += "}";
   return out;
 }
@@ -119,6 +159,9 @@ std::string handle_mc(const ServeRequest& req,
   opts.run_ctx = ctx;
   const auto mc = analysis::monte_carlo_vmax(scenario, opts);
   if (mc.stop != support::StopReason::kNone) throw_stop(mc.stop);
+  verify::TrustReport trust;
+  trust.verdict = verify::Verdict::kVerified;
+  trust.ci95 = mc.ci95;
   std::string out = "{";
   out += "\"samples\":" + std::to_string(mc.completed);
   out += ",\"mean\":" + json_number(mc.mean);
@@ -127,7 +170,9 @@ std::string handle_mc(const ServeRequest& req,
   out += ",\"max\":" + json_number(mc.max);
   out += ",\"p95\":" + json_number(mc.p95);
   out += ",\"p99\":" + json_number(mc.p99);
+  out += ",\"ci95\":" + json_number(mc.ci95);
   out += ",\"region_flip_fraction\":" + json_number(mc.region_flip_fraction);
+  out += ",\"trust\":" + render_trust(trust);
   out += "}";
   return out;
 }
@@ -170,6 +215,21 @@ std::string handle_sweep_n(const ServeRequest& req,
   out += ",\"recovered\":" + std::to_string(result.summary.recovered);
   out += ",\"analytic\":" + std::to_string(result.summary.analytic);
   out += ",\"failed\":" + std::to_string(result.summary.failed);
+  // Sweep-level trust from the per-row fidelities: analytic rows carry no
+  // independent verification, failed rows poison the comparison table.
+  verify::TrustReport trust;
+  trust.verdict = verify::Verdict::kVerified;
+  if (result.summary.analytic > 0) {
+    trust.downgrade(verify::Verdict::kUnverified);
+    trust.note(std::to_string(result.summary.analytic) +
+               " row(s) degraded to the closed-form model");
+  }
+  if (result.summary.failed > 0) {
+    trust.downgrade(verify::Verdict::kDegraded);
+    trust.note(std::to_string(result.summary.failed) +
+               " row(s) failed outright");
+  }
+  out += ",\"trust\":" + render_trust(trust);
   out += "}";
   return out;
 }

@@ -303,11 +303,22 @@ std::string json_escape(const std::string& text) {
 }
 
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";
+  if (!std::isfinite(value)) {
+    const char* what = std::isnan(value)
+                           ? "NaN"
+                           : (value > 0.0 ? "+infinity" : "-infinity");
+    throw NonFiniteJsonError(std::string("non-finite double (") + what +
+                             ") in a JSON payload");
+  }
   std::ostringstream ss;
   ss.precision(17);
   ss << value;
   return ss.str();
+}
+
+std::string json_number_or_null(double value) {
+  if (!std::isfinite(value)) return "null";
+  return json_number(value);
 }
 
 }  // namespace ssnkit::serve

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,9 +54,26 @@ JsonParse parse_json(const std::string& text, std::size_t max_depth = 16,
 /// Escape a string for embedding between double quotes in JSON output.
 std::string json_escape(const std::string& text);
 
+/// Thrown by json_number when a payload double is NaN or infinite. JSON
+/// cannot express non-finite values, and silently rendering them as null
+/// would serve a corrupted number as a valid-looking response — the exact
+/// "silently wrong" failure the trust layer exists to stop. The server maps
+/// this onto a typed SSN-E067 error response.
+class NonFiniteJsonError : public std::runtime_error {
+ public:
+  explicit NonFiniteJsonError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Render a double as a JSON number token. Finite values round-trip at 17
-/// significant digits; non-finite values (which JSON cannot express) render
-/// as null, so a NaN can never corrupt a response line.
+/// significant digits; non-finite values throw NonFiniteJsonError — use
+/// json_number_or_null for fields where "not computed" is a legal state.
 std::string json_number(double value);
+
+/// Like json_number, but renders non-finite values as an explicit null.
+/// Only for optional fields whose absence is meaningful (e.g. a trust
+/// report's condition estimate when the estimator did not run) — result
+/// payload numbers go through the strict json_number.
+std::string json_number_or_null(double value);
 
 }  // namespace ssnkit::serve

@@ -193,6 +193,40 @@ std::uint64_t cache_key(const ServeRequest& request) {
   return support::fnv1a(cache_key_string(request));
 }
 
+std::string render_trust(const verify::TrustReport& trust) {
+  std::string out = "{\"verdict\":\"";
+  out += verify::to_string(trust.verdict);
+  out += "\",\"residual\":" + json_number_or_null(trust.residual);
+  out += ",\"cond\":" + json_number_or_null(trust.cond_estimate);
+  out += ",\"ci95\":" + json_number_or_null(trust.ci95);
+  if (trust.refinements > 0)
+    out += ",\"refinements\":" + std::to_string(trust.refinements);
+  if (!trust.notes.empty()) {
+    out += ",\"notes\":[";
+    bool first = true;
+    for (const std::string& note : trust.notes) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + json_escape(note) + '"';
+    }
+    out += ']';
+  }
+  out += "}";
+  return out;
+}
+
+bool extract_trust_verdict(const std::string& result_fragment,
+                           verify::Verdict& out) {
+  const JsonParse parsed = parse_json(result_fragment);
+  if (!parsed.ok || !parsed.value.is_object()) return false;
+  const JsonValue* trust = parsed.value.find("trust");
+  if (trust == nullptr || !trust->is_object()) return false;
+  const JsonValue* verdict = trust->find("verdict");
+  if (verdict == nullptr || verdict->kind != JsonValue::Kind::kString)
+    return false;
+  return verify::verdict_from_name(verdict->string, out);
+}
+
 std::string render_ok(const std::string& id,
                       const std::string& result_fragment, bool cached,
                       std::int64_t elapsed_us) {

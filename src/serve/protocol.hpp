@@ -28,6 +28,7 @@
 
 #include "serve/json.hpp"
 #include "support/diagnostics.hpp"
+#include "verify/trust.hpp"
 
 #include <cstdint>
 #include <string>
@@ -77,6 +78,21 @@ RequestParse parse_request(const std::string& line);
 /// with equal keys produce bit-identical result payloads.
 std::string cache_key_string(const ServeRequest& request);
 std::uint64_t cache_key(const ServeRequest& request);
+
+// --- trust serialization -----------------------------------------------------
+
+/// Render a TrustReport as the "trust" member every result fragment
+/// carries: {"verdict":"verified","residual":...,"cond":...,"ci95":...}.
+/// Not-computed fields (NaN) render as explicit null via json_number_or_null
+/// — they are the only payload numbers allowed to be non-finite.
+std::string render_trust(const verify::TrustReport& trust);
+
+/// Recover the trust verdict embedded in a (cached) result fragment. False
+/// when the fragment has no parseable "trust" member with a known verdict —
+/// a pre-trust-layer or damaged entry, which the server must recompute
+/// rather than serve.
+bool extract_trust_verdict(const std::string& result_fragment,
+                           verify::Verdict& out);
 
 // --- response rendering (each returns one line, no trailing newline) --------
 

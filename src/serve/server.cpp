@@ -106,6 +106,7 @@ void Server::process(Pending& pending) {
         .count();
   };
   std::string response;
+  std::string cache_warning;
   enum class Outcome {
     kOk,
     kCacheHit,
@@ -120,7 +121,19 @@ void Server::process(Pending& pending) {
       outcome = Outcome::kCancelled;
     } else {
       const std::uint64_t key = cache_key(pending.request);
-      if (const auto hit = cache_.get(key)) {
+      std::optional<std::string> hit = cache_.get(key, &cache_warning);
+      if (hit) {
+        // Replay the stored verdict: only a verified/refined entry may be
+        // served from cache. Degraded or unverified entries — and entries
+        // with no parseable trust member at all (pre-trust-layer or
+        // damaged) — are recomputed, never served as-is.
+        verify::Verdict verdict = verify::Verdict::kUnverified;
+        if (!extract_trust_verdict(*hit, verdict) ||
+            verify::verdict_rank(verdict) >
+                verify::verdict_rank(verify::Verdict::kRefined))
+          hit.reset();
+      }
+      if (hit) {
         response = render_ok(id, *hit, /*cached=*/true, elapsed_us());
         outcome = Outcome::kCacheHit;
       } else {
@@ -148,6 +161,11 @@ void Server::process(Pending& pending) {
           response = render_solver_error(id, e);
           outcome = support::is_stop_kind(e.kind()) ? Outcome::kCancelled
                                                     : Outcome::kSolverError;
+        } catch (const NonFiniteJsonError& e) {
+          // A NaN/inf reached the serializer: the result is corrupt and is
+          // refused with its own typed code rather than rendered as null.
+          response = render_error(id, "SSN-E067", e.what());
+          outcome = Outcome::kSolverError;
         } catch (const std::exception& e) {
           response = render_error(id, "SSN-E065", e.what());
           outcome = Outcome::kSolverError;
@@ -163,21 +181,30 @@ void Server::process(Pending& pending) {
     response = render_error(id, "SSN-E065", "internal error");
     outcome = Outcome::kSolverError;
   }
+  // Count the response before emitting it: a client that has seen its
+  // response line must never observe stats that do not yet include it
+  // (the accepted == responded drain contract is checked from outside).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.responded;
+    switch (outcome) {
+      case Outcome::kOk: ++stats_.ok; break;
+      case Outcome::kCacheHit:
+        ++stats_.ok;
+        ++stats_.cache_hits;
+        break;
+      case Outcome::kSolverError: ++stats_.solver_errors; break;
+      case Outcome::kCancelled: ++stats_.cancelled; break;
+    }
+  }
   try {
+    if (!cache_warning.empty())
+      pending.sink(
+          "{\"event\":\"warning\",\"code\":\"SSN-W072\",\"message\":\"" +
+          json_escape(cache_warning) + "\"}");
     pending.sink(response);
   } catch (...) {  // ssnlint-ignore(SSN-L005)
     // A dead client cannot be responded to; the daemon carries on.
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.responded;
-  switch (outcome) {
-    case Outcome::kOk: ++stats_.ok; break;
-    case Outcome::kCacheHit:
-      ++stats_.ok;
-      ++stats_.cache_hits;
-      break;
-    case Outcome::kSolverError: ++stats_.solver_errors; break;
-    case Outcome::kCancelled: ++stats_.cancelled; break;
   }
 }
 

@@ -3,6 +3,8 @@
 #include "numeric/sparse.hpp"
 #include "support/contracts.hpp"
 #include "support/faultinject.hpp"
+#include "verify/residual.hpp"
+#include "verify/trust.hpp"
 #include "waveform/source_spec.hpp"
 
 #include <algorithm>
@@ -42,13 +44,19 @@ struct SolverWorkspace {
   Vector b;                   ///< RHS
   Vector x_new;               ///< Newton update target
   Vector scratch;             ///< residual work vector
+  Vector scratch2;            ///< second scratch for iterative refinement
   numeric::SparseFactor lu;   ///< symbolic analysis reused across iterations
   std::size_t pattern_rebuilds = 0;  ///< release-mode pattern drift repairs
+  /// The last factor_jacobian call fell back to a re-pivoted full
+  /// factorization because a reused pivot degraded — the near-singular
+  /// regime where a solve deserves a refinement step.
+  bool degraded_pivot_fallback = false;
 
   void ensure_sized(std::size_t n) {
     b.resize(n);
     x_new.resize(n);
     scratch.resize(n);
+    scratch2.resize(n);
   }
 };
 
@@ -121,9 +129,16 @@ struct NewtonOutcome {
 /// factorization (which redoes the analysis and re-pivots) otherwise or
 /// when a reused pivot degraded. Returns false on a singular system.
 bool factor_jacobian(SolverWorkspace& ws) {
-  if (ws.lu.pattern_epoch() == ws.a.epoch() && !ws.lu.singular() &&
-      ws.lu.refactorize(ws.a))
-    return true;
+  ws.degraded_pivot_fallback = false;
+  if (ws.lu.pattern_epoch() == ws.a.epoch() && !ws.lu.singular()) {
+    if (ws.lu.refactorize(ws.a)) return true;
+    // A reused pivot degraded badly against its column: the values drifted
+    // toward singularity since the pivot order was chosen. Remember it so
+    // the next solve gets an iterative-refinement step — re-pivoting
+    // restores stability but the system itself is near-singular, where
+    // even a fresh LU loses digits.
+    ws.degraded_pivot_fallback = true;
+  }
   return ws.lu.factorize(ws.a);
 }
 
@@ -151,6 +166,8 @@ NewtonOutcome solve_newton(Circuit& ckt, const StampContext& base, Vector& x,
       return out;
     }
     ws.lu.solve(ws.b, ws.x_new);
+    if (ws.degraded_pivot_fallback)
+      ws.lu.refine(ws.a, ws.b, ws.x_new, ws.scratch, ws.scratch2);
     Vector& x_new = ws.x_new;
     const bool forced_nan = SSN_FAULT_POINT(FaultKind::kNanResidual);
     if (forced_nan && n > 0) x_new[0] = std::nan("");
@@ -473,6 +490,10 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
 
   TransientRun run{TransientResult(collect_signal_names(ckt)), std::nullopt};
   TransientResult& result = run.result;
+  // The verdict starts at verified and can only be downgraded: any failed
+  // check, refinement or solver error worsens it on the way through.
+  if (opts.verify.enabled)
+    result.trust.verdict = verify::Verdict::kVerified;
 
   // Transient workspace: pattern discovery + symbolic analysis happen at the
   // first Newton iteration of the first step; every later iteration stamps
@@ -544,6 +565,9 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
                         SolverDiagnostics diag) {
     diag.where = "run_transient";
     diag.newton_iterations = result.stats.newton_iterations;
+    // A failed run's waveform is a partial prefix, not the requested
+    // result: whatever per-step checks passed, the whole is not verified.
+    result.trust.downgrade(verify::Verdict::kDegraded);
     run.error.emplace(kind, message, std::move(diag));
   };
 
@@ -696,6 +720,47 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
            std::move(diag));
       return run;
     }
+
+    // Trust layer: verify the accepted point's linear solve against the
+    // still-stamped system (one CSR sweep over ws.a/ws.b, no allocation).
+    // A clean solve sits near machine epsilon; a corrupted or stale
+    // factorization lands orders of magnitude higher, gets one shot at
+    // iterative refinement, and otherwise fails typed — never silent.
+    if (opts.verify.enabled) {
+      double res = verify::scaled_residual(ws.a, x_cand, ws.b);
+      ++result.stats.residual_checks;
+      if (!(res <= opts.verify.residual_tol)) {
+        ws.lu.refine(ws.a, ws.b, x_cand, ws.scratch, ws.scratch2);
+        ++result.stats.residual_refinements;
+        ++result.trust.refinements;
+        const double before = res;
+        res = verify::scaled_residual(ws.a, x_cand, ws.b);
+        if (!(res <= opts.verify.degrade_tol)) {
+          result.trust.downgrade(verify::Verdict::kDegraded);
+          result.trust.note(format_scale(
+              "SSN-W071: scaled solve residual stayed at ", res));
+          result.stats.worst_scaled_residual =
+              std::max(result.stats.worst_scaled_residual, res);
+          result.trust.residual = result.stats.worst_scaled_residual;
+          SolverDiagnostics diag;
+          diag.time = base.time;
+          diag.residual = res;
+          fail(SolverErrorKind::kResidualDegraded,
+               "scaled solve residual " + format_scale("", before) +
+                   " stayed at " + format_scale("", res) +
+                   " after refinement",
+               std::move(diag));
+          return run;
+        }
+        result.trust.downgrade(verify::Verdict::kRefined);
+        result.trust.note(
+            format_scale("SSN-W070: solve residual ", before) +
+            format_scale(" recovered to ", res) + " by refinement");
+      }
+      result.stats.worst_scaled_residual =
+          std::max(result.stats.worst_scaled_residual, res);
+    }
+
     t = base.time;
     std::swap(x, x_cand);  // keep x_cand's buffer alive for the next step
     {
@@ -731,6 +796,27 @@ TransientRun run_transient_ex(Circuit& ckt, const TransientOptions& opts) {
       // truncated this one).
       h = opts.dt_initial > 0.0 ? opts.dt_initial : span / 1000.0;
     }
+  }
+
+  // Once per run (never per step): the Hager 1-norm condition estimate of
+  // the final factorized system. A quietly ill-conditioned package matrix
+  // can pass every residual check yet carry a forward error far beyond the
+  // paper's 3 % bar — that is a trust downgrade, not a solver failure.
+  if (opts.verify.enabled) {
+    if (ws.a.has_pattern() && !ws.lu.singular() &&
+        ws.lu.pattern_epoch() == ws.a.epoch()) {
+      const double cond = verify::condest_1norm(ws.a, ws.lu);
+      result.stats.condition_estimate = cond;
+      result.trust.cond_estimate = cond;
+      if (!(cond <= opts.verify.cond_limit)) {
+        result.trust.downgrade(verify::Verdict::kDegraded);
+        result.trust.note(
+            format_scale("SSN-W071: condition estimate ", cond) +
+            format_scale(" exceeds the trust limit ", opts.verify.cond_limit));
+      }
+    }
+    if (result.stats.residual_checks > 0)
+      result.trust.residual = result.stats.worst_scaled_residual;
   }
   return run;
 }

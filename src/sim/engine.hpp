@@ -37,6 +37,27 @@ struct NewtonOptions {
   double max_voltage_step = 2.0;  ///< per-iteration damping limit [V]
 };
 
+/// Solve-verification policy (the src/verify trust layer). The scaled
+/// residual ||Ax-b||inf/(||A||inf*||x||inf + ||b||inf) of the converged
+/// linear system is checked once per *accepted* step — one extra CSR sweep
+/// reusing the already-stamped matrix, no allocation — and the Hager
+/// 1-norm condition estimate runs once per run, so the hot-path overhead
+/// stays within the bench_perf 5 % budget.
+struct VerifyOptions {
+  bool enabled = true;
+  /// Scaled residual above this triggers one step of iterative refinement
+  /// (a backward-stable solve of a sane system sits near 1e-14).
+  double residual_tol = 1e-9;
+  /// Post-refinement residual above this fails the run with a typed
+  /// SolverErrorKind::kResidualDegraded (SSN-W071) instead of returning
+  /// the vector as-is; the recovery ladder's retry re-factorizes.
+  double degrade_tol = 1e-7;
+  /// Condition estimate above this downgrades trust to degraded
+  /// (forward error ~ cond * eps can no longer support the paper's 3 %
+  /// accuracy claim) without failing the run.
+  double cond_limit = 1e14;
+};
+
 struct DcResult {
   numeric::Vector solution;
   std::size_t iterations = 0;
@@ -83,6 +104,8 @@ struct TransientOptions {
   /// other solver failure surfaced through run_transient_ex. Not owned.
   const support::RunContext* run_ctx = nullptr;
   NewtonOptions newton;
+  /// Trust-layer checks (on by default; see VerifyOptions).
+  VerifyOptions verify;
 };
 
 /// Outcome of a transient run that never throws on solver failure: the

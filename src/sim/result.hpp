@@ -2,6 +2,7 @@
 // under their node names ("vssi"), branch currents as "I(element)".
 #pragma once
 
+#include "verify/trust.hpp"
 #include "waveform/waveform.hpp"
 
 #include <map>
@@ -20,6 +21,12 @@ struct SolverStats {
   std::size_t dc_iterations = 0;
   bool dc_used_gmin_stepping = false;
   bool dc_used_source_stepping = false;
+  // Trust-layer bookkeeping (src/verify): the per-accepted-step scaled
+  // residual checks and the once-per-run Hager condition estimate.
+  std::size_t residual_checks = 0;       ///< accepted steps verified
+  std::size_t residual_refinements = 0;  ///< iterative-refinement rescues
+  double worst_scaled_residual = 0.0;    ///< max over accepted steps
+  double condition_estimate = 0.0;       ///< Hager estimate; 0 = not run
 };
 
 class TransientResult {
@@ -49,6 +56,11 @@ class TransientResult {
   double final_value(const std::string& name) const;
 
   SolverStats stats;
+
+  /// How this result was verified (src/verify): the engine fills the
+  /// verdict, worst residual and condition estimate; analysis layers merge
+  /// their physics-invariant findings on top.
+  verify::TrustReport trust;
 
  private:
   std::size_t index_of(const std::string& name) const;

@@ -37,6 +37,7 @@ enum class SolverErrorKind {
   kHomotopyExhausted,    ///< every DC homotopy (plain/gmin/source) failed
   kCancelled,            ///< the job's RunContext was cancelled mid-solve
   kDeadlineExpired,      ///< the job's RunContext deadline passed mid-solve
+  kResidualDegraded,     ///< solve residual stayed bad after refinement
 };
 
 inline const char* to_string(SolverErrorKind kind) {
@@ -49,6 +50,7 @@ inline const char* to_string(SolverErrorKind kind) {
     case SolverErrorKind::kHomotopyExhausted: return "homotopy-exhausted";
     case SolverErrorKind::kCancelled: return "cancelled";
     case SolverErrorKind::kDeadlineExpired: return "deadline-expired";
+    case SolverErrorKind::kResidualDegraded: return "residual-degraded";
   }
   return "unknown";
 }
@@ -64,6 +66,11 @@ inline bool is_retryable(SolverErrorKind kind) {
     case SolverErrorKind::kStepUnderflow:
     case SolverErrorKind::kStepBudgetExhausted:
     case SolverErrorKind::kSingularMatrix:
+    // A degraded residual is usually a corrupted or stale factorization; a
+    // retry with a fresh full factorization (recovery rung 0 re-runs it)
+    // clears a bit-flip, and a genuinely ill-conditioned system walks the
+    // ladder down to the analytic rung instead of being served unchecked.
+    case SolverErrorKind::kResidualDegraded:
       return true;
     case SolverErrorKind::kHomotopyExhausted:
     case SolverErrorKind::kCancelled:

@@ -11,6 +11,15 @@
 //   kNanResidual       poison one entry of the Newton update with NaN
 //   kStepUnderflow     force the adaptive timestep below dt_min
 //
+// plus three *result-corruption* classes the verify layer must catch (they
+// damage data rather than forcing an error path, which is exactly the
+// "silently wrong" failure mode the TrustReport machinery exists to stop):
+//
+//   kFactorBitFlip     flip one bit of a stored LU factor value, so a later
+//                      solve returns a confidently wrong vector
+//   kCacheRot          rot one byte of a served result-cache payload
+//   kJournalTruncate   drop the tail of a journal value mid-record
+//
 // The hooks compile to a literal `false` unless SSNKIT_FAULT_INJECTION is
 // defined (the `fault-injection` CMake preset turns it on globally), so
 // release binaries carry zero overhead and zero attack surface.
@@ -38,6 +47,7 @@
 #include <limits>
 #include <mutex>
 #include <random>
+#include <string>
 
 namespace ssnkit::support {
 
@@ -46,9 +56,12 @@ enum class FaultKind : int {
   kSingularLu = 1,
   kNanResidual = 2,
   kStepUnderflow = 3,
+  kFactorBitFlip = 4,
+  kCacheRot = 5,
+  kJournalTruncate = 6,
 };
 
-inline constexpr int kFaultKindCount = 4;
+inline constexpr int kFaultKindCount = 7;
 
 inline const char* to_string(FaultKind kind) {
   switch (kind) {
@@ -56,6 +69,9 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kSingularLu: return "singular-lu";
     case FaultKind::kNanResidual: return "nan-residual";
     case FaultKind::kStepUnderflow: return "step-underflow";
+    case FaultKind::kFactorBitFlip: return "factor-bit-flip";
+    case FaultKind::kCacheRot: return "cache-rot";
+    case FaultKind::kJournalTruncate: return "journal-truncate";
   }
   return "unknown";
 }
@@ -201,6 +217,83 @@ class FaultInjector {
   std::array<std::atomic<std::size_t>, kFaultKindCount> queries_{};
   std::array<std::atomic<std::size_t>, kFaultKindCount> fires_{};
 };
+
+/// Map a fault-kind name (the to_string spelling) back to its enum value.
+inline bool fault_kind_from_name(const std::string& name, FaultKind& out) {
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    if (name == to_string(FaultKind(k))) {
+      out = FaultKind(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Arm fault sites from a compact plan string, the chaos harness's way of
+/// configuring a *daemon process* it cannot call arm() in:
+///
+///   "seed=7,factor-bit-flip=0.01,cache-rot=0.005,journal-truncate=0.01"
+///
+/// Comma-separated `key=value` entries: `seed=N` sets the shared plan seed
+/// (applies to every site armed after it; default 1), and `<kind>=<p>` arms
+/// that site with probability p. Returns the number of sites armed;
+/// malformed entries are skipped rather than fatal (a soak harness wants
+/// best-effort arming, and the site counters reveal what actually fired).
+/// Number parsing is hand-rolled: the strto* family is banned outside the
+/// hardened io parsers (SSN-L007), and plan strings only need unsigned
+/// decimals and simple fractions.
+inline std::size_t arm_from_plan_string(const std::string& text) {
+  const auto parse_simple_double = [](const std::string& s, double& out) {
+    if (s.empty()) return false;
+    double value = 0.0;
+    std::size_t i = 0;
+    bool any = false;
+    for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+      value = value * 10.0 + double(s[i] - '0');
+      any = true;
+    }
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      double scale = 0.1;
+      for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+        value += double(s[i] - '0') * scale;
+        scale *= 0.1;
+        any = true;
+      }
+    }
+    if (!any || i != s.size()) return false;
+    out = value;
+    return true;
+  };
+  std::size_t armed = 0;
+  unsigned seed = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    double number = 0.0;
+    if (!parse_simple_double(value, number)) continue;
+    if (key == "seed") {
+      seed = unsigned(number);
+      continue;
+    }
+    FaultKind kind;
+    if (!fault_kind_from_name(key, kind)) continue;
+    if (!(number > 0.0 && number <= 1.0)) continue;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.probability = number;
+    FaultInjector::instance().arm(kind, plan);
+    ++armed;
+  }
+  return armed;
+}
 
 /// RAII marker for one batch item: while alive, this thread's fault streams
 /// are derived from (plan seed, sample index) instead of the plain plan

@@ -1,6 +1,7 @@
 #include "support/journal.hpp"
 
 #include "support/atomic_file.hpp"
+#include "support/faultinject.hpp"
 
 #include <cstring>
 #include <fstream>
@@ -124,7 +125,8 @@ std::string BatchJournal::render_locked() const {
   for (const auto& [index, rec] : items_) {
     out += "item " + std::to_string(index) + " " +
            std::to_string(rec.fidelity) + " " + hex_u64(rec.v_bits) + " " +
-           std::to_string(rec.error_kind) + "\n";
+           std::to_string(rec.error_kind) + " " + std::to_string(rec.trust) +
+           "\n";
   }
   return out;
 }
@@ -132,9 +134,18 @@ std::string BatchJournal::render_locked() const {
 void BatchJournal::record(std::size_t index, const PointRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   items_[index] = record;
+  std::string text = render_locked();
+  // Fault-injection hook (kJournalTruncate): chop the tail of the last
+  // record — newline included — to simulate the process dying mid-write.
+  // The loader must surface this as a discarded torn record (SSN-W067)
+  // and the item must simply re-run; silently resuming a half-written
+  // value would be a false-verified result.
+  if (kFaultInjectionEnabled && text.size() > 8 &&
+      SSN_FAULT_POINT(FaultKind::kJournalTruncate))
+    text.resize(text.size() - 5);
   // Full atomic rewrite per record: the file on disk is always a complete
   // journal, whatever instant the process dies at.
-  write_file_atomic(path_, render_locked());
+  write_file_atomic(path_, text);
 }
 
 BatchJournal::Loaded BatchJournal::load(const std::string& path) {
@@ -202,8 +213,11 @@ BatchJournal::Loaded BatchJournal::load(const std::string& path) {
       return true;  // discard the record, keep the rest of the load
     };
     const std::vector<std::string> f = split_fields(line);
-    if (f.size() != 5 || f[0] != "item") {
-      if (item_error("expected 'item <index> <fidelity> <vbits> <errkind>'"))
+    // 5 fields = pre-trust-layer journal (trust defaults to "not
+    // recorded"); 6 fields = current format with the trust verdict.
+    if ((f.size() != 5 && f.size() != 6) || f[0] != "item") {
+      if (item_error(
+              "expected 'item <index> <fidelity> <vbits> <errkind> [trust]'"))
         continue;
     }
     std::size_t index = 0;
@@ -226,6 +240,14 @@ BatchJournal::Loaded BatchJournal::load(const std::string& path) {
       if (item_error("bad error-kind field")) continue;
     }
     rec.error_kind = int(err);
+    if (f.size() == 6) {
+      long long trust = 0;
+      if (!parse_decimal_ll(f[5], trust) || trust < -1 ||
+          trust > std::numeric_limits<int>::max()) {
+        if (item_error("bad trust field")) continue;
+      }
+      rec.trust = int(trust);
+    }
     out.items[index] = rec;
   }
   return out;

@@ -69,6 +69,10 @@ struct PointRecord {
   int fidelity = 0;
   std::uint64_t v_bits = 0;
   int error_kind = -1;  ///< SolverErrorKind as int; -1 = no error
+  /// verify::Verdict as int; -1 = not recorded (a journal written before
+  /// the trust layer). Journaled so a resumed sample replays the trust
+  /// verdict it earned when it actually ran, bit-identically.
+  int trust = -1;
 };
 
 /// Typed journal failure: distinguishes "file missing" from "corrupt" from

@@ -1,0 +1,91 @@
+#include "verify/trust.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ssnkit::verify {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified: return "verified";
+    case Verdict::kRefined: return "refined";
+    case Verdict::kUnverified: return "unverified";
+    case Verdict::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+bool verdict_from_name(const std::string& name, Verdict& out) {
+  for (const Verdict v : {Verdict::kVerified, Verdict::kRefined,
+                          Verdict::kUnverified, Verdict::kDegraded}) {
+    if (name == to_string(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+int verdict_rank(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified: return 0;
+    case Verdict::kRefined: return 1;
+    case Verdict::kUnverified: return 2;
+    case Verdict::kDegraded: return 3;
+  }
+  return 3;
+}
+
+Verdict worse(Verdict a, Verdict b) {
+  return verdict_rank(a) >= verdict_rank(b) ? a : b;
+}
+
+void TrustReport::note(const std::string& text) {
+  if (std::find(notes.begin(), notes.end(), text) != notes.end()) return;
+  notes.push_back(text);
+}
+
+void TrustReport::merge(const TrustReport& other) {
+  verdict = worse(verdict, other.verdict);
+  // Worst residual/condition wins; NaN means "not measured" and loses to
+  // any measured value.
+  if (!std::isfinite(residual) ||
+      (std::isfinite(other.residual) && other.residual > residual))
+    residual = other.residual;
+  if (!std::isfinite(cond_estimate) ||
+      (std::isfinite(other.cond_estimate) &&
+       other.cond_estimate > cond_estimate))
+    cond_estimate = other.cond_estimate;
+  refinements += other.refinements;
+  if (!std::isfinite(ci95) ||
+      (std::isfinite(other.ci95) && other.ci95 > ci95))
+    ci95 = other.ci95;
+  for (const std::string& n : other.notes) note(n);
+}
+
+std::string TrustReport::summary() const {
+  std::string s = to_string(verdict);
+  std::string detail;
+  char buf[64];
+  const auto append = [&](const char* label, double v) {
+    std::snprintf(buf, sizeof(buf), "%s %.2e", label, v);
+    if (!detail.empty()) detail += ", ";
+    detail += buf;
+  };
+  if (std::isfinite(residual)) append("residual", residual);
+  if (std::isfinite(cond_estimate)) append("cond", cond_estimate);
+  if (refinements > 0) {
+    std::snprintf(buf, sizeof(buf), "refined x%zu", refinements);
+    if (!detail.empty()) detail += ", ";
+    detail += buf;
+  }
+  if (std::isfinite(ci95)) append("ci95 +/-", ci95);
+  if (!detail.empty()) s += " (" + detail + ")";
+  for (const std::string& n : notes) {
+    s += "; ";
+    s += n;
+  }
+  return s;
+}
+
+}  // namespace ssnkit::verify

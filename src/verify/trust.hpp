@@ -1,0 +1,82 @@
+// The trust layer's result passport. Every number that leaves the engine
+// (a transient waveform, an SSN measurement, a Monte-Carlo statistic, a
+// served response) carries a TrustReport stating how it was checked:
+//
+//   - verified:   the independent checks ran and all passed;
+//   - refined:    a check failed, one step of iterative refinement (or an
+//                 equivalent recovery) brought it back within tolerance;
+//   - unverified: the checks did not run (verification disabled, analytic
+//                 fallback, or a legacy producer) — honest "don't know";
+//   - degraded:   a check failed and could not be recovered. The value is
+//                 still returned (a degraded estimate beats no estimate)
+//                 but it must never be presented as trustworthy.
+//
+// Verdicts only ever get worse as a result flows through the pipeline:
+// downgrade()/merge() take the maximum severity, so a verified solve inside
+// a degraded measurement reports degraded. The companion SSN-W07x codes in
+// `notes` say *why* (docs/DIAGNOSTICS.md has the catalog).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ssnkit::verify {
+
+/// How a result was checked. Order is not severity; use verdict_rank().
+enum class Verdict {
+  kVerified,    ///< independent checks ran and passed
+  kRefined,     ///< a check failed, refinement recovered it
+  kUnverified,  ///< checks did not run
+  kDegraded,    ///< a check failed and stayed failed
+};
+
+const char* to_string(Verdict v);
+
+/// Parse the wire name ("verified", ...) back to a Verdict; returns false
+/// on an unknown name. Used when replaying cached/serialized verdicts.
+bool verdict_from_name(const std::string& name, Verdict& out);
+
+/// Severity for merging: verified(0) < refined(1) < unverified(2) <
+/// degraded(3). Unverified outranks refined because a refined number was
+/// at least re-checked; an unverified one carries no evidence at all.
+int verdict_rank(Verdict v);
+
+/// The more severe of two verdicts under verdict_rank().
+Verdict worse(Verdict a, Verdict b);
+
+/// Compact, copyable verification summary attached to results.
+struct TrustReport {
+  Verdict verdict = Verdict::kUnverified;
+  /// Worst scaled linear-solve residual ||Ax-b||inf/(||A||inf*||x||inf +
+  /// ||b||inf) observed while producing the result; NaN = no solve checked.
+  double residual = std::nan("");
+  /// Hager 1-norm condition estimate of the last factorized system;
+  /// NaN = not estimated.
+  double cond_estimate = std::nan("");
+  /// Iterative-refinement steps spent recovering solves.
+  std::size_t refinements = 0;
+  /// Monte-Carlo 95 % confidence-interval half-width on the headline
+  /// statistic; NaN = not a sampled result.
+  double ci95 = std::nan("");
+  /// SSN-W07x codes with human-readable detail, one per triggered check.
+  std::vector<std::string> notes;
+
+  /// Worsen the verdict (never improves it).
+  void downgrade(Verdict v) { verdict = worse(verdict, v); }
+
+  /// Append a note, skipping exact duplicates (checks can re-fire across
+  /// recovery retries of the same sample).
+  void note(const std::string& text);
+
+  /// Fold a sub-result's report into this one: worst verdict, worst
+  /// residual/condition, summed refinements, concatenated notes.
+  void merge(const TrustReport& other);
+
+  /// One-line render for CLI tables and logs, e.g.
+  /// "verified (residual 3.1e-15, cond 2.4e+03)".
+  std::string summary() const;
+};
+
+}  // namespace ssnkit::verify

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -104,6 +105,66 @@ TEST_F(FaultInjection, ArmResetsCounters) {
   EXPECT_TRUE(injector.should_fire(FaultKind::kNewtonDivergence));
 }
 
+TEST_F(FaultInjection, KindNamesRoundTripThroughTheRegistry) {
+  // The chaos harness addresses sites by name; every kind — including the
+  // trust-layer classes — must round-trip, and unknown names must fail.
+  for (int k = 0; k < support::kFaultKindCount; ++k) {
+    FaultKind out = FaultKind::kNewtonDivergence;
+    ASSERT_TRUE(
+        support::fault_kind_from_name(support::to_string(FaultKind(k)), out))
+        << support::to_string(FaultKind(k));
+    EXPECT_EQ(out, FaultKind(k));
+  }
+  FaultKind sink = FaultKind::kNewtonDivergence;
+  EXPECT_FALSE(support::fault_kind_from_name("meteor-strike", sink));
+  EXPECT_FALSE(support::fault_kind_from_name("", sink));
+}
+
+TEST_F(FaultInjection, ArmFromPlanStringArmsNamedSites) {
+  auto& injector = FaultInjector::instance();
+  EXPECT_EQ(support::arm_from_plan_string(
+                "seed=7,factor-bit-flip=1.0,cache-rot=0.5,journal-truncate=1"),
+            3u);
+  // p = 1.0 sites fire on the first query; the p = 0.5 site is armed (its
+  // draw stream is seeded, so whether it fires is deterministic either way).
+  EXPECT_TRUE(injector.should_fire(FaultKind::kFactorBitFlip));
+  EXPECT_TRUE(injector.should_fire(FaultKind::kJournalTruncate));
+  injector.should_fire(FaultKind::kCacheRot);
+  EXPECT_EQ(injector.query_count(FaultKind::kCacheRot), 1u);
+}
+
+TEST_F(FaultInjection, ArmFromPlanStringSkipsMalformedEntriesBestEffort) {
+  auto& injector = FaultInjector::instance();
+  // Of these entries only journal-truncate=0.5 is valid: seed value is not
+  // a number, one key is empty, one probability is garbage, one kind is
+  // unknown, one probability is out of (0, 1], one entry has no '='.
+  EXPECT_EQ(support::arm_from_plan_string(
+                "seed=x,=0.5,factor-bit-flip=abc,meteor-strike=0.5,"
+                "cache-rot=2.0,journal-truncate=0.5,factor-bit-flip"),
+            1u);
+  EXPECT_FALSE(injector.should_fire(FaultKind::kFactorBitFlip));
+  EXPECT_FALSE(injector.should_fire(FaultKind::kCacheRot));
+  EXPECT_EQ(injector.query_count(FaultKind::kJournalTruncate), 0u);
+  // The empty plan arms nothing at all.
+  EXPECT_EQ(support::arm_from_plan_string(""), 0u);
+}
+
+TEST_F(FaultInjection, PlanStringSeedMakesTheStreamsReproducible) {
+  auto& injector = FaultInjector::instance();
+  const auto draw_pattern = [&] {
+    injector.disarm_all();
+    support::arm_from_plan_string("seed=42,factor-bit-flip=0.5");
+    std::vector<bool> fired;
+    for (int i = 0; i < 32; ++i)
+      fired.push_back(injector.should_fire(FaultKind::kFactorBitFlip));
+    return fired;
+  };
+  const auto first = draw_pattern();
+  const auto second = draw_pattern();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
 // --- end-to-end (instrumented builds only) ----------------------------------
 
 #define SSN_NEEDS_INSTRUMENTED_BUILD()                                 \
@@ -165,6 +226,135 @@ TEST_F(FaultInjection, SingleTransientFaultsRecoverInline) {
     EXPECT_EQ(injector.fire_count(kind), 1u);
     expect_waveform_finite(out.result, bench.vssi_node, opts.t_stop);
   }
+}
+
+TEST_F(FaultInjection, FactorBitFlipIsNeverSilentlyWrong) {
+  SSN_NEEDS_INSTRUMENTED_BUILD();
+  // A silently corrupted LU factor is the trust layer's canonical enemy:
+  // the solve "succeeds" with wrong numbers. Depending on where the flip
+  // lands, one of three honest outcomes is allowed — the next Newton
+  // iteration re-factorizes and absorbs it (the numbers must then match a
+  // clean run), the post-solve residual check catches it (refined with an
+  // SSN-W070 note, or a typed kResidualDegraded failure), or the pivot
+  // sanity check rejects the factors outright. What is never allowed is a
+  // wrong number wearing a verified badge. Sweep the flip across every
+  // factorization of the run and hold that contract at each site.
+  auto& injector = FaultInjector::instance();
+  const SsnBenchSpec spec = small_spec();
+
+  SsnBench ref_bench = make_ssn_testbench(spec);
+  const TransientOptions opts = bench_opts(ref_bench, spec.input_rise_time);
+  const TransientResult ref = run_transient(ref_bench.circuit, opts);
+  ASSERT_EQ(ref.trust.verdict, ssnkit::verify::Verdict::kVerified)
+      << ref.trust.summary();
+  const double v_ref = ref.waveform(ref_bench.vssi_node).maximum().value;
+
+  // Count the run's factorizations: arm a plan that can never fire and
+  // read back how often the fault point was queried.
+  FaultPlan probe;
+  probe.fire_on_nth = std::size_t(-1);  // query-count probe: never fires
+  injector.arm(FaultKind::kFactorBitFlip, probe);
+  {
+    SsnBench bench = make_ssn_testbench(spec);
+    run_transient(bench.circuit, bench_opts(bench, spec.input_rise_time));
+  }
+  const auto sites = unsigned(
+      injector.query_count(FaultKind::kFactorBitFlip));
+  injector.disarm(FaultKind::kFactorBitFlip);
+  ASSERT_GE(sites, 10u);
+
+  unsigned healed = 0, confessed = 0, failed_typed = 0;
+  for (unsigned nth = 1; nth <= sites; ++nth) {
+    FaultPlan plan;
+    plan.fire_on_nth = nth;
+    injector.arm(FaultKind::kFactorBitFlip, plan);
+    SsnBench bench = make_ssn_testbench(spec);
+    const TransientRun run = run_transient_ex(
+        bench.circuit, bench_opts(bench, spec.input_rise_time));
+    const bool fired = injector.fire_count(FaultKind::kFactorBitFlip) == 1u;
+    injector.disarm(FaultKind::kFactorBitFlip);
+    ASSERT_TRUE(fired) << "site " << nth << " of " << sites;
+
+    if (run.error) {
+      ++failed_typed;  // typed failure: honest, the ladder would retry
+      continue;
+    }
+    expect_waveform_finite(run.result, bench.vssi_node, opts.t_stop);
+    if (run.result.trust.verdict == ssnkit::verify::Verdict::kVerified) {
+      // Absorbed before any accepted solve: the verdict is only honest if
+      // the numbers actually match the clean run's.
+      const double v =
+          run.result.waveform(bench.vssi_node).maximum().value;
+      EXPECT_NEAR(v, v_ref, 1e-6 * std::fabs(v_ref) + 1e-9)
+          << "site " << nth << ": verified but wrong — the trust layer "
+          << "served a corrupted number with a verified badge";
+      ++healed;
+    } else {
+      // Refined or degraded: the downgrade must come with its note.
+      bool noted = false;
+      for (const auto& n : run.result.trust.notes)
+        if (n.find("SSN-W070") != std::string::npos ||
+            n.find("SSN-W071") != std::string::npos)
+          noted = true;
+      EXPECT_TRUE(noted) << run.result.trust.summary();
+      ++confessed;
+    }
+  }
+  EXPECT_EQ(healed + confessed + failed_typed, sites);
+  // With the default tolerances every flip is absorbed: Newton's own
+  // convergence test (abstol 1e-9 V) screens out any corrupted update the
+  // residual check could see, so `healed == sites` here is the expected
+  // outcome, not a gap.
+  EXPECT_EQ(healed, sites);
+
+  // The residual check earns its keep in the regime Newton cannot heal.
+  // A single flip is always repaired by the next iteration's clean
+  // refactorization — that is exactly why every site above healed. So
+  // corrupt EVERY factorization (probability 1): the engine solves the
+  // full MNA system A·x = b each iteration, and with a persistently
+  // perturbed factor M the iteration converges to the fixed point
+  // M(x*)·x* = b(x*), whose true linear residual (M − A)·x* carries an
+  // irreducible ~2^-4 pivot term no refactorization can remove. The
+  // post-solve residual check is now the only line of defense and it must
+  // engage: the run either fails typed (kResidualDegraded), or survives
+  // only with a refined/degraded verdict and its SSN-W070/W071 note — and
+  // if any accepted point still says verified, its numbers must match the
+  // clean reference.
+  FaultPlan persistent;
+  persistent.probability = 1.0;
+  injector.arm(FaultKind::kFactorBitFlip, persistent);
+  SsnBench pbench = make_ssn_testbench(spec);
+  const TransientRun prun = run_transient_ex(
+      pbench.circuit, bench_opts(pbench, spec.input_rise_time));
+  const auto fires = injector.fire_count(FaultKind::kFactorBitFlip);
+  injector.disarm(FaultKind::kFactorBitFlip);
+  ASSERT_GE(fires, 2u) << "persistent plan never fired";
+
+  bool caught = false;
+  if (prun.error) {
+    caught = true;  // typed failure: honest, nothing was served
+  } else if (prun.result.trust.verdict != ssnkit::verify::Verdict::kVerified) {
+    EXPECT_GE(prun.result.stats.residual_checks, 1u);
+    bool noted = false;
+    for (const auto& n : prun.result.trust.notes)
+      if (n.find("SSN-W070") != std::string::npos ||
+          n.find("SSN-W071") != std::string::npos)
+        noted = true;
+    EXPECT_TRUE(noted) << prun.result.trust.summary();
+    caught = true;
+  } else {
+    // A verified badge under wall-to-wall corruption is only acceptable if
+    // refinement scrubbed every accepted solve back to the true system —
+    // in which case the numbers must be right.
+    const double v = prun.result.waveform(pbench.vssi_node).maximum().value;
+    EXPECT_NEAR(v, v_ref, 1e-6 * std::fabs(v_ref) + 1e-9)
+        << "persistent corruption: verified but wrong";
+    caught = prun.result.trust.refinements > 0;
+  }
+  EXPECT_TRUE(caught)
+      << "every factorization of the run was corrupted, yet the residual "
+         "check never engaged (verdict: " << prun.result.trust.summary()
+      << ")";
 }
 
 TEST_F(FaultInjection, RepeatedUnderflowClimbsToAlternateIntegrator) {

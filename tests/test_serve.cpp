@@ -99,12 +99,19 @@ TEST(ServeJson, EnforcesDepthAndSizeBounds) {
 TEST(ServeJson, EscapeAndNumberRendering) {
   EXPECT_EQ(serve::json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
   EXPECT_EQ(serve::json_number(0.5), "0.5");
-  // Non-finite doubles have no JSON representation; null keeps the line
-  // parseable for every client.
-  EXPECT_EQ(serve::json_number(std::numeric_limits<double>::quiet_NaN()),
+  // Non-finite doubles have no JSON representation. The strict renderer
+  // refuses them with a typed error (the server maps it onto SSN-E067);
+  // only the explicit _or_null variant may degrade them, and it says so.
+  EXPECT_THROW(serve::json_number(std::numeric_limits<double>::quiet_NaN()),
+               serve::NonFiniteJsonError);
+  EXPECT_THROW(serve::json_number(std::numeric_limits<double>::infinity()),
+               serve::NonFiniteJsonError);
+  EXPECT_THROW(serve::json_number(-std::numeric_limits<double>::infinity()),
+               serve::NonFiniteJsonError);
+  EXPECT_EQ(serve::json_number_or_null(
+                std::numeric_limits<double>::quiet_NaN()),
             "null");
-  EXPECT_EQ(serve::json_number(std::numeric_limits<double>::infinity()),
-            "null");
+  EXPECT_EQ(serve::json_number_or_null(0.5), "0.5");
   // Round-trip precision: the rendered number reparses to the same bits.
   const double v = 0.1 + 0.2;
   std::string array = serve::json_number(v);
@@ -541,6 +548,12 @@ TEST(ServeServer, ServeStreamEndToEnd) {
       "{\"id\":\"s2\",\"cmd\":\"estimate\",\"n\":4}\n");
   std::ostringstream out;
   serve::Server server(quick_config());
+  // Warm the cache first: the stream submits s1 and s2 back to back onto
+  // two workers, so whether s2 hits s1's entry is a scheduling race — but
+  // both must hit an entry that predates the stream.
+  ResponseCollector warm;
+  server.submit_line(R"({"id":"warm","cmd":"estimate","n":4})", warm.sink());
+  ASSERT_EQ(warm.await(1).size(), 1u);
   EXPECT_EQ(server.serve_stream(in, out), 0);
   std::istringstream lines(out.str());
   std::string line;
@@ -685,6 +698,140 @@ TEST(ServeFaultInjection, SolverFaultsStayIsolatedToTheirRequest) {
   ASSERT_EQ(after.size(), 5u);
   EXPECT_TRUE(any_line_contains(after, "\"id\":\"clean\",\"ok\":true"));
   EXPECT_EQ(server.stats().responded, 5u);
+}
+
+// --- trust on the wire -------------------------------------------------------
+
+TEST(ServeJson, RejectsNonFiniteLiteralsOnInput) {
+  // JSON has no NaN/Infinity tokens; a client trying to smuggle one in is
+  // rejected at the parser, mirroring SSN-E067 on the output side.
+  for (const char* bad : {"{\"x\":NaN}", "{\"x\":Infinity}",
+                          "{\"x\":-Infinity}", "{\"x\":nan}", "{\"x\":inf}"}) {
+    EXPECT_FALSE(parse_json(bad).ok) << "accepted: " << bad;
+  }
+}
+
+TEST(ServeTrust, RenderAndExtractVerdictRoundTrip) {
+  using verify::Verdict;
+  for (const Verdict v : {Verdict::kVerified, Verdict::kRefined,
+                          Verdict::kUnverified, Verdict::kDegraded}) {
+    verify::TrustReport t;
+    t.verdict = v;
+    const std::string fragment =
+        "{\"v_max\":0.5,\"trust\":" + serve::render_trust(t) + "}";
+    ASSERT_TRUE(parse_json(fragment).ok) << fragment;
+    Verdict out = Verdict::kVerified;
+    ASSERT_TRUE(serve::extract_trust_verdict(fragment, out)) << fragment;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(ServeTrust, RenderHandlesNansNotesAndEscapes) {
+  verify::TrustReport t;
+  t.verdict = verify::Verdict::kDegraded;
+  t.residual = 2.5e-7;  // finite -> rendered as a number
+  // cond_estimate / ci95 stay NaN -> rendered as null, keeping the
+  // response a single parseable JSON line (the strict renderer would
+  // throw; trust fields are exactly the "not computed is legal" case).
+  t.refinements = 2;
+  t.note("SSN-W071: residual 2.5e-07 above tolerance \"strict\"");
+  const std::string rendered = serve::render_trust(t);
+  EXPECT_NE(rendered.find("\"cond\":null"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("\"ci95\":null"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("\"refinements\":2"), std::string::npos) << rendered;
+  const auto parsed = parse_json(rendered);
+  ASSERT_TRUE(parsed.ok) << rendered;  // the escaped quote survives parsing
+  const auto* residual = parsed.value.find("residual");
+  ASSERT_NE(residual, nullptr);
+  EXPECT_DOUBLE_EQ(residual->number, 2.5e-7);
+  const auto* notes = parsed.value.find("notes");
+  ASSERT_NE(notes, nullptr);
+  ASSERT_EQ(notes->elements.size(), 1u);
+  EXPECT_NE(notes->elements[0].string.find("\"strict\""), std::string::npos);
+}
+
+TEST(ServeTrust, ExtractRefusesFragmentsWithoutAUsableVerdict) {
+  verify::Verdict out = verify::Verdict::kVerified;
+  EXPECT_FALSE(serve::extract_trust_verdict("{\"v_max\":0.5}", out));
+  EXPECT_FALSE(serve::extract_trust_verdict("{\"trust\":{}}", out));
+  EXPECT_FALSE(serve::extract_trust_verdict(
+      "{\"trust\":{\"verdict\":\"totally-fine\"}}", out));
+  EXPECT_FALSE(serve::extract_trust_verdict("{\"trust\":3}", out));
+  EXPECT_FALSE(serve::extract_trust_verdict("not json", out));
+}
+
+TEST(ServeCache, RottedEntryDropsWithW072AndMisses) {
+  if (!support::kFaultInjectionEnabled)
+    GTEST_SKIP() << "needs -DSSNKIT_FAULT_INJECTION=ON (fault-injection preset)";
+  auto& injector = support::FaultInjector::instance();
+  support::FaultPlan plan;
+  plan.probability = 1.0;  // every hit rots
+  injector.arm(support::FaultKind::kCacheRot, plan);
+
+  serve::ResultCache cache(4);
+  cache.put(1, "{\"v_max\":0.5,\"trust\":{\"verdict\":\"verified\"}}");
+  std::string warning;
+  const auto hit = cache.get(1, &warning);
+  injector.disarm_all();
+  EXPECT_FALSE(hit.has_value()) << "a rotted payload was served";
+  EXPECT_NE(warning.find("SSN-W072"), std::string::npos) << warning;
+  EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+  // The entry is gone, not quarantined: the next lookup is a clean miss
+  // and the slot can be refilled by the recompute.
+  warning.clear();
+  EXPECT_FALSE(cache.get(1, &warning).has_value());
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(ServeServer, DegradedSpillEntryIsRecomputedNotServed) {
+  const std::string path = temp_path("serve_degraded_spill");
+  std::remove(path.c_str());
+  serve::ServerConfig config = quick_config();
+  config.cache_file = path;
+  const std::string req = R"({"id":"g1","cmd":"estimate","n":5,"tr":1e-10})";
+  {
+    serve::Server server(config);
+    ResponseCollector rc;
+    server.submit_line(req, rc.sink());
+    rc.await(1);
+    server.finish();
+  }
+
+  // Rewrite the spilled fragment's verdict to "degraded", fixing the
+  // payload checksum so only the trust layer — not the integrity check —
+  // can refuse it.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line));
+  in.close();
+  ASSERT_EQ(line.rfind("entry ", 0), 0u) << line;
+  std::string payload = line.substr(6 + 17 + 17);
+  const std::string from = "\"verdict\":\"verified\"";
+  const auto pos = payload.find(from);
+  ASSERT_NE(pos, std::string::npos) << payload;
+  payload.replace(pos, from.size(), "\"verdict\":\"degraded\"");
+  std::ofstream out(path, std::ios::trunc);
+  out << header << "\n"
+      << line.substr(0, 6 + 17) << support::hex_u64(support::fnv1a(payload))
+      << " " << payload << "\n";
+  out.close();
+
+  serve::Server warmed(config);
+  EXPECT_TRUE(warmed.warm_warnings().empty());
+  ResponseCollector rc;
+  warmed.submit_line(R"({"id":"g2","cmd":"estimate","n":5,"tr":1e-10})",
+                     rc.sink());
+  const auto lines = rc.await(1);
+  ASSERT_EQ(lines.size(), 1u);
+  // The warmed entry checksums clean but carries a degraded verdict, so
+  // the server recomputes instead of replaying it.
+  EXPECT_NE(lines[0].find("\"cached\":false"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"verdict\":\"verified\""), std::string::npos)
+      << lines[0];
+  EXPECT_EQ(warmed.stats().cache_hits, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -345,7 +345,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 12);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 13);
 }
 
 // --- SSN-L009: lifecycle hygiene --------------------------------------------
@@ -423,6 +423,85 @@ TEST(SsnlintL009, SuppressionWorks) {
                 "// ssnlint-ignore(SSN-L009)\n"
                 "void f() { signal(2, handler); }\n"),
             "SSN-L009"), 0);
+}
+
+// --- SSN-L013: result consumed without a status/trust check -----------------
+
+TEST(SsnlintL013, FlagsChainedTemporaryAccess) {
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) { return measure_ssn(s).v_max; }\n"),
+                "SSN-L013"), 1);
+  EXPECT_EQ(count_rule(
+                lint("void f(R& r, int s) {\n"
+                     "  r.v = analysis::monte_carlo_vmax(s).mean;\n"
+                     "}\n"),
+                "SSN-L013"), 1);
+}
+
+TEST(SsnlintL013, FlagsNamedResultWithOnlyValueReads) {
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) {\n"
+                     "  const auto mc = monte_carlo_vmax(s);\n"
+                     "  return mc.mean + mc.p95;\n"
+                     "}\n"),
+                "SSN-L013"), 1);
+}
+
+TEST(SsnlintL013, StatusInspectionAnywhereOnTheChainIsClean) {
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) {\n"
+                     "  const auto mc = monte_carlo_vmax(s);\n"
+                     "  if (mc.stop != 0) return 0.0;\n"
+                     "  return mc.mean;\n"
+                     "}\n"),
+                "SSN-L013"), 0);
+  // The status member may sit deeper in the chain (.measurement.trust).
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) {\n"
+                     "  const auto m = measure_ssn_resilient(s);\n"
+                     "  log(m.measurement.trust.verdict);\n"
+                     "  return m.measurement.v_max;\n"
+                     "}\n"),
+                "SSN-L013"), 0);
+  // A chained temporary whose member IS the status check is fine.
+  EXPECT_EQ(count_rule(
+                lint("bool f(int s) { return measure_ssn_resilient(s).ok(); }\n"),
+                "SSN-L013"), 0);
+}
+
+TEST(SsnlintL013, ForwardingTheResultDelegatesTheObligation) {
+  // Passing the result to a function (verify_measurement here) delegates.
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) {\n"
+                     "  auto m = measure_ssn(s);\n"
+                     "  verify_measurement(m);\n"
+                     "  return m.v_max;\n"
+                     "}\n"),
+                "SSN-L013"), 0);
+  // Returning the whole result forwards it to the caller.
+  EXPECT_EQ(count_rule(
+                lint("M f(int s) { return measure_ssn(s); }\n"),
+                "SSN-L013"), 0);
+}
+
+TEST(SsnlintL013, DefinitionsAndPrototypesAreNotConsumptionSites) {
+  EXPECT_EQ(count_rule(
+                lint("M measure_ssn(int spec);\n"
+                     "M measure_ssn(int spec) { M m; return m; }\n"),
+                "SSN-L013"), 0);
+  // A member call named like a producer on an unrelated object is not one.
+  EXPECT_EQ(count_rule(
+                lint("double f(Lab& lab) { return lab.measure_ssn(1).v; }\n"),
+                "SSN-L013"), 0);
+}
+
+TEST(SsnlintL013, SuppressionWorks) {
+  EXPECT_EQ(count_rule(
+                lint("double f(int s) {\n"
+                     "  // failures surface as thrown SolverError here\n"
+                     "  return measure_ssn(s).v_max;  // ssnlint-ignore(SSN-L013)\n"
+                     "}\n"),
+                "SSN-L013"), 0);
 }
 
 // --- tokenizer edge cases ---------------------------------------------------

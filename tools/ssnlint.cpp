@@ -61,7 +61,7 @@ void print_help() {
   std::cout <<
       "usage: ssnlint [options] [path...]\n"
       "Scans .hpp/.cpp files for ssnkit hygiene violations: per-file\n"
-      "numeric rules (SSN-L001..L009) plus whole-project passes for\n"
+      "numeric rules (SSN-L001..L009, SSN-L013) plus whole-project passes for\n"
       "include-graph layering (SSN-L010), physical-units dataflow\n"
       "(SSN-L011), and the diagnostic-code registry (SSN-L012).\n"
       "\n"

@@ -33,6 +33,12 @@
 //             whose body never consults the lifecycle layer
 //             (stop_requested/try_start_item/RunContext) — such a loop can
 //             not be cancelled or deadlined cooperatively
+//   SSN-L013  a solver/analysis result (run_transient, measure_ssn,
+//             monte_carlo_vmax, ...) consumed without ever inspecting its
+//             status or TrustReport (ok()/error/stop/trust/...): reading
+//             v_max off a result whose verdict was never looked at is
+//             exactly the silently-wrong consumption the trust layer exists
+//             to prevent
 //
 // Whole-project passes (ssnlint_project.hpp / _units.hpp / _registry.hpp):
 //   SSN-L010  include-graph layering: upward includes against the
@@ -83,6 +89,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L010", "include-graph layering violation (upward include or cycle)"},
       {"SSN-L011", "physical-units mismatch in annotated arithmetic"},
       {"SSN-L012", "diagnostic code is duplicated, undocumented, or dead"},
+      {"SSN-L013", "solver/analysis result consumed without a status/trust check"},
   };
   return kRules;
 }
@@ -128,6 +135,10 @@ inline std::string rule_fixit(const std::string& rule) {
        "register the code exactly once in the docs/ catalog tables "
        "(docs/DIAGNOSTICS.md for SSN-E/W, docs/STATIC_ANALYSIS.md for "
        "SSN-L), and delete catalog rows for codes no longer emitted"},
+      {"SSN-L013",
+       "check the result's status before reading values off it — ok()/error/"
+       "stop/trust.verdict — or pass it through verify_measurement; "
+       "ssnlint-ignore a site whose failures provably surface as exceptions"},
   };
   const auto it = kHints.find(rule);
   return it == kHints.end() ? std::string() : it->second;
@@ -901,6 +912,133 @@ inline void rule_lifecycle_hygiene(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L013: a solver/analysis result consumed without ever inspecting its
+// status. The producers below return status-bearing results (a TrustReport,
+// an ok()/error pair, or a StopReason); reading v_max/mean/rows off one
+// while never looking at any of those members is a silent-wrong-answer
+// hazard — a degraded or cancelled result is indistinguishable from a good
+// one at the point of use. Two shapes are checked:
+//
+//   (a) chained temporary: `measure_ssn(spec).v_max` — the result object is
+//       gone before anything could inspect it;
+//   (b) a named result whose every use in its scope is a member read of a
+//       non-status member. Forwarding the variable anywhere (function
+//       argument, return, copy) delegates the obligation and is accepted.
+inline bool is_result_producer(const std::string& name) {
+  static const std::set<std::string> kProducers = {
+      "run_transient", "run_transient_resilient", "measure_ssn",
+      "measure_ssn_resilient", "monte_carlo_vmax", "monte_carlo_vmax_sim",
+      "run_driver_sweep"};
+  return kProducers.count(name) != 0;
+}
+
+inline bool is_status_member(const std::string& name) {
+  static const std::set<std::string> kInspect = {
+      "ok",      "error", "error_kind", "trust",      "verdict", "stop",
+      "status",  "summary", "fidelity", "resilience", "stats"};
+  return kInspect.count(name) != 0;
+}
+
+/// Walk a `.a.b(...)->c` member chain starting at the '.'/'->' token `j`.
+/// Returns true when any member on the chain is a status member; `any` is
+/// set when the chain contained at least one member access.
+inline bool chain_inspects_status(const std::vector<Token>& toks,
+                                  std::size_t j, bool& any) {
+  while (j + 1 < toks.size() && toks[j].kind == Token::Kind::kPunct &&
+         (toks[j].text == "." || toks[j].text == "->") &&
+         toks[j + 1].kind == Token::Kind::kIdent) {
+    any = true;
+    if (is_status_member(toks[j + 1].text)) return true;
+    j += 2;
+    // Skip a member call's argument list so the chain can continue past it
+    // (`.waveform(node).value`).
+    if (j < toks.size() && toks[j].text == "(") j = match_forward(toks, j, "(", ")") + 1;
+  }
+  return false;
+}
+
+inline void rule_uninspected_result(const std::vector<Token>& toks,
+                                    const std::string& file,
+                                    std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || !is_result_producer(t.text)) continue;
+    if (toks[i + 1].text != "(") continue;  // must look like a call
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member call on an unrelated object
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close + 1 >= toks.size()) continue;
+    // Definitions and prototypes are the producer itself, not a consumption
+    // site: the producer token is preceded by its return type
+    // (`SsnMeasurement measure_ssn(...)`) or directly followed by its body.
+    const std::string& after = toks[close + 1].text;
+    if (after == "{" || after == "const" || after == "noexcept") continue;
+    if (i > 0 && toks[i - 1].kind == Token::Kind::kIdent &&
+        toks[i - 1].text != "return")
+      continue;
+
+    // (a) chained temporary access: `producer(...).member...`.
+    if (after == "." || after == "->") {
+      bool any = false;
+      if (!chain_inspects_status(toks, close + 1, any) && any)
+        add(out, file, t.line, "SSN-L013",
+            "value read off the temporary result of '" + t.text +
+                "' without inspecting its status; bind it to a name and "
+                "check ok()/error/stop/trust first");
+      continue;
+    }
+
+    // (b) named result: `[const] [auto|Type] name = [ns ::] producer(...)`.
+    // Step back over namespace qualification to find the '=' and the name.
+    std::size_t q = i;
+    while (q >= 2 && toks[q - 1].text == "::" &&
+           toks[q - 2].kind == Token::Kind::kIdent)
+      q -= 2;
+    if (q < 2 || toks[q - 1].text != "=" ||
+        toks[q - 2].kind != Token::Kind::kIdent)
+      continue;
+    if (q >= 3 && (toks[q - 3].text == "." || toks[q - 3].text == "->"))
+      continue;  // assignment into a member: the result escapes
+    const std::string name = toks[q - 2].text;
+
+    // Scan every use of `name` until the enclosing scope closes.
+    bool inspected = false;
+    bool any_use = false;
+    int depth = 0;
+    for (std::size_t k = close + 1; k < toks.size(); ++k) {
+      if (toks[k].kind == Token::Kind::kPunct) {
+        if (toks[k].text == "{") ++depth;
+        if (toks[k].text == "}" && --depth < 0) break;  // scope ended
+        continue;
+      }
+      if (toks[k].kind != Token::Kind::kIdent || toks[k].text != name) continue;
+      if (toks[k - 1].text == "." || toks[k - 1].text == "->" ||
+          toks[k - 1].text == "::")
+        continue;  // a member of something else that shares the name
+      if (k + 1 < toks.size() &&
+          (toks[k + 1].text == "." || toks[k + 1].text == "->")) {
+        bool any = false;
+        if (chain_inspects_status(toks, k + 1, any)) {
+          inspected = true;
+          break;
+        }
+        any_use = true;
+      } else {
+        // Any non-member-access use (argument, return, copy, &name) hands
+        // the result to code that can inspect it; accept it.
+        inspected = true;
+        break;
+      }
+    }
+    if (!inspected && any_use)
+      add(out, file, toks[q - 2].line, "SSN-L013",
+          "result '" + name + "' of '" + t.text +
+              "' is consumed without any status check; inspect "
+              "ok()/error/stop/trust (or forward the result) before reading "
+              "values off it");
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -983,6 +1121,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_bare_numeric_conversion(toks, file, all);
   detail::rule_dense_in_loop(toks, file, all);
   detail::rule_lifecycle_hygiene(toks, file, all);
+  detail::rule_uninspected_result(toks, file, all);
 
   std::vector<Diagnostic> kept;
   for (const Diagnostic& d : all) {

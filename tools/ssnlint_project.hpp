@@ -7,7 +7,7 @@
 //
 //   rank 0  support
 //   rank 1  numeric, io
-//   rank 2  circuit, process, devices, waveform, core
+//   rank 2  circuit, process, devices, waveform, core, verify
 //   rank 3  sim
 //   rank 4  analysis
 //   rank 5  serve, cli, tools  (cli -> serve is the allowed direction)
@@ -58,8 +58,9 @@ inline int layer_rank(const std::string& layer) {
   static const std::map<std::string, int> kRanks = {
       {"support", 0},  {"numeric", 1}, {"io", 1},     {"circuit", 2},
       {"process", 2},  {"devices", 2}, {"waveform", 2}, {"core", 2},
-      {"sim", 3},      {"analysis", 4}, {"serve", 5},  {"cli", 5},
-      {"tools", 5},    {"bench", 6},    {"examples", 6}, {"tests", 6},
+      {"verify", 2},   {"sim", 3},     {"analysis", 4}, {"serve", 5},
+      {"cli", 5},      {"tools", 5},   {"bench", 6},    {"examples", 6},
+      {"tests", 6},
   };
   const auto it = kRanks.find(layer);
   return it == kRanks.end() ? -1 : it->second;
