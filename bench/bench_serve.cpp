@@ -57,6 +57,8 @@ struct Options {
   unsigned seed = 12345;
   std::size_t queue = 256;  // self-hosted admission bound
   int threads = 0;          // self-hosted worker threads (0 = auto)
+  std::string isolate = "thread";  // self-hosted isolation mode
+  bool compare_isolation = false;  // run thread AND process, report overhead
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -64,7 +66,11 @@ struct Options {
       stderr,
       "usage: bench_serve [--connect PATH] [--clients M] [--requests N]\n"
       "                   [--dup-frac F] [--pool K] [--seed S]\n"
-      "                   [--queue Q] [--threads T] [--out FILE]\n");
+      "                   [--queue Q] [--threads T] [--out FILE]\n"
+      "                   [--isolate thread|process] [--compare-isolation]\n"
+      "  --isolate / --compare-isolation are self-hosted only; the latter\n"
+      "  runs the identical workload in both modes and reports the process-\n"
+      "  isolation overhead so the containment cost is measured, not guessed\n");
   std::exit(2);
 }
 
@@ -98,11 +104,17 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--queue")
       opt.queue = static_cast<std::size_t>(int_arg(value()));
     else if (arg == "--threads") opt.threads = int_arg(value());
+    else if (arg == "--isolate") opt.isolate = value();
+    else if (arg == "--compare-isolation") opt.compare_isolation = true;
     else usage_and_exit();
   }
   if (opt.clients < 1 || opt.requests < 1 || opt.pool_size < 1 ||
       opt.dup_frac < 0.0 || opt.dup_frac > 1.0)
     usage_and_exit();
+  if (opt.isolate != "thread" && opt.isolate != "process") usage_and_exit();
+  if ((opt.isolate == "process" || opt.compare_isolation) &&
+      !opt.connect.empty())
+    usage_and_exit();  // isolation is a server-side choice in --connect mode
   return opt;
 }
 
@@ -318,6 +330,34 @@ double percentile(std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+/// One complete self-hosted pass under the given isolation mode, with a
+/// fresh server (and so a cold cache) so thread/process comparisons see
+/// identical workloads.
+Tally run_isolated(const Options& opt, serve::IsolateMode mode,
+                   double& elapsed_s) {
+  serve::ServerConfig config;
+  config.threads = opt.threads;
+  config.queue_capacity = opt.queue;
+  config.isolate = mode;
+  serve::Server server(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  Tally tally = run_self_hosted(opt, server);
+  elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const serve::ServerStats stats = server.stats();
+  std::printf("server stats: accepted=%llu responded=%llu cache_hits=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.responded),
+              static_cast<unsigned long long>(stats.cache_hits));
+  return tally;
+}
+
+double rps(const Tally& t, double elapsed_s) {
+  const long answered = t.ok + t.shed + t.errors;
+  return elapsed_s > 0.0 ? static_cast<double>(answered) / elapsed_s : 0.0;
+}
+
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   benchutil::banner("serve daemon load generator");
@@ -327,21 +367,32 @@ int main(int argc, char** argv) {
 
   Tally tally;
   double elapsed_s = 0.0;
-  if (opt.connect.empty()) {
-    serve::ServerConfig config;
-    config.threads = opt.threads;
-    config.queue_capacity = opt.queue;
-    serve::Server server(config);
-    const auto t0 = std::chrono::steady_clock::now();
-    tally = run_self_hosted(opt, server);
-    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              t0)
-                    .count();
-    const serve::ServerStats stats = server.stats();
-    std::printf("server stats: accepted=%llu responded=%llu cache_hits=%llu\n",
-                static_cast<unsigned long long>(stats.accepted),
-                static_cast<unsigned long long>(stats.responded),
-                static_cast<unsigned long long>(stats.cache_hits));
+  // Populated in --compare-isolation mode; the process run doubles as the
+  // primary tally because the containment cost is what's being measured.
+  double thread_rps = 0.0;
+  double process_rps = 0.0;
+  double overhead_pct = 0.0;
+  if (opt.compare_isolation) {
+    benchutil::section("isolation comparison: thread mode");
+    double thread_elapsed = 0.0;
+    Tally thread_tally =
+        run_isolated(opt, serve::IsolateMode::kThread, thread_elapsed);
+    thread_rps = rps(thread_tally, thread_elapsed);
+    benchutil::section("isolation comparison: process mode");
+    tally = run_isolated(opt, serve::IsolateMode::kProcess, elapsed_s);
+    process_rps = rps(tally, elapsed_s);
+    overhead_pct =
+        thread_rps > 0.0 ? (1.0 - process_rps / thread_rps) * 100.0 : 0.0;
+    std::printf("thread:  %.0f req/s\nprocess: %.0f req/s\n", thread_rps,
+                process_rps);
+    std::printf("process-isolation overhead: %.1f%%\n", overhead_pct);
+    if (thread_tally.errors > 0) tally.errors += thread_tally.errors;
+  } else if (opt.connect.empty()) {
+    tally = run_isolated(opt,
+                         opt.isolate == "process"
+                             ? serve::IsolateMode::kProcess
+                             : serve::IsolateMode::kThread,
+                         elapsed_s);
   } else {
 #ifndef _WIN32
     const auto t0 = std::chrono::steady_clock::now();
@@ -380,7 +431,13 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"mode\": \"" << (opt.connect.empty() ? "self-hosted" : "socket")
        << "\",\n"
-       << "  \"clients\": " << opt.clients << ",\n"
+       << "  \"isolate\": \""
+       << (opt.compare_isolation ? "compare" : opt.isolate) << "\",\n";
+  if (opt.compare_isolation)
+    json << "  \"thread_rps\": " << thread_rps << ",\n"
+         << "  \"process_rps\": " << process_rps << ",\n"
+         << "  \"isolation_overhead_pct\": " << overhead_pct << ",\n";
+  json << "  \"clients\": " << opt.clients << ",\n"
        << "  \"requests\": " << opt.requests << ",\n"
        << "  \"dup_frac\": " << opt.dup_frac << ",\n"
        << "  \"answered\": " << answered << ",\n"

@@ -10,10 +10,18 @@
 #   faulted result may come back refined, degraded, or as a typed error,
 #   but never as a wrong number wearing a verified badge.
 #
-# A final leg truncates checkpoint-journal tails (kJournalTruncate) under a
-# SIGTERM'd simulator-backed Monte Carlo and requires the resumed run to be
-# bit-identical to a clean one: a torn tail record may only cost re-work,
-# never correctness.
+# A journal leg truncates checkpoint-journal tails (kJournalTruncate) under
+# a SIGTERM'd simulator-backed Monte Carlo and requires the resumed run to
+# be bit-identical to a clean one: a torn tail record may only cost
+# re-work, never correctness.
+#
+# A final supervisor leg re-runs the stream under --isolate=process with
+# all three worker faults armed (worker-crash / worker-hang / worker-oom as
+# deterministic poison design points) plus a raw kill -9 of a live worker
+# mid-soak, and requires: daemon exits 0, every request answered exactly
+# once and typed (SSN-E068/E069 for the contained deaths, SSN-E070 once
+# each poison key trips the crash-correlation threshold), the quarantine
+# journal replayable, and still zero false-verified results.
 #
 # Needs a fault-injection build (cmake --preset fault-injection): release
 # builds compile the hooks out and the daemon ignores SSNKIT_FAULT_PLAN,
@@ -229,4 +237,165 @@ if ! cmp -s "$WORK/clean.csv" "$WORK/resumed.csv"; then
 fi
 echo "journal-truncate leg OK (resumed output bit-identical)"
 
-echo "chaos_soak: PASS ($REQUESTS-request stream x 3 legs, 0 false-verified)"
+echo "=== leg 4: supervised process isolation under worker faults ==="
+# Deterministic poison design points: the fault sites are scoped to one
+# driver count each (the worker enters a FaultSampleScope per request), so
+# n=13 always crashes its worker, n=11 hangs without polling (only the
+# watchdog can end it; the request carries a 0.3 s deadline, grace 0.2 s),
+# and n=12 trips the worker's RLIMIT_AS. Normal traffic stays clean.
+SUP_PLAN="seed=7,worker-crash@13=1,worker-hang@11=1,worker-oom@12=1"
+python3 - "$REQUESTS" > "$WORK/sup_stream.jsonl" <<'EOF'
+import sys
+bodies = []
+for n in range(2, 10):
+    bodies.append('"cmd":"estimate","n":%d,"tr":1e-10' % n)
+bodies.append('"cmd":"mc","n":8,"samples":2000,"seed":1')
+poison = {
+    137: '"cmd":"estimate","n":13,"tr":1e-10',
+    211: '"cmd":"estimate","n":11,"tr":1e-10,"deadline":0.3',
+    307: '"cmd":"estimate","n":12,"tr":1e-10',
+}
+total = int(sys.argv[1])
+for i in range(total):
+    # Each poison shape recurs well past the quarantine threshold.
+    body = poison.get(i % 997, bodies[i % len(bodies)])
+    print('{"id":"s%06d",%s}' % (i, body))
+EOF
+mkfifo "$WORK/sup_feed"
+SSNKIT_FAULT_PLAN="$SUP_PLAN" "$SSNKIT" serve --queue "$REQUESTS" \
+    --isolate process --workers 4 --grace 0.2 \
+    --quarantine 2 --quarantine-file "$WORK/quarantine.jsonl" \
+    < "$WORK/sup_feed" > "$WORK/sup.log" &
+SERVE_PID=$!
+# Throttle the feed so the soak has a live mid-stream window.
+awk '{print; fflush(); if (NR % 500 == 0) system("sleep 0.05")}' \
+    "$WORK/sup_stream.jsonl" > "$WORK/sup_feed" &
+FEED_PID=$!
+# kill -9 a live worker mid-soak: the supervisor must contain it to at most
+# one in-flight request (an idle victim costs nothing at all).
+sleep 0.7
+VICTIM=$(grep -m1 '"event":"worker-spawn"' "$WORK/sup.log" \
+         | grep -o '"pid":[0-9]*' | grep -o '[0-9]*' || true)
+if [ -n "$VICTIM" ]; then
+  kill -9 "$VICTIM" 2> /dev/null || true
+fi
+set +e
+wait "$FEED_PID"
+wait "$SERVE_PID"
+RC=$?
+set -e
+SERVE_PID=""
+if [ "$RC" != 0 ]; then
+  echo "chaos_soak: supervised daemon exited $RC (want 0: worker deaths" >&2
+  echo "must never take the daemon down)" >&2
+  tail "$WORK/sup.log" >&2
+  exit 1
+fi
+
+echo "=== supervisor audit: contained, typed, exactly-once, quarantined ==="
+python3 - "$WORK" <<'EOF'
+import json, sys
+
+work = sys.argv[1]
+
+def load(path):
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))  # every line must be valid JSON
+    return out
+
+keys = {}
+poison_n = {}
+for req in load(work + "/sup_stream.jsonl"):
+    rid = req.pop("id")
+    keys[rid] = json.dumps(req, sort_keys=True)
+    if req.get("n") in (11, 12, 13):
+        poison_n[rid] = req["n"]
+
+# golden.log came from the main stream (q-ids), not the supervised one
+# (s-ids); map its ids through that stream's bodies. The supervised
+# stream's clean bodies are a subset of the main stream's.
+golden_keys = {}
+for req in load(work + "/stream.jsonl"):
+    rid = req.pop("id")
+    golden_keys[rid] = json.dumps(req, sort_keys=True)
+golden = {}
+for resp in load(work + "/golden.log"):
+    if "id" in resp and resp.get("ok"):
+        golden[golden_keys[resp["id"]]] = resp["result"]
+
+def headline(result):
+    return result["mean"] if "mean" in result else result["v_max"]
+
+responses = load(work + "/sup.log")
+armed = [r for r in responses if r.get("event") == "fault-plan"]
+assert armed and armed[0]["armed"] == 3, "worker fault plan not armed"
+spawns = sum(1 for r in responses if r.get("event") == "worker-spawn")
+w075 = sum(1 for r in responses
+           if r.get("event") == "warning" and r.get("code") == "SSN-W075")
+w076 = sum(1 for r in responses
+           if r.get("event") == "warning" and r.get("code") == "SSN-W076")
+assert spawns >= 4, "initial worker pool never spawned"
+assert w075 >= 1, "no SSN-W075 despite worker deaths and a kill -9"
+assert w076 >= 1, "no SSN-W076 despite poison keys"
+
+seen = set()
+codes = {"SSN-E068": 0, "SSN-E069": 0, "SSN-E070": 0}
+false_verified = 0
+for resp in responses:
+    if "id" not in resp:
+        continue
+    rid = resp["id"]
+    assert rid not in seen, "duplicate response for %s" % rid
+    seen.add(rid)
+    if rid in poison_n:
+        assert not resp.get("ok"), \
+            "poison request %s (n=%d) claims ok: %r" % (rid, poison_n[rid], resp)
+        code = resp.get("code")
+        want = {11: ("SSN-E068", "SSN-E070"),
+                12: ("SSN-E069", "SSN-E070"),
+                13: ("SSN-E069", "SSN-E070")}[poison_n[rid]]
+        assert code in want, \
+            "poison %s (n=%d) got %s, want one of %s" % (rid, poison_n[rid], code, want)
+        codes[code] += 1
+        continue
+    if not resp.get("ok"):
+        # A clean request may still die collaterally (it shared a worker
+        # with the kill -9) — typed, never silent. E070 is poison-only.
+        assert resp.get("code") in ("SSN-E069", "SSN-E068", "SSN-E066",
+                                    "SSN-E064"), "untyped failure: %r" % resp
+        continue
+    result = resp["result"]
+    if result["trust"]["verdict"] != "verified":
+        continue
+    key = keys[rid]
+    if key not in golden:
+        continue
+    want = headline(golden[key])
+    got = headline(result)
+    if abs(got - want) > max(1e-6 * abs(want), 1e-12):
+        false_verified += 1
+        print("FALSE VERIFIED %s: got %r want %r" % (rid, got, want))
+
+assert len(seen) == len(keys), \
+    "answered %d/%d requests" % (len(seen), len(keys))
+for code in ("SSN-E068", "SSN-E069", "SSN-E070"):
+    assert codes[code] >= 1, "no %s in the soak (codes: %r)" % (code, codes)
+assert false_verified == 0
+
+quarantined = load(work + "/quarantine.jsonl")
+assert quarantined, "quarantine journal is empty"
+for entry in quarantined:
+    assert entry.get("n") in (11, 12, 13), \
+        "non-poison request quarantined: %r" % entry
+print("supervisor audit: %d responses, %d worker spawns, %d deaths (W075), "
+      "E068 x%d E069 x%d E070 x%d, quarantine journal %d entries, "
+      "0 false-verified"
+      % (len(seen), spawns, w075, codes["SSN-E068"], codes["SSN-E069"],
+         codes["SSN-E070"], len(quarantined)))
+EOF
+
+echo "chaos_soak: PASS ($REQUESTS-request stream x 4 legs, 0 false-verified)"

@@ -10,6 +10,10 @@
 #            - the daemon exits 0
 #            - every line it printed is valid JSON (checked with jq)
 #            - stats report accepted == responded (no accepted request lost)
+#   leg 3  process isolation: run a stream under --isolate process, kill -9
+#          a worker mid-load, and assert the containment contract: daemon
+#          exits 0, every request answered exactly once (typed SSN-E069 at
+#          worst), the dead worker noticed (SSN-W075) and respawned
 #
 # The SIGTERM may land after the load already finished on a fast machine —
 # the drain is then trivial but still exercised end to end, so the
@@ -137,5 +141,82 @@ if [ "$ACCEPTED" -lt 1 ]; then
   cat "$WORK/bench.log" >&2
   exit 1
 fi
+
+echo "=== leg 3: process isolation, kill -9 a worker mid-load ==="
+# Release builds have no fault hooks, so the only chaos here is real: a raw
+# kill -9 of a live worker. The supervisor must notice (SSN-W075), respawn
+# the slot, degrade at most the in-flight request (typed SSN-E069), and
+# answer every request exactly once.
+# Every body is unique (tr varies per request) so nothing is served from
+# the cache and the dead worker's slot is certain to be dispatched to.
+python3 - > "$WORK/proc_stream.jsonl" <<'EOF'
+for i in range(1000):
+    print('{"id":"p%04d","cmd":"estimate","n":%d,"tr":%.6e}'
+          % (i, 2 + i % 8, 1e-10 * (1 + 1e-4 * i)))
+EOF
+mkfifo "$WORK/proc_feed"
+"$SSNKIT" serve --queue 1024 --isolate process --workers 2 \
+    < "$WORK/proc_feed" > "$WORK/proc.log" &
+SERVE_PID=$!
+# Throttle the feed so the kill lands while requests are still arriving.
+awk '{print; fflush(); if (NR % 100 == 0) system("sleep 0.05")}' \
+    "$WORK/proc_stream.jsonl" > "$WORK/proc_feed" &
+FEED_PID=$!
+sleep 0.3
+VICTIM=$(grep -m1 '"event":"worker-spawn"' "$WORK/proc.log" \
+         | grep -o '"pid":[0-9]*' | grep -o '[0-9]*' || true)
+if [ -n "$VICTIM" ]; then
+  kill -9 "$VICTIM" 2> /dev/null || true
+fi
+set +e
+wait "$FEED_PID"
+wait "$SERVE_PID"
+RC=$?
+set -e
+SERVE_PID=""
+if [ "$RC" != 0 ]; then
+  echo "serve_smoke: supervised daemon exited $RC (want 0: a worker death" >&2
+  echo "must never take the daemon down)" >&2
+  tail "$WORK/proc.log" >&2
+  exit 1
+fi
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  echo "$line" | jq -e . > /dev/null \
+    || { echo "serve_smoke: non-JSON daemon output: $line" >&2; exit 1; }
+done < "$WORK/proc.log"
+ANSWERED=$(grep -c '"id":"p' "$WORK/proc.log")
+if [ "$ANSWERED" != 1000 ]; then
+  echo "serve_smoke: $ANSWERED/1000 requests answered in process mode" >&2
+  exit 1
+fi
+SPAWNS=$(grep -c '"event":"worker-spawn"' "$WORK/proc.log" || true)
+DEATHS=$(grep -c '"code":"SSN-W075"' "$WORK/proc.log" || true)
+if [ "$SPAWNS" -lt 2 ]; then
+  echo "serve_smoke: worker pool never spawned (spawns=$SPAWNS)" >&2
+  exit 1
+fi
+if [ -n "$VICTIM" ] && [ "$DEATHS" -lt 1 ]; then
+  echo "serve_smoke: killed worker $VICTIM but no SSN-W075 was emitted" >&2
+  exit 1
+fi
+# Any failure must be typed with a supervision/admission code — never
+# silence, never an untyped error.
+BADCODES=$(jq -r 'select(has("id") and (.ok != true)) | .code' "$WORK/proc.log" \
+           | grep -v -E '^SSN-E06[4689]$' || true)
+if [ -n "$BADCODES" ]; then
+  echo "serve_smoke: unexpected failure codes in process mode: $BADCODES" >&2
+  exit 1
+fi
+PSTATS=$(grep '"event":"stats"' "$WORK/proc.log" | tail -1)
+PACCEPTED=$(echo "$PSTATS" | jq -r .accepted)
+PRESPONDED=$(echo "$PSTATS" | jq -r .responded)
+if [ "$PACCEPTED" != "$PRESPONDED" ]; then
+  echo "serve_smoke: process mode lost accepted requests" \
+       "($PACCEPTED accepted, $PRESPONDED responded)" >&2
+  exit 1
+fi
+echo "process isolation OK (spawns=$SPAWNS deaths=$DEATHS," \
+     "$PACCEPTED/$PACCEPTED answered)"
 
 echo "serve_smoke: PASS (clean drain, $ACCEPTED/$ACCEPTED accepted requests answered)"

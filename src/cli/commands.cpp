@@ -27,6 +27,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -254,6 +255,23 @@ serve options:
   --drain S                    drain budget on SIGTERM before in-flight
                                requests are cancelled with SSN-E066
                                (default 5); clean drain exits 0
+  --isolate MODE               thread (default) runs requests in-process;
+                               process runs each on a supervised sandboxed
+                               worker: crashes/hangs/OOMs fail only their
+                               own request (SSN-E068/E069), repeat-offender
+                               requests are quarantined (SSN-E070)
+  --workers K                  process mode: worker processes (default:
+                               the resolved --threads count)
+  --worker-mem MB              process mode: RLIMIT_AS per worker, 0 = none
+                               (default 1024)
+  --worker-cpu S               process mode: RLIMIT_CPU per worker, 0 = none
+  --grace S                    process mode: wall-clock slack past a
+                               request's deadline before the watchdog
+                               SIGKILLs its worker (default 0.5)
+  --quarantine N               process mode: worker deaths one request key
+                               may cause before it is refused (default 2)
+  --quarantine-file FILE       process mode: journal of quarantined request
+                               lines (replayable for offline repro)
 
 exit codes:
   0  success        1  error          2  usage
@@ -726,6 +744,22 @@ int cmd_serve(const Args& args, std::ostream& os) {
   config.cache_file = args.get_or("cache-file", "");
   config.default_deadline_s = args.get_double("request-deadline", 0.0);
   config.drain_deadline_s = args.get_double("drain", 5.0);
+  const std::string isolate = args.get_or("isolate", "thread");
+  if (isolate == "process") {
+    config.isolate = serve::IsolateMode::kProcess;
+  } else if (isolate != "thread") {
+    throw std::invalid_argument("--isolate must be 'thread' or 'process'");
+  }
+  config.supervisor.workers = args.get_int("workers", 0);
+  const int worker_mem = args.get_int("worker-mem", 1024);
+  if (worker_mem < 0) throw std::invalid_argument("--worker-mem must be >= 0");
+  config.supervisor.mem_limit_mb = std::size_t(worker_mem);
+  config.supervisor.cpu_limit_s = args.get_double("worker-cpu", 0.0);
+  config.supervisor.grace_s = args.get_double("grace", 0.5);
+  const int quarantine = args.get_int("quarantine", 2);
+  if (quarantine < 1) throw std::invalid_argument("--quarantine must be >= 1");
+  config.supervisor.quarantine_after = quarantine;
+  config.supervisor.quarantine_file = args.get_or("quarantine-file", "");
   const std::string socket_path = args.get_or("socket", "");
   warn_unused(args, os);
 
@@ -755,6 +789,15 @@ int cmd_serve(const Args& args, std::ostream& os) {
     os << "{\"event\":\"warning\",\"code\":\"SSN-W067\",\"message\":\""
        << serve::json_escape(warning) << "\"}\n";
   os.flush();
+  // Socket mode: responses go to the clients' connections, but supervisor
+  // lifecycle events (worker spawns/deaths, quarantine warnings) belong on
+  // the daemon's own stream, where an operator or soak harness reads them.
+  std::mutex event_mu;
+  server.set_event_sink([&os, &event_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(event_mu);
+    os << line << '\n';
+    os.flush();
+  });
   serve::SocketOptions sopts;
   sopts.path = socket_path;
   std::string err;

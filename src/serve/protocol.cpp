@@ -193,6 +193,29 @@ std::uint64_t cache_key(const ServeRequest& request) {
   return support::fnv1a(cache_key_string(request));
 }
 
+std::string render_request(const ServeRequest& r) {
+  std::string out = "{\"id\":\"" + json_escape(r.id) + "\"";
+  out += ",\"cmd\":\"" + json_escape(r.cmd) + "\"";
+  out += ",\"tech\":\"" + json_escape(r.tech) + "\"";
+  out += ",\"golden\":\"" + json_escape(r.golden) + "\"";
+  out += ",\"package\":\"" + json_escape(r.package) + "\"";
+  out += ",\"pads\":" + std::to_string(r.pads);
+  // The l/c overrides default to -1 ("use the package value"), which is
+  // outside their wire ranges — omit them so the parse-side defaults apply.
+  if (r.inductance >= 0.0) out += ",\"l\":" + json_number(r.inductance);
+  if (r.capacitance >= 0.0) out += ",\"c\":" + json_number(r.capacitance);
+  out += ",\"n\":" + std::to_string(r.n_drivers);
+  out += ",\"tr\":" + json_number(r.rise_time);
+  out += r.include_c ? ",\"include_c\":true" : ",\"include_c\":false";
+  out += r.sim ? ",\"sim\":true" : ",\"sim\":false";
+  out += ",\"samples\":" + std::to_string(r.samples);
+  out += ",\"seed\":" + std::to_string(r.seed);
+  out += ",\"max_n\":" + std::to_string(r.max_n);
+  out += ",\"deadline\":" + json_number(r.deadline_s);
+  out += "}";
+  return out;
+}
+
 std::string render_trust(const verify::TrustReport& trust) {
   std::string out = "{\"verdict\":\"";
   out += verify::to_string(trust.verdict);
@@ -250,6 +273,18 @@ std::string render_overloaded(const std::string& id, double retry_after_ms) {
          json_number(retry_after_ms) + "}";
 }
 
+double jittered_retry_after_ms(double base_ms, const std::string& id,
+                               unsigned seed) {
+  // FNV-1a over the id, mixed with the seed, mapped onto [0.5, 1.5). 2^20
+  // buckets keep the quotient exact in double, so the hint is reproducible
+  // across platforms.
+  std::uint64_t h = support::fnv1a(id) ^ (std::uint64_t(seed) * 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 33;
+  const double unit = double(h & ((std::uint64_t(1) << 20) - 1)) /
+                      double(std::uint64_t(1) << 20);
+  return base_ms * (0.5 + unit);
+}
+
 std::string render_solver_error(const std::string& id,
                                 const support::SolverError& error) {
   const bool stopped = support::is_stop_kind(error.kind());
@@ -267,6 +302,34 @@ std::string render_solver_error(const std::string& id,
   return out;
 }
 
+bool split_response_line(const std::string& line, ResponseView& out) {
+  const JsonParse parsed = parse_json(line);
+  if (!parsed.ok || !parsed.value.is_object()) return false;
+  const JsonValue* ok = parsed.value.find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) return false;
+  out = ResponseView{};
+  out.ok = ok->boolean;
+  if (!out.ok) {
+    const JsonValue* code = parsed.value.find("code");
+    if (code == nullptr || code->kind != JsonValue::Kind::kString) return false;
+    out.code = code->string;
+    out.cancelled = (out.code == "SSN-E066");
+    return true;
+  }
+  // Recover the fragment textually: render_ok emits `,"result":` as the
+  // last member, so the fragment is everything between that marker and the
+  // final close brace. parse_json already vouched the line is well-formed,
+  // and the comma-quote marker cannot occur inside an escaped string (every
+  // quote there is backslash-prefixed), so the first hit is the real one.
+  const std::string marker = ",\"result\":";
+  const std::size_t at = line.find(marker);
+  if (at == std::string::npos || line.empty() || line.back() != '}')
+    return false;
+  out.fragment = line.substr(at + marker.size(),
+                             line.size() - 1 - (at + marker.size()));
+  return !out.fragment.empty();
+}
+
 std::string render_stats(const ServerStats& s) {
   std::string out = "{\"event\":\"stats\"";
   out += ",\"accepted\":" + std::to_string(s.accepted);
@@ -277,6 +340,9 @@ std::string render_stats(const ServerStats& s) {
   out += ",\"shed\":" + std::to_string(s.shed);
   out += ",\"malformed\":" + std::to_string(s.malformed);
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"worker_timeouts\":" + std::to_string(s.worker_timeouts);
+  out += ",\"worker_crashes\":" + std::to_string(s.worker_crashes);
+  out += ",\"quarantined\":" + std::to_string(s.quarantined);
   out += "}";
   return out;
 }

@@ -24,6 +24,14 @@
 //   SSN-E064  overloaded — admission queue full, retry after the hint
 //   SSN-E065  request failed in the solver (typed kind attached)
 //   SSN-E066  request cancelled (its deadline, or the daemon's drain)
+//   SSN-E068  worker missed its deadline + grace and was SIGKILL'd
+//   SSN-E069  worker process died mid-request (signal / OOM / bad exit)
+//   SSN-E070  request quarantined: its cache key already killed N workers
+//
+// The same request/response framing doubles as the supervisor's worker wire
+// protocol: the parent re-renders an admitted ServeRequest with
+// render_request() and ships it over the socketpair, so a worker is just a
+// tiny serve loop and every protocol invariant above holds on both hops.
 #pragma once
 
 #include "serve/json.hpp"
@@ -79,6 +87,13 @@ RequestParse parse_request(const std::string& line);
 std::string cache_key_string(const ServeRequest& request);
 std::uint64_t cache_key(const ServeRequest& request);
 
+/// Render a validated request back onto the wire so it round-trips through
+/// parse_request bit-identically (doubles at 17 significant digits; the
+/// l/c overrides are omitted when unset, since their "unset" sentinel is
+/// outside the wire range). This is how the supervisor forwards admitted
+/// requests to worker processes.
+std::string render_request(const ServeRequest& request);
+
 // --- trust serialization -----------------------------------------------------
 
 /// Render a TrustReport as the "trust" member every result fragment
@@ -108,10 +123,35 @@ std::string render_error(const std::string& id, const std::string& code,
 /// SSN-E064 overload response with the retry hint clients should honor.
 std::string render_overloaded(const std::string& id, double retry_after_ms);
 
+/// Deterministic per-request jitter for the SSN-E064 retry hint: maps
+/// (id, seed) onto a factor in [0.5, 1.5) of `base_ms`, so a synchronized
+/// burst of shed clients fans back in over a full base period instead of
+/// thundering-herding the admission queue at one instant. Pure function of
+/// its inputs (FNV-1a of the id mixed with the seed) — the same client
+/// retrying the same id sees a stable hint.
+double jittered_retry_after_ms(double base_ms, const std::string& id,
+                               unsigned seed);
+
 /// SSN-E065/E066 for a typed solver failure: attaches kind and
 /// retryability; stop kinds (cancelled / deadline) render as SSN-E066.
 std::string render_solver_error(const std::string& id,
                                 const support::SolverError& error);
+
+/// Parent-side view of one worker response line.
+struct ResponseView {
+  bool ok = false;         ///< the "ok" member
+  std::string code;        ///< error code when !ok ("" for ok lines)
+  std::string fragment;    ///< raw result fragment when ok (cacheable)
+  bool cancelled = false;  ///< !ok with code SSN-E066 (worker-side deadline)
+};
+
+/// Split a response line produced by render_ok / render_error /
+/// render_solver_error back into its parts. The result fragment is
+/// recovered textually — render_ok guarantees `"result":` is the final
+/// member — so the parent caches the exact bytes the worker computed, not a
+/// re-serialization. Returns false for lines that are not valid responses
+/// (a worker that printed garbage is treated as crashed by the caller).
+bool split_response_line(const std::string& line, ResponseView& out);
 
 /// Aggregate daemon counters, rendered as the final stats line.
 struct ServerStats {
@@ -123,6 +163,10 @@ struct ServerStats {
   std::uint64_t shed = 0;        ///< rejected at admission (SSN-E064)
   std::uint64_t malformed = 0;   ///< rejected at parse (SSN-E063)
   std::uint64_t cache_hits = 0;
+  // Process-isolation counters (zero in thread mode).
+  std::uint64_t worker_timeouts = 0;  ///< SSN-E068: watchdog SIGKILLs
+  std::uint64_t worker_crashes = 0;   ///< SSN-E069: worker deaths
+  std::uint64_t quarantined = 0;      ///< SSN-E070: poison-key refusals
 };
 
 /// {"event":"stats","accepted":...,...} — one line, valid JSON.

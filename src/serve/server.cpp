@@ -10,8 +10,28 @@
 
 namespace ssnkit::serve {
 
+namespace {
+
+/// The supervisor's worker count follows the pool width unless pinned:
+/// every pool thread must be able to hold a worker, or concurrency silently
+/// collapses to the smaller of the two.
+SupervisorConfig resolved_supervisor_config(const ServerConfig& config) {
+  SupervisorConfig sup = config.supervisor;
+  if (sup.workers <= 0) sup.workers = support::resolve_threads(config.threads);
+  return sup;
+}
+
+}  // namespace
+
 Server::Server(const ServerConfig& config)
     : config_(config),
+      supervisor_(config.isolate == IsolateMode::kProcess
+                      ? std::make_unique<Supervisor>(
+                            resolved_supervisor_config(config),
+                            [this](const std::string& line) {
+                              emit_event(line);
+                            })
+                      : nullptr),
       pool_(support::resolve_threads(config.threads)),
       cache_(config.cache_capacity) {
   if (!config_.cache_file.empty())
@@ -60,7 +80,10 @@ void Server::submit_line(const std::string& line, ResponseSink sink) {
       return;
     }
   }
-  sink(render_overloaded(parsed.request.id, config_.retry_after_ms));
+  sink(render_overloaded(
+      parsed.request.id,
+      jittered_retry_after_ms(config_.retry_after_ms, parsed.request.id,
+                              config_.retry_jitter_seed)));
 }
 
 void Server::begin_drain() {
@@ -111,7 +134,10 @@ void Server::process(Pending& pending) {
     kOk,
     kCacheHit,
     kSolverError,
-    kCancelled
+    kCancelled,
+    kWorkerTimeout,
+    kWorkerCrashed,
+    kQuarantined
   } outcome = Outcome::kSolverError;
   try {
     if (drain_expired_.load(std::memory_order_acquire)) {
@@ -136,6 +162,47 @@ void Server::process(Pending& pending) {
       if (hit) {
         response = render_ok(id, *hit, /*cached=*/true, elapsed_us());
         outcome = Outcome::kCacheHit;
+      } else if (supervisor_ != nullptr) {
+        // Process isolation: the request executes in a sandboxed worker and
+        // the watchdog enforces its wall-clock budget with SIGKILL, so even
+        // a solve that never polls its context cannot outlive the deadline.
+        const double deadline = pending.request.deadline_s > 0.0
+                                    ? pending.request.deadline_s
+                                    : config_.default_deadline_s;
+        const WorkerOutcome wo = supervisor_->execute(pending.request, deadline);
+        switch (wo.status) {
+          case WorkerOutcome::Status::kOk:
+            cache_.put(key, wo.fragment);
+            maybe_spill();
+            // The worker's verbatim response line: its id is the client's
+            // and its elapsed_us measured the actual solve.
+            response = wo.response;
+            outcome = Outcome::kOk;
+            break;
+          case WorkerOutcome::Status::kError:
+            response = wo.response;
+            outcome = wo.cancelled ? Outcome::kCancelled
+                                   : Outcome::kSolverError;
+            break;
+          case WorkerOutcome::Status::kWorkerTimeout:
+            response = render_error(id, "SSN-E068", wo.detail);
+            outcome = Outcome::kWorkerTimeout;
+            break;
+          case WorkerOutcome::Status::kWorkerCrashed:
+            response = render_error(id, "SSN-E069", wo.detail);
+            outcome = Outcome::kWorkerCrashed;
+            break;
+          case WorkerOutcome::Status::kQuarantined:
+            response = render_error(id, "SSN-E070", wo.detail);
+            outcome = Outcome::kQuarantined;
+            break;
+          case WorkerOutcome::Status::kStopped:
+            response = render_error(
+                id, "SSN-E066",
+                "cancelled: daemon drained while the request was in flight");
+            outcome = Outcome::kCancelled;
+            break;
+        }
       } else {
         support::RunContext ctx;
         const double deadline = pending.request.deadline_s > 0.0
@@ -195,6 +262,9 @@ void Server::process(Pending& pending) {
         break;
       case Outcome::kSolverError: ++stats_.solver_errors; break;
       case Outcome::kCancelled: ++stats_.cancelled; break;
+      case Outcome::kWorkerTimeout: ++stats_.worker_timeouts; break;
+      case Outcome::kWorkerCrashed: ++stats_.worker_crashes; break;
+      case Outcome::kQuarantined: ++stats_.quarantined; break;
     }
   }
   try {
@@ -243,10 +313,19 @@ void Server::finish() {
       // its context every accepted step, so this converges quickly.
       drain_expired_.store(true, std::memory_order_release);
       for (support::RunContext* ctx : active_) ctx->request_cancel();
+      // Process mode routes the drain deadline through the watchdog's
+      // SIGKILL: a worker wedged in code that never polls would otherwise
+      // stall this wait — and the whole stop() — indefinitely. (Thread
+      // mode has no such lever; that residual exposure is exactly why
+      // --isolate=process exists.)
+      if (supervisor_ != nullptr) supervisor_->kill_inflight();
       cv_done_.wait(lock, [&] { return dispatcher_done_; });
     }
   }
   dispatcher_.join();
+  // No request is in flight past this point, so the workers can be killed
+  // and reaped without racing an execute().
+  if (supervisor_ != nullptr) supervisor_->shutdown();
   if (!config_.cache_file.empty()) {
     try {
       cache_.save(config_.cache_file);
@@ -262,6 +341,42 @@ ServerStats Server::stats() const {
   return stats_;
 }
 
+void Server::set_event_sink(ResponseSink sink) {
+  std::vector<std::string> backlog;
+  {
+    std::lock_guard<std::mutex> lock(ev_mu_);
+    event_sink_ = std::move(sink);
+    if (event_sink_) backlog.swap(event_backlog_);
+  }
+  // Flush outside ev_mu_ — the sink may take the transport's own lock.
+  for (const std::string& line : backlog) {
+    try {
+      event_sink_(line);
+    } catch (...) {  // ssnlint-ignore(SSN-L005)
+      // Event lines are advisory; a dead transport must not hurt serving.
+    }
+  }
+}
+
+void Server::emit_event(const std::string& line) {
+  ResponseSink sink;
+  {
+    std::lock_guard<std::mutex> lock(ev_mu_);
+    if (!event_sink_) {
+      // Buffered until a transport attaches (the initial pool spawns in the
+      // constructor); bounded so a crash-looping pool can't hoard memory.
+      if (event_backlog_.size() < 1024) event_backlog_.push_back(line);
+      return;
+    }
+    sink = event_sink_;
+  }
+  try {
+    sink(line);
+  } catch (...) {  // ssnlint-ignore(SSN-L005)
+    // Event lines are advisory; a dead transport must not hurt serving.
+  }
+}
+
 int Server::serve_stream(std::istream& in, std::ostream& out,
                          const support::RunContext* stop_ctx) {
   std::mutex out_mu;
@@ -275,6 +390,9 @@ int Server::serve_stream(std::istream& in, std::ostream& out,
     out << line << '\n';
     out.flush();
   };
+  // Supervisor lifecycle events share the stream (and its lock) with
+  // responses; buffered constructor-time spawn events flush here.
+  set_event_sink(sink);
   std::string line;
   while (!(stop_ctx != nullptr &&
            stop_ctx->stop_requested() != support::StopReason::kNone) &&
@@ -283,6 +401,9 @@ int Server::serve_stream(std::istream& in, std::ostream& out,
     submit_line(line, sink);
   }
   finish();
+  // The supervisor is shut down inside finish(); detach the sink so no
+  // event can outlive this frame's stream references.
+  set_event_sink(nullptr);
   {
     std::lock_guard<std::mutex> lock(out_mu);
     out << render_stats(stats()) << '\n';

@@ -15,6 +15,10 @@
 //     answered with SSN-E066 instead of being dropped.
 //   - Results are cached by the request's content hash; the cache spills to
 //     disk crash-safely and a restarted daemon warms from it.
+//   - In process-isolation mode (supervisor.hpp) crashes, rlimit OOMs, and
+//     non-cooperative hangs are also per-request events: the failing worker
+//     is killed/reaped and its request answers typed SSN-E068/E069, with
+//     repeat-offender cache keys quarantined as SSN-E070.
 //
 // Transport-free by design: submit_line()/ResponseSink is the whole
 // surface, so the same core serves a Unix socket (socket.hpp), a stdin
@@ -24,6 +28,7 @@
 #include "serve/cache.hpp"
 #include "serve/handlers.hpp"
 #include "serve/protocol.hpp"
+#include "serve/supervisor.hpp"
 #include "support/parallel.hpp"
 #include "support/runcontext.hpp"
 
@@ -41,6 +46,12 @@
 
 namespace ssnkit::serve {
 
+/// Where requests execute. kThread runs them on the server's own pool
+/// (fast, but a segfault or non-cooperative hang belongs to the whole
+/// daemon); kProcess runs each on a supervised worker process behind a
+/// SIGKILL watchdog, so crashes and hangs degrade exactly one request.
+enum class IsolateMode { kThread, kProcess };
+
 // ssn-units: default_deadline_s=s, drain_deadline_s=s, retry_after_ms=ms
 struct ServerConfig {
   /// Worker threads (support::resolve_threads semantics: 0 = auto).
@@ -57,8 +68,17 @@ struct ServerConfig {
   double default_deadline_s = 0.0;
   /// How long a drain waits for in-flight work before cancelling it.
   double drain_deadline_s = 5.0;
-  /// Retry hint attached to SSN-E064 shed responses.
+  /// Retry hint attached to SSN-E064 shed responses. Each response jitters
+  /// it deterministically into [0.5, 1.5) of this base so synchronized
+  /// clients don't thundering-herd the queue on retry.
   double retry_after_ms = 50.0;
+  /// Mixed into the per-id retry jitter (jittered_retry_after_ms).
+  unsigned retry_jitter_seed = 1;
+  /// Execution isolation mode; kProcess enables the Supervisor.
+  IsolateMode isolate = IsolateMode::kThread;
+  /// Supervisor tuning for kProcess mode. `workers` left at 0 inherits the
+  /// server's resolved thread count so every pool thread has a worker.
+  SupervisorConfig supervisor;
 };
 
 /// Delivery callback for one response line (no trailing newline). Invoked
@@ -97,6 +117,17 @@ class Server {
   ServerStats stats() const;
   const ResultCache& cache() const { return cache_; }
 
+  /// The supervisor behind kProcess mode (nullptr in thread mode); tests
+  /// and the chaos soak use it to pick SIGKILL victims and read counters.
+  const Supervisor* supervisor() const { return supervisor_.get(); }
+
+  /// Route supervisor lifecycle events ({"event":"worker-spawn",...} and
+  /// SSN-W075/W076 warning lines) to a transport. Events emitted before a
+  /// sink is set (the initial pool spawn happens in the constructor) are
+  /// buffered and flushed on the first set. Pass nullptr to go back to
+  /// buffering. Thread-safe.
+  void set_event_sink(ResponseSink sink);
+
   /// Serve newline-delimited requests from a stream until EOF (or until
   /// `stop_ctx` trips between lines), then finish(). Responses and the
   /// final stats line go to `out`, one JSON object per line. Returns 0.
@@ -112,8 +143,19 @@ class Server {
   void dispatcher_loop();
   void process(Pending& pending);
   void maybe_spill();
+  void emit_event(const std::string& line);
 
   const ServerConfig config_;
+  /// Event-sink state is declared before supervisor_ because the supervisor
+  /// emits its initial worker-spawn events from inside Server's member
+  /// initializer list — these must already be constructed by then.
+  std::mutex ev_mu_;
+  ResponseSink event_sink_;                 ///< guarded by ev_mu_
+  std::vector<std::string> event_backlog_;  ///< guarded by ev_mu_
+  /// Declared before pool_ on purpose: the initial worker pool forks in the
+  /// constructor while this process is still single-threaded, and outlives
+  /// the pool threads that call into it.
+  std::unique_ptr<Supervisor> supervisor_;
   support::ThreadPool pool_;
   ResultCache cache_;
   CalibrationCache calibrations_;

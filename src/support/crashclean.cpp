@@ -4,6 +4,8 @@
 #include <cstring>
 
 #if !defined(_WIN32)
+#include <csignal>
+#include <sys/types.h>
 #include <unistd.h>
 #else
 #include <cstdio>
@@ -27,6 +29,11 @@ struct Slot {
 };
 
 Slot g_slots[kCrashUnlinkSlots];
+
+// Worker-pid table: a slot is live when it holds a positive pid. A single
+// atomic<long> per slot suffices (no torn-path window like the unlink
+// table): one CAS from 0 both claims and publishes.
+std::atomic<long> g_kill_slots[kCrashKillSlots];
 
 }  // namespace
 
@@ -60,6 +67,31 @@ void crash_unlink_all() noexcept {
     std::remove(s.path);
 #endif
   }
+}
+
+int crash_kill_register(long pid) noexcept {
+  if (pid <= 0) return -1;
+  for (int i = 0; i < kCrashKillSlots; ++i) {
+    long expected = 0;
+    if (g_kill_slots[i].compare_exchange_strong(expected, pid,
+                                                std::memory_order_acq_rel))
+      return i;
+  }
+  return -1;  // table full: proceed without crash coverage
+}
+
+void crash_kill_unregister(int slot) noexcept {
+  if (slot < 0 || slot >= kCrashKillSlots) return;
+  g_kill_slots[slot].store(0, std::memory_order_release);
+}
+
+void crash_kill_all() noexcept {
+#if !defined(_WIN32)
+  for (std::atomic<long>& s : g_kill_slots) {
+    const long pid = s.load(std::memory_order_acquire);
+    if (pid > 0) ::kill(pid_t(pid), SIGKILL);  // async-signal-safe per POSIX
+  }
+#endif
 }
 
 }  // namespace ssnkit::support

@@ -37,6 +37,22 @@ void crash_unlink_unregister(int slot) noexcept;
 /// idempotent second pass is harmless.
 void crash_unlink_all() noexcept;
 
+/// Slots available for concurrently live supervised worker processes.
+inline constexpr int kCrashKillSlots = 64;
+
+/// Register a supervised child pid for SIGKILL on a hard exit, so a second
+/// SIGINT/SIGTERM (_Exit, no destructors) cannot leak worker processes.
+/// Returns the slot handle, or -1 when the table is full (the caller
+/// proceeds without crash coverage). Safe from any thread.
+int crash_kill_register(long pid) noexcept;
+
+/// Release a slot obtained from crash_kill_register. Passing -1 is a no-op.
+void crash_kill_unregister(int slot) noexcept;
+
+/// SIGKILL every registered pid. Async-signal-safe (atomic loads plus
+/// ::kill); called by the lifecycle signal handler just before _Exit.
+void crash_kill_all() noexcept;
+
 /// RAII pairing for the normal (non-crash) control flow.
 class ScopedCrashUnlink {
  public:

@@ -20,6 +20,17 @@
 //   kCacheRot          rot one byte of a served result-cache payload
 //   kJournalTruncate   drop the tail of a journal value mid-record
 //
+// plus three *process-fatal* classes the serve supervisor must contain (they
+// kill or wedge the worker process itself, which is exactly the failure mode
+// process isolation exists for; the sites live in serve/worker.cpp and are
+// never queried by the parent daemon):
+//
+//   kWorkerCrash       worker calls std::abort() mid-request
+//   kWorkerHang        worker spins without polling its RunContext, so only
+//                      the supervisor's SIGKILL watchdog can end it
+//   kWorkerOom         worker runs a bounded allocation burst that trips its
+//                      RLIMIT_AS cap and dies of the uncaught bad_alloc
+//
 // The hooks compile to a literal `false` unless SSNKIT_FAULT_INJECTION is
 // defined (the `fault-injection` CMake preset turns it on globally), so
 // release binaries carry zero overhead and zero attack surface.
@@ -59,9 +70,12 @@ enum class FaultKind : int {
   kFactorBitFlip = 4,
   kCacheRot = 5,
   kJournalTruncate = 6,
+  kWorkerCrash = 7,
+  kWorkerHang = 8,
+  kWorkerOom = 9,
 };
 
-inline constexpr int kFaultKindCount = 7;
+inline constexpr int kFaultKindCount = 10;
 
 inline const char* to_string(FaultKind kind) {
   switch (kind) {
@@ -72,6 +86,9 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kFactorBitFlip: return "factor-bit-flip";
     case FaultKind::kCacheRot: return "cache-rot";
     case FaultKind::kJournalTruncate: return "journal-truncate";
+    case FaultKind::kWorkerCrash: return "worker-crash";
+    case FaultKind::kWorkerHang: return "worker-hang";
+    case FaultKind::kWorkerOom: return "worker-oom";
   }
   return "unknown";
 }
@@ -236,12 +253,17 @@ inline bool fault_kind_from_name(const std::string& name, FaultKind& out) {
 ///
 /// Comma-separated `key=value` entries: `seed=N` sets the shared plan seed
 /// (applies to every site armed after it; default 1), and `<kind>=<p>` arms
-/// that site with probability p. Returns the number of sites armed;
-/// malformed entries are skipped rather than fatal (a soak harness wants
-/// best-effort arming, and the site counters reveal what actually fired).
-/// Number parsing is hand-rolled: the strto* family is banned outside the
-/// hardened io parsers (SSN-L007), and plan strings only need unsigned
-/// decimals and simple fractions.
+/// that site with probability p. A key may carry an `@SAMPLE` suffix —
+/// `worker-crash@13=1` — which sets FaultPlan::only_sample, so the site is
+/// live only inside a FaultSampleScope with that index. Serve workers scope
+/// each request by its driver count, which is how the chaos soak makes one
+/// request shape a deterministic poison pill while the rest of the traffic
+/// stays clean. Returns the number of sites armed; malformed entries are
+/// skipped rather than fatal (a soak harness wants best-effort arming, and
+/// the site counters reveal what actually fired). Number parsing is
+/// hand-rolled: the strto* family is banned outside the hardened io parsers
+/// (SSN-L007), and plan strings only need unsigned decimals and simple
+/// fractions.
 inline std::size_t arm_from_plan_string(const std::string& text) {
   const auto parse_simple_double = [](const std::string& s, double& out) {
     if (s.empty()) return false;
@@ -275,7 +297,7 @@ inline std::size_t arm_from_plan_string(const std::string& text) {
     pos = comma + 1;
     const std::size_t eq = entry.find('=');
     if (eq == std::string::npos || eq == 0) continue;
-    const std::string key = entry.substr(0, eq);
+    std::string key = entry.substr(0, eq);
     const std::string value = entry.substr(eq + 1);
     double number = 0.0;
     if (!parse_simple_double(value, number)) continue;
@@ -283,12 +305,23 @@ inline std::size_t arm_from_plan_string(const std::string& text) {
       seed = unsigned(number);
       continue;
     }
+    // Optional `@SAMPLE` suffix restricts the site to one scope index.
+    int only_sample = -1;
+    const std::size_t at = key.find('@');
+    if (at != std::string::npos) {
+      double sample = 0.0;
+      if (!parse_simple_double(key.substr(at + 1), sample)) continue;
+      if (sample != double(int(sample)) || sample < 0.0) continue;
+      only_sample = int(sample);
+      key.resize(at);
+    }
     FaultKind kind;
     if (!fault_kind_from_name(key, kind)) continue;
     if (!(number > 0.0 && number <= 1.0)) continue;
     FaultPlan plan;
     plan.seed = seed;
     plan.probability = number;
+    plan.only_sample = only_sample;
     FaultInjector::instance().arm(kind, plan);
     ++armed;
   }

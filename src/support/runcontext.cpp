@@ -20,10 +20,12 @@ extern "C" void lifecycle_signal_handler(int sig) {
   if (ctx == nullptr) return;
   if (ctx->cancel_requested()) {
     // Second signal: the user really means it. _Exit runs no destructors,
-    // so first unlink any in-flight atomic-write temporaries (async-signal-
-    // safe) — an interrupted run must not leak `.tmp` artifacts. 128+sig is
+    // so first unlink any in-flight atomic-write temporaries and SIGKILL any
+    // supervised worker processes (both async-signal-safe) — an interrupted
+    // run must leak neither `.tmp` artifacts nor orphan workers. 128+sig is
     // the conventional killed-by-signal status.
     crash_unlink_all();
+    crash_kill_all();
     std::_Exit(128 + sig);
   }
   g_last_signal.store(sig, std::memory_order_relaxed);

@@ -1,0 +1,30 @@
+// Fixture: raw process management in the analysis layer. All three shapes
+// of SSN-L014 must fire — the fork itself, the ad-hoc waitpid reap, and
+// the bare kill. None of these pids reach the crash-kill registry, so a
+// crash-path _Exit would orphan the child.
+
+using pid_t_fixture = int;
+
+pid_t_fixture fork();
+pid_t_fixture waitpid(pid_t_fixture pid, int* status, int flags);
+int kill(pid_t_fixture pid, int sig);
+int execvp(const char* file, char* const argv[]);
+
+namespace fixture {
+
+int run_helper(char* const argv[]) {
+  const pid_t_fixture pid = fork();  // SSN-L014: unregistered child
+  if (pid == 0) {
+    execvp(argv[0], argv);  // SSN-L014: exec outside the spawn wrapper
+    return 127;
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);  // SSN-L014: races the supervisor's reaper
+  return status;
+}
+
+void stop_helper(pid_t_fixture pid) {
+  kill(pid, 9);  // SSN-L014: bare kill outside support/supervisor
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: analysis code that manages children the sanctioned way — through
+// the support-layer wrappers — plus the member-call and non-call shapes the
+// SSN-L014 call-position check must not confuse with raw syscalls.
+
+namespace support_fixture {
+struct ChildProcess {
+  long pid = -1;
+  int fd = -1;
+  void kill() {}  // member call named kill is not the syscall
+};
+bool spawn_child(ChildProcess& child);
+bool wait_child(long pid, bool block);
+void kill_child(long pid);
+}  // namespace support_fixture
+
+struct Waiter {
+  void wait() {}
+};
+
+namespace fixture {
+
+int run_helper() {
+  support_fixture::ChildProcess child;
+  if (!support_fixture::spawn_child(child)) return 1;
+  child.kill();  // member call, quiet
+  support_fixture::kill_child(child.pid);
+  support_fixture::wait_child(child.pid, true);
+  Waiter w;
+  w.wait();  // member wait, quiet
+  int fork = 0;  // identifier in non-call position, quiet
+  return fork;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: the serve-layer supervisor is a sanctioned home for raw process
+// syscalls (its stem starts with "supervisor"), so SSN-L014 stays quiet
+// here even on direct fork/waitpid/kill calls.
+
+using pid_t_fixture = int;
+
+pid_t_fixture fork();
+pid_t_fixture waitpid(pid_t_fixture pid, int* status, int flags);
+int kill(pid_t_fixture pid, int sig);
+
+namespace fixture {
+
+pid_t_fixture spawn_worker() { return fork(); }
+
+void reap_worker(pid_t_fixture pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+void kill_worker(pid_t_fixture pid) { kill(pid, 9); }
+
+}  // namespace fixture

@@ -165,6 +165,29 @@ TEST_F(FaultInjection, PlanStringSeedMakesTheStreamsReproducible) {
   EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
 }
 
+TEST_F(FaultInjection, PlanStringSampleSuffixScopesTheSite) {
+  auto& injector = FaultInjector::instance();
+  // `worker-crash@13=1` arms the site restricted to sample scope 13 — the
+  // chaos soak's deterministic poison pill (serve workers scope requests by
+  // driver count).
+  EXPECT_EQ(support::arm_from_plan_string("seed=7,worker-crash@13=1"), 1u);
+  // Dead outside any scope, and in the wrong scope.
+  EXPECT_FALSE(injector.should_fire(FaultKind::kWorkerCrash));
+  {
+    support::FaultSampleScope wrong(12);
+    EXPECT_FALSE(injector.should_fire(FaultKind::kWorkerCrash));
+  }
+  {
+    support::FaultSampleScope right(13);
+    EXPECT_TRUE(injector.should_fire(FaultKind::kWorkerCrash));
+  }
+  // Malformed suffixes are skipped best-effort, like every other entry.
+  injector.disarm_all();
+  EXPECT_EQ(support::arm_from_plan_string(
+                "worker-crash@=1,worker-hang@x=1,worker-oom@1.5=1"),
+            0u);
+}
+
 // --- end-to-end (instrumented builds only) ----------------------------------
 
 #define SSN_NEEDS_INSTRUMENTED_BUILD()                                 \

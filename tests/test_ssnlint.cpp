@@ -345,7 +345,7 @@ TEST(SsnlintDriver, DiagnosticsAreSortedAndCountRules) {
                       "bool f(double v) { return v == 0.25; }\n");
   ASSERT_EQ(int(d.size()), 2);
   EXPECT_LE(d[0].line, d[1].line);
-  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 13);
+  EXPECT_EQ(int(ssnlint::rule_catalog().size()), 14);
 }
 
 // --- SSN-L009: lifecycle hygiene --------------------------------------------
@@ -423,6 +423,61 @@ TEST(SsnlintL009, SuppressionWorks) {
                 "// ssnlint-ignore(SSN-L009)\n"
                 "void f() { signal(2, handler); }\n"),
             "SSN-L009"), 0);
+}
+
+// --- SSN-L014: raw process-management syscalls ------------------------------
+
+TEST(SsnlintL014, FlagsRawProcessCallsOutsideSanctionedHomes) {
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "int f() { return fork(); }\n"),
+                       "SSN-L014"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/cli/x.cpp",
+                                   "void f(int p) { kill(p, 9); }\n"),
+                       "SSN-L014"), 1);
+  EXPECT_EQ(count_rule(lint_source(
+                "src/serve/server.cpp",
+                "void f(int p) { int s; waitpid(p, &s, 0); }\n"),
+            "SSN-L014"), 1);
+  EXPECT_EQ(count_rule(lint_source("src/io/x.cpp",
+                                   "void f(char** a) { execvp(a[0], a); }\n"),
+                       "SSN-L014"), 1);
+}
+
+TEST(SsnlintL014, QuietInSupportAndSupervisor) {
+  EXPECT_EQ(count_rule(lint_source("src/support/subprocess.cpp",
+                                   "int f() { return fork(); }\n"),
+                       "SSN-L014"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/support/crashclean.cpp",
+                                   "void f(int p) { kill(p, 9); }\n"),
+                       "SSN-L014"), 0);
+  EXPECT_EQ(count_rule(lint_source(
+                "src/serve/supervisor.cpp",
+                "void f(int p) { int s; waitpid(p, &s, 0); }\n"),
+            "SSN-L014"), 0);
+}
+
+TEST(SsnlintL014, QuietOnMemberCallsAndNonCallUses) {
+  EXPECT_EQ(count_rule(lint_source("src/serve/server.cpp",
+                                   "void f(CV& cv, L& l) { cv.wait(l); }\n"),
+            "SSN-L014"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "void f(P* p) { p->kill(); }\n"),
+            "SSN-L014"), 0);
+  EXPECT_EQ(count_rule(lint_source("src/analysis/x.cpp",
+                                   "int f() { int fork = 0; return fork; }\n"),
+            "SSN-L014"), 0);
+  EXPECT_EQ(count_rule(lint_source(
+                "src/serve/server.cpp",
+                "void f(long p) { support::kill_child(p); }\n"),
+            "SSN-L014"), 0);
+}
+
+TEST(SsnlintL014, SuppressionWorks) {
+  EXPECT_EQ(count_rule(lint_source(
+                "src/cli/x.cpp",
+                "// ssnlint-ignore(SSN-L014)\n"
+                "void f(int p) { kill(p, 9); }\n"),
+            "SSN-L014"), 0);
 }
 
 // --- SSN-L013: result consumed without a status/trust check -----------------

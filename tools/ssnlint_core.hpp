@@ -39,6 +39,12 @@
 //             v_max off a result whose verdict was never looked at is
 //             exactly the silently-wrong consumption the trust layer exists
 //             to prevent
+//   SSN-L014  process hygiene: raw fork/vfork/waitpid/wait/kill/exec-family/
+//             posix_spawn calls outside src/support and the serve-layer
+//             supervisor. Child processes that are not registered with the
+//             crash-kill registry (support/crashclean.hpp) survive a
+//             crash-path _Exit as orphans, and ad-hoc waitpid loops race the
+//             supervisor's reaper; spawn through support/subprocess.hpp
 //
 // Whole-project passes (ssnlint_project.hpp / _units.hpp / _registry.hpp):
 //   SSN-L010  include-graph layering: upward includes against the
@@ -90,6 +96,7 @@ inline const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"SSN-L011", "physical-units mismatch in annotated arithmetic"},
       {"SSN-L012", "diagnostic code is duplicated, undocumented, or dead"},
       {"SSN-L013", "solver/analysis result consumed without a status/trust check"},
+      {"SSN-L014", "raw process-management syscall outside support/supervisor"},
   };
   return kRules;
 }
@@ -139,6 +146,10 @@ inline std::string rule_fixit(const std::string& rule) {
        "check the result's status before reading values off it — ok()/error/"
        "stop/trust.verdict — or pass it through verify_measurement; "
        "ssnlint-ignore a site whose failures provably surface as exceptions"},
+      {"SSN-L014",
+       "spawn and manage children through support/subprocess.hpp "
+       "(spawn_child/wait_child/kill_child) so every pid is registered with "
+       "the crash-kill registry and reaped exactly once"},
   };
   const auto it = kHints.find(rule);
   return it == kHints.end() ? std::string() : it->second;
@@ -912,6 +923,54 @@ inline void rule_lifecycle_hygiene(const std::vector<Token>& toks,
   }
 }
 
+// SSN-L014: process hygiene. Raw process-management syscalls — fork/vfork,
+// waitpid/wait, kill, the exec family, posix_spawn — have exactly two
+// sanctioned homes: the support layer (support/subprocess.hpp is the spawn/
+// reap/kill wrapper, support/crashclean.cpp the crash-path killer) and the
+// serve-layer supervisor (src/serve/supervisor*), which owns worker
+// lifecycles end to end. Anywhere else, a hand-rolled fork leaks a pid the
+// crash-kill registry doesn't know about (so a crash-path _Exit orphans it)
+// and an ad-hoc waitpid races the supervisor's reaper for exit statuses.
+inline bool is_process_sanctioned_path(const std::string& file) {
+  if (is_support_layer_path(file)) return true;
+  const std::filesystem::path p(file);
+  bool in_serve = false;
+  for (const auto& part : p)
+    if (part == "serve") in_serve = true;
+  return in_serve && p.stem().string().rfind("supervisor", 0) == 0;
+}
+
+inline void rule_process_hygiene(const std::vector<Token>& toks,
+                                 const std::string& file,
+                                 std::vector<Diagnostic>& out) {
+  if (is_process_sanctioned_path(file)) return;
+  static const std::set<std::string> kProcessCalls = {
+      "fork",  "vfork",  "waitpid",     "wait",         "kill",
+      "execl", "execlp", "execle",      "execv",        "execvp",
+      "execve", "execvpe", "posix_spawn", "posix_spawnp"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || kProcessCalls.count(t.text) == 0)
+      continue;
+    if (toks[i + 1].text != "(") continue;  // must look like a call
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member call (cv.wait(lock), process.kill()) is fine
+    // A preceding identifier means a declaration (`pid_t fork(...)`,
+    // `void kill() {}`), not a call — unless it is a statement keyword
+    // (`return fork();`), which does precede real calls.
+    if (i > 0 && toks[i - 1].kind == Token::Kind::kIdent) {
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "co_return", "co_yield", "case", "else", "do"};
+      if (kStmtKeywords.count(toks[i - 1].text) == 0) continue;
+    }
+    add(out, file, t.line, "SSN-L014",
+        "raw '" + t.text +
+            "' outside src/support and the serve supervisor; use "
+            "support/subprocess.hpp (spawn_child/wait_child/kill_child) so "
+            "the pid is crash-kill registered and reaped exactly once");
+  }
+}
+
 // SSN-L013: a solver/analysis result consumed without ever inspecting its
 // status. The producers below return status-bearing results (a TrustReport,
 // an ok()/error pair, or a StopReason); reading v_max/mean/rows off one
@@ -1121,6 +1180,7 @@ inline std::vector<Diagnostic> lint_source(const std::string& file,
   detail::rule_bare_numeric_conversion(toks, file, all);
   detail::rule_dense_in_loop(toks, file, all);
   detail::rule_lifecycle_hygiene(toks, file, all);
+  detail::rule_process_hygiene(toks, file, all);
   detail::rule_uninspected_result(toks, file, all);
 
   std::vector<Diagnostic> kept;
